@@ -1,0 +1,96 @@
+// ABL-AMORT — ablation of the over-reclamation factor (§4):
+//
+//   "The SMD demands a fixed memory percentage upon reclamation, which may
+//    exceed the immediate soft memory request, in order to amortize
+//    reclamation costs."
+//
+// Scenario: a victim holds the machine's memory; a requester issues a long
+// sequence of small budget requests. Sweeping the over-reclamation factor
+// trades per-pass waste for fewer passes: factor 0 pays one reclamation per
+// request; larger factors batch them.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/units.h"
+#include "src/runtime/sim_machine.h"
+
+namespace softmem {
+namespace {
+
+struct SweepResult {
+  double factor;
+  size_t reclamation_passes;
+  size_t demands_on_victim;
+  size_t pages_reclaimed;
+  double total_seconds;
+};
+
+SweepResult RunFactor(double factor) {
+  SmdOptions smd;
+  smd.capacity_pages = 8192;  // 32 MiB
+  smd.initial_grant_pages = 0;
+  smd.over_reclaim_factor = factor;
+  SimMachine machine(smd);
+
+  SmaOptions po;
+  po.region_pages = 16 * 1024;
+  po.budget_chunk_pages = 16;  // small chunks: many requests
+  po.heap_retain_empty_pages = 0;
+
+  auto victim = machine.SpawnProcess("victim", po);
+  auto requester = machine.SpawnProcess("requester", po);
+  if (!victim.ok() || !requester.ok()) {
+    std::abort();
+  }
+  // Victim fills the machine with 1 KiB allocations (kOldestFirst).
+  while ((*victim)->SoftMalloc(1024) != nullptr) {
+  }
+
+  // Requester allocates 2048 pages (8 MiB) in page-size steps, each needing
+  // budget the daemon can only get by reclaiming from the victim.
+  WallTimer t;
+  size_t got_pages = 0;
+  for (int i = 0; i < 2048; ++i) {
+    if ((*requester)->SoftMalloc(kPageSize) != nullptr) {
+      ++got_pages;
+    }
+  }
+  const double secs = t.Seconds();
+
+  const SmdStats s = machine.daemon()->GetStats();
+  const SmaStats vs = (*victim)->sma()->GetStats();
+  return SweepResult{factor, s.reclamations, vs.reclaim_demands,
+                     vs.reclaimed_pages, secs};
+}
+
+int Run() {
+  std::printf("# ABL-AMORT: over-reclamation factor sweep (§4)\n");
+  std::printf("# requester allocates 8 MiB in 4 KiB steps against a full"
+              " machine\n\n");
+  std::printf("%8s %20s %18s %16s %12s\n", "factor", "reclamation passes",
+              "victim demands", "pages taken", "time");
+  std::vector<SweepResult> results;
+  for (const double factor : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+    results.push_back(RunFactor(factor));
+    const SweepResult& r = results.back();
+    std::printf("%8.2f %20zu %18zu %16zu %10.3fs\n", r.factor,
+                r.reclamation_passes, r.demands_on_victim, r.pages_reclaimed,
+                r.total_seconds);
+  }
+  std::printf("\nreading: higher factors cut the number of reclamation"
+              " passes (each pass\ndisturbs the victim once) at the cost of"
+              " taking more pages than strictly\nneeded per pass — the"
+              " amortization §4 describes.\n");
+  const bool shape_ok =
+      results.front().reclamation_passes > results.back().reclamation_passes;
+  std::printf("\nSHAPE CHECK (factor 2.0 needs fewer passes than 0.0): %s\n",
+              shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace softmem
+
+int main() { return softmem::Run(); }

@@ -1,0 +1,45 @@
+// Shared helpers for the experiment-reproduction benches.
+
+#ifndef SOFTMEM_BENCH_BENCH_UTIL_H_
+#define SOFTMEM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/clock.h"
+
+namespace softmem {
+
+// Env override: SOFTMEM_ALLOCS=<n> scales the paper's 977K allocation count
+// (useful on small machines); default is the paper's value.
+inline size_t PaperAllocCount() {
+  if (const char* env = std::getenv("SOFTMEM_ALLOCS")) {
+    return static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  }
+  return 977000;  // §5: "977K soft memory allocations"
+}
+
+inline constexpr size_t kPaperAllocSize = 1024;  // §5: "1 KiB allocation size"
+
+// Wall-clock timer for overhead benches (simulated clocks are for timelines).
+class WallTimer {
+ public:
+  WallTimer() : start_(MonotonicClock::Get()->Now()) {}
+  double Seconds() const {
+    return NanosToSeconds(MonotonicClock::Get()->Now() - start_);
+  }
+
+ private:
+  Nanos start_;
+};
+
+inline void PrintRatioRow(const std::string& label, double seconds,
+                          double baseline_seconds) {
+  std::printf("%-34s %8.3f s   %5.2fx vs system allocator\n", label.c_str(),
+              seconds, seconds / baseline_seconds);
+}
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,146 @@
+// KV-THROUGHPUT — supporting bench (not a paper table): end-to-end KV store
+// performance with and without concurrent soft-memory reclamation, in the
+// spirit of the paper's tail-latency motivation. Reports throughput and
+// latency percentiles for a zipfian read-mostly workload across three
+// phases:
+//   1. steady state, no memory pressure;
+//   2. under repeated reclamation (a competing process takes memory every
+//      few hundred thousand ops);
+//   3. recovered (pressure gone, cache refilling on misses).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/histogram.h"
+#include "src/common/units.h"
+#include "src/kv/kv_store.h"
+#include "src/runtime/sim_machine.h"
+#include "src/workload/generators.h"
+
+namespace softmem {
+namespace {
+
+constexpr size_t kKeySpace = 100000;
+constexpr size_t kValueBytes = 64;
+constexpr size_t kOpsPerPhase = 300000;
+
+struct PhaseResult {
+  double ops_per_sec;
+  Histogram latency_ns;
+  size_t reclaimed;
+  double hit_rate;
+};
+
+PhaseResult RunPhase(KvStore* store, ZipfianGenerator* gen,
+                     SimMachine* machine, SimProcess* churner,
+                     bool pressure) {
+  PhaseResult r{};
+  const size_t reclaimed_before = store->GetStats().reclaimed;
+  size_t hits = 0;
+  std::vector<void*> churn;
+  MonotonicClock* clock = MonotonicClock::Get();
+  WallTimer total;
+  for (size_t i = 0; i < kOpsPerPhase; ++i) {
+    const uint64_t id = gen->Next();
+    const std::string key = MakeKey(id);
+    const Nanos start = clock->Now();
+    if (i % 10 < 9) {  // 90% reads
+      if (store->Get(key).has_value()) {
+        ++hits;
+      } else {
+        store->Set(key, MakeValue(id, kValueBytes));
+      }
+    } else {
+      store->Set(key, MakeValue(id, kValueBytes));
+    }
+    r.latency_ns.Add(static_cast<uint64_t>(clock->Now() - start));
+    if (pressure && i % 30000 == 0) {
+      // The churner grabs everything free plus 128 pages (forcing a real
+      // reclamation from the store's process), then releases it all so the
+      // cycle can repeat.
+      const size_t want = machine->daemon()->free_pages() + 128;
+      for (size_t b = 0; b < want; ++b) {
+        void* blk = churner->SoftMalloc(kPageSize);
+        if (blk != nullptr) {
+          churn.push_back(blk);
+        }
+      }
+      for (void* blk : churn) {
+        churner->SoftFree(blk);
+      }
+      churn.clear();
+      churner->sma()->TrimAndReleaseBudget();
+    }
+  }
+  r.ops_per_sec = static_cast<double>(kOpsPerPhase) / total.Seconds();
+  r.reclaimed = store->GetStats().reclaimed - reclaimed_before;
+  r.hit_rate = static_cast<double>(hits) /
+               (static_cast<double>(kOpsPerPhase) * 0.9);
+  return r;
+}
+
+void PrintPhase(const char* name, const PhaseResult& r) {
+  std::printf("%-22s %10.0f ops/s   p50=%5llu ns  p99=%6llu ns  p99.9=%7llu"
+              " ns  hit=%4.1f%%  reclaimed=%zu\n",
+              name, r.ops_per_sec,
+              static_cast<unsigned long long>(r.latency_ns.Percentile(50)),
+              static_cast<unsigned long long>(r.latency_ns.Percentile(99)),
+              static_cast<unsigned long long>(r.latency_ns.Percentile(99.9)),
+              r.hit_rate * 100, r.reclaimed);
+}
+
+int Run() {
+  std::printf("# KV-THROUGHPUT: zipfian 90/10 read/write, %zu-key space,"
+              " %zu ops/phase\n\n",
+              kKeySpace, kOpsPerPhase);
+  SmdOptions smd;
+  // Sized so the working set fits comfortably but a churner forces real
+  // reclamation: ~100K entries x 48 B nodes ~ 4.7 MiB.
+  smd.capacity_pages = 8 * kMiB / kPageSize;
+  smd.initial_grant_pages = 256;
+  smd.over_reclaim_factor = 0.25;
+  SimMachine machine(smd);
+
+  SmaOptions po;
+  po.region_pages = 16 * 1024;
+  po.budget_chunk_pages = 128;
+  po.heap_retain_empty_pages = 0;
+
+  auto kv = machine.SpawnProcess("kv", po);
+  auto churner = machine.SpawnProcess("churner", po);
+  if (!kv.ok() || !churner.ok()) {
+    return 1;
+  }
+  KvStore store((*kv)->sma());
+  ZipfianGenerator gen(kKeySpace, 0.99, 42);
+
+  // Warm the cache.
+  for (size_t i = 0; i < kKeySpace; ++i) {
+    store.Set(MakeKey(i), MakeValue(i, kValueBytes));
+  }
+
+  const PhaseResult steady = RunPhase(&store, &gen, &machine, *churner, false);
+  const PhaseResult pressured =
+      RunPhase(&store, &gen, &machine, *churner, true);
+  const PhaseResult recovered =
+      RunPhase(&store, &gen, &machine, *churner, false);
+
+  PrintPhase("steady state", steady);
+  PrintPhase("under reclamation", pressured);
+  PrintPhase("recovered", recovered);
+
+  std::printf("\nreading: reclamation costs some tail latency and hit rate"
+              " while it runs;\nthroughput recovers once pressure passes —"
+              " nobody restarted, no cache was\nlost wholesale.\n");
+  const bool shape_ok = pressured.reclaimed > 0 &&
+                        recovered.ops_per_sec > pressured.ops_per_sec * 0.5;
+  std::printf("\nSHAPE CHECK: %s\n", shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace softmem
+
+int main() { return softmem::Run(); }

@@ -1,0 +1,132 @@
+// MICRO — google-benchmark microbenchmarks for the allocator fast paths and
+// the reclamation engine. Not a paper table; supporting evidence for the
+// overhead numbers in CASE1-3 (per-op costs instead of end-to-end ratios).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/baseline/textbook_allocator.h"
+#include "src/common/units.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+namespace {
+
+std::unique_ptr<SoftMemoryAllocator> MakeSma(size_t pages = 256 * 1024) {
+  SmaOptions o;
+  o.region_pages = pages;
+  o.initial_budget_pages = pages;
+  auto r = SoftMemoryAllocator::Create(o);
+  if (!r.ok()) {
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+void BM_SystemMallocFree(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    void* p = std::malloc(size);
+    benchmark::DoNotOptimize(p);
+    std::free(p);
+  }
+}
+BENCHMARK(BM_SystemMallocFree)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_TextbookAllocFree(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  auto alloc = TextbookAllocator::Create(64 * 1024);
+  if (!alloc.ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  for (auto _ : state) {
+    void* p = (*alloc)->Alloc(size);
+    benchmark::DoNotOptimize(p);
+    (*alloc)->Free(p);
+  }
+}
+BENCHMARK(BM_TextbookAllocFree)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SoftMallocFree(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  auto sma = MakeSma(64 * 1024);
+  for (auto _ : state) {
+    void* p = sma->SoftMalloc(size);
+    benchmark::DoNotOptimize(p);
+    sma->SoftFree(p);
+  }
+}
+BENCHMARK(BM_SoftMallocFree)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Steady-state churn: N live allocations, replace one per iteration.
+void BM_SoftChurn(benchmark::State& state) {
+  auto sma = MakeSma();
+  std::vector<void*> live(10000);
+  for (auto& p : live) {
+    p = sma->SoftMalloc(1024);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    sma->SoftFree(live[i]);
+    live[i] = sma->SoftMalloc(1024);
+    benchmark::DoNotOptimize(live[i]);
+    i = (i + 1) % live.size();
+  }
+  for (void* p : live) {
+    sma->SoftFree(p);
+  }
+}
+BENCHMARK(BM_SoftChurn);
+
+// Grants every request so repeated reclaim iterations can refill.
+class GrantAllChannel : public SmdChannel {
+ public:
+  Result<size_t> RequestBudget(size_t pages) override { return pages; }
+  void ReleaseBudget(size_t) override {}
+  void ReportUsage(size_t, size_t) override {}
+};
+
+// Cost of one reclamation demand per page reclaimed (kOldestFirst context,
+// no callback): the SMA-machinery floor of RECLAIM-BREAKDOWN. Each
+// iteration fills 1024 pages (untimed) and times the demand that drops
+// them all; the granting channel restores the budget for the next fill.
+void BM_ReclaimPerPage(benchmark::State& state) {
+  static GrantAllChannel channel;
+  SmaOptions o;
+  o.region_pages = 64 * 1024;
+  o.initial_budget_pages = 2048;
+  o.heap_retain_empty_pages = 0;
+  auto sma_r = SoftMemoryAllocator::Create(o, &channel);
+  if (!sma_r.ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  auto sma = std::move(sma_r).value();
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 4096; ++i) {  // 1024 pages of 1 KiB slots
+      if (sma->SoftMalloc(1024) == nullptr) {
+        state.SkipWithError("allocation failed");
+        return;
+      }
+    }
+    const SmaStats s = sma->GetStats();
+    const size_t slack = s.budget_pages - s.committed_pages;
+    const size_t demand = slack + s.pooled_pages + s.committed_pages;
+    state.ResumeTiming();
+    if (sma->HandleReclaimDemand(demand) < s.committed_pages) {
+      state.SkipWithError("reclaim fell short");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ReclaimPerPage)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace softmem
+
+BENCHMARK_MAIN();

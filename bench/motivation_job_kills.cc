@@ -1,0 +1,80 @@
+// MOTIVATION — the paper's §1/§2 claims, quantified:
+//
+//   "low-priority processes are routinely killed to free up resources during
+//    memory pressure. This wastes CPU cycles upon re-running killed jobs and
+//    incentivizes datacenter operators to run at low memory utilization for
+//    safety. ... Soft memory eliminates the utilization-performance
+//    trade-off for the memory resource, opening the doors to maximizing
+//    memory utilization without risking process terminations."
+//
+// The same job stream runs on one machine under the kill-based policy and
+// the soft-memory policy, across a sweep of machine sizes (tighter memory =
+// higher offered load). Reported per point: kills, wasted CPU work, mean
+// completion time, and achieved utilization.
+
+#include <cstdio>
+
+#include "src/common/units.h"
+#include "src/runtime/cluster_sim.h"
+
+namespace softmem {
+namespace {
+
+int Run() {
+  std::printf("# MOTIVATION: kill-based vs soft-memory pressure handling\n");
+  std::printf("# identical 200-job stream, machine size swept to vary"
+              " pressure\n\n");
+  std::printf("%10s | %-30s | %-30s\n", "", "kill-based policy",
+              "soft-memory policy");
+  std::printf("%10s | %6s %10s %6s %5s | %6s %10s %6s %5s\n", "memory",
+              "kills", "wastedCPUs", "compl", "util", "kills", "wastedCPUs",
+              "compl", "util");
+
+  bool soft_never_worse = true;
+  double kill_total_waste = 0;
+  double soft_total_waste = 0;
+  for (const size_t memory_units : {96, 64, 48, 40, 32}) {
+    ClusterSimOptions base;
+    base.machine_memory = memory_units * 1024;
+    base.job_count = 200;
+    base.seed = 2026;
+
+    ClusterSimOptions kill_opt = base;
+    kill_opt.policy = PressurePolicy::kKillBased;
+    const ClusterSimResult kill = RunClusterSim(kill_opt);
+
+    ClusterSimOptions soft_opt = base;
+    soft_opt.policy = PressurePolicy::kSoftMemory;
+    const ClusterSimResult soft = RunClusterSim(soft_opt);
+
+    std::printf("%7zu GiB | %6zu %9.0fs %5.0fs %4.0f%% | %6zu %9.0fs %5.0fs"
+                " %4.0f%%\n",
+                memory_units / 1, kill.kills, kill.wasted_cpu_seconds,
+                kill.mean_completion_seconds,
+                kill.mean_memory_utilization * 100, soft.kills,
+                soft.wasted_cpu_seconds, soft.mean_completion_seconds,
+                soft.mean_memory_utilization * 100);
+    soft_never_worse =
+        soft_never_worse && soft.kills <= kill.kills &&
+        soft.wasted_cpu_seconds <= kill.wasted_cpu_seconds + 1e-9;
+    kill_total_waste += kill.wasted_cpu_seconds;
+    soft_total_waste += soft.wasted_cpu_seconds;
+  }
+
+  std::printf("\nreading: as memory tightens, the kill policy wastes"
+              " ever more completed\nwork re-running evicted jobs; the"
+              " soft policy absorbs the same pressure by\nshrinking caches"
+              " (slower progress, no lost work) and sustains higher\n"
+              "utilization safely — the §2 'utilization-performance"
+              " trade-off' eliminated.\n");
+  std::printf("\ntotal wasted CPU: kill-based %.0fs vs soft %.0fs\n",
+              kill_total_waste, soft_total_waste);
+  std::printf("\nSHAPE CHECK (soft kills <= kill-based at every point): %s\n",
+              soft_never_worse ? "PASS" : "FAIL");
+  return soft_never_worse ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace softmem
+
+int main() { return softmem::Run(); }

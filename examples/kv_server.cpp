@@ -1,0 +1,130 @@
+// kv_server — the mini-Redis as a real network binary.
+//
+// Usage:
+//   kv_server [--port N] [--daemon-socket PATH] [--budget-mib N]
+//
+// Speaks RESP2 on 127.0.0.1:<port> (try it with `redis-cli -p <port>`:
+// SET/GET/DEL/EXISTS/DBSIZE/FLUSHALL/INFO/PING). With --daemon-socket it
+// registers with a running softmemd and its hash-table entries become
+// revocable soft memory — the full §5 deployment; without it, it runs on a
+// fixed stand-alone soft budget.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/ipc/daemon_client.h"
+#include "src/ipc/unix_socket.h"
+#include "src/kv/kv_server.h"
+#include "src/kv/kv_store.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace softmem;
+
+  uint16_t port = 6380;
+  std::string daemon_socket;
+  size_t budget_mib = 64;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = static_cast<uint16_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--daemon-socket") {
+      daemon_socket = next();
+    } else if (arg == "--budget-mib") {
+      budget_mib = std::strtoull(next(), nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: kv_server [--port N] [--daemon-socket PATH]"
+                   " [--budget-mib N]\n");
+      return 2;
+    }
+  }
+
+  // Optionally join a softmemd-managed machine.
+  std::unique_ptr<DaemonClient> client;
+  if (!daemon_socket.empty()) {
+    auto channel = ConnectUnixSocket(daemon_socket);
+    if (!channel.ok()) {
+      std::fprintf(stderr, "kv_server: cannot reach daemon: %s\n",
+                   channel.status().ToString().c_str());
+      return 1;
+    }
+    auto registered =
+        DaemonClient::Register(std::move(channel).value(), "kv_server");
+    if (!registered.ok()) {
+      std::fprintf(stderr, "kv_server: registration failed: %s\n",
+                   registered.status().ToString().c_str());
+      return 1;
+    }
+    client = std::move(registered).value();
+  }
+
+  SmaOptions o;
+  o.region_pages = 256 * 1024;  // 1 GiB virtual
+  o.initial_budget_pages = client != nullptr
+                               ? client->initial_budget_pages()
+                               : budget_mib * kMiB / kPageSize;
+  o.budget_chunk_pages = 256;
+  o.heap_retain_empty_pages = 0;
+  auto sma = SoftMemoryAllocator::Create(o, client.get());
+  if (!sma.ok()) {
+    std::fprintf(stderr, "kv_server: allocator: %s\n",
+                 sma.status().ToString().c_str());
+    return 1;
+  }
+  if (client != nullptr) {
+    client->AttachAllocator(sma->get());
+    client->StartPoller();
+  }
+
+  DictOptions dict_opts;
+  dict_opts.on_reclaim = [](std::string_view key, std::string_view) {
+    static size_t count = 0;
+    if (++count % 10000 == 0) {
+      std::fprintf(stderr, "kv_server: %zu entries reclaimed so far"
+                   " (latest: %.*s)\n",
+                   count, static_cast<int>(key.size()), key.data());
+    }
+  };
+  KvStore store(sma->get(), dict_opts);
+
+  auto server = KvServer::Listen(&store, port);
+  if (!server.ok()) {
+    std::fprintf(stderr, "kv_server: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("kv_server: RESP on 127.0.0.1:%u (%s mode, budget %s)\n",
+              (*server)->port(),
+              client != nullptr ? "daemon-managed" : "stand-alone",
+              FormatBytes((*sma)->budget_pages() * kPageSize).c_str());
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    ::usleep(200 * 1000);
+  }
+
+  (*server)->Stop();
+  const KvStoreStats s = store.GetStats();
+  std::printf("\nkv_server: %zu keys, %zu sets, %zu gets (%zu hits),"
+              " %zu reclaimed by pressure\n",
+              s.keys, s.sets, s.gets, s.hits, s.reclaimed);
+  return 0;
+}

@@ -1,0 +1,139 @@
+// The paper's §2 ML training-cache use case:
+//
+//   "Storage caches for deep learning maintain a partial set of the training
+//    dataset in memory ... Increasing cache size via soft memory can provide
+//    performance gains while productively using otherwise idle memory. Once
+//    this memory is needed again, the soft memory subsystem re-configures
+//    the cache to its original size. This slows down the ML training, but
+//    makes memory available for other workloads like latency-critical
+//    service jobs."
+//
+// A SoftLruCache holds training samples; epochs sweep the dataset in a
+// shuffled order. Mid-run, a latency-critical service claims memory and the
+// cache transparently shrinks — training continues, just with more "storage"
+// fetches.
+
+#include <cstdio>
+#include <array>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/runtime/sim_machine.h"
+#include "src/sds/soft_lru_cache.h"
+
+using namespace softmem;  // example code; the library itself never does this
+
+namespace {
+
+constexpr size_t kDatasetSamples = 20000;
+constexpr size_t kSampleBytes = 1024;  // "feature vector" per sample
+
+// Samples live *inline* in the soft cache nodes (an array, not a vector), so
+// the sample bytes themselves are revocable soft memory.
+using Sample = std::array<char, kSampleBytes>;
+
+// One epoch: visit every sample once in shuffled order. Returns the cache
+// hit rate (misses model a slow fetch from the storage tier).
+double RunEpoch(SoftLruCache<uint64_t, Sample>* cache, Rng* rng,
+                size_t* storage_fetches) {
+  std::vector<uint64_t> order(kDatasetSamples);
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t i = order.size() - 1; i > 0; --i) {
+    std::swap(order[i], order[rng->NextBounded(i + 1)]);
+  }
+  size_t hits = 0;
+  for (const uint64_t id : order) {
+    if (cache->Get(id) != nullptr) {
+      ++hits;
+    } else {
+      ++*storage_fetches;  // fetch from "disk", then try to cache it
+      Sample sample;
+      sample.fill(static_cast<char>(id));
+      cache->Put(id, sample);
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(kDatasetSamples);
+}
+
+}  // namespace
+
+int main() {
+  SmdOptions smd;
+  smd.capacity_pages = 32 * kMiB / kPageSize;
+  smd.initial_grant_pages = 512;
+  SimMachine machine(smd);
+
+  SmaOptions po;
+  po.region_pages = 32 * 1024;
+  po.budget_chunk_pages = 256;
+  po.heap_retain_empty_pages = 0;
+
+  auto trainer = machine.SpawnProcess("ml-trainer", po);
+  auto service = machine.SpawnProcess("latency-critical-service", po);
+  if (!trainer.ok() || !service.ok()) {
+    return 1;
+  }
+
+  SoftLruCache<uint64_t, Sample> cache((*trainer)->sma());
+  Rng rng(7);
+  size_t storage_fetches = 0;
+
+  std::printf("== training with idle machine memory available ==\n");
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    const double hit = RunEpoch(&cache, &rng, &storage_fetches);
+    std::printf("epoch %d: hit rate %5.1f%%, cache %6zu samples (%s soft)\n",
+                epoch, hit * 100, cache.size(),
+                FormatBytes((*trainer)->soft_bytes()).c_str());
+  }
+
+  std::printf("\n== a latency-critical service claims memory mid-training"
+              " ==\n");
+  // The service's working memory is not a cache: keep it in a non-revocable
+  // context so only the training cache is harvested under pressure.
+  ContextOptions service_ctx_opts;
+  service_ctx_opts.name = "service-working-set";
+  service_ctx_opts.mode = ReclaimMode::kNone;
+  auto service_ctx = (*service)->sma()->CreateContext(service_ctx_opts);
+  if (!service_ctx.ok()) {
+    return 1;
+  }
+  std::vector<void*> service_blocks;
+  for (int i = 0; i < 224; ++i) {  // ~14 MiB
+    void* b = (*service)->sma()->SoftMalloc(*service_ctx, 64 * kPageSize / 4);
+    if (b == nullptr) {
+      break;
+    }
+    service_blocks.push_back(b);
+  }
+  std::printf("service harvested %s; cache re-configured to %zu samples\n",
+              FormatBytes((*service)->soft_bytes()).c_str(), cache.size());
+
+  for (int epoch = 4; epoch <= 5; ++epoch) {
+    const double hit = RunEpoch(&cache, &rng, &storage_fetches);
+    std::printf("epoch %d: hit rate %5.1f%%, cache %6zu samples (%s soft)"
+                "  <- slower, but alive\n",
+                epoch, hit * 100, cache.size(),
+                FormatBytes((*trainer)->soft_bytes()).c_str());
+  }
+
+  std::printf("\n== service finishes; the cache grows back ==\n");
+  for (void* b : service_blocks) {
+    (*service)->SoftFree(b);
+  }
+  (*service)->sma()->TrimAndReleaseBudget();
+  for (int epoch = 6; epoch <= 8; ++epoch) {
+    const double hit = RunEpoch(&cache, &rng, &storage_fetches);
+    std::printf("epoch %d: hit rate %5.1f%%, cache %6zu samples (%s soft)\n",
+                epoch, hit * 100, cache.size(),
+                FormatBytes((*trainer)->soft_bytes()).c_str());
+  }
+
+  std::printf("\ntotals: %zu storage fetches, %zu samples reclaimed by"
+              " pressure,\n%zu evicted when Put hit the shrunken budget —"
+              " training never failed an allocation.\n",
+              storage_fetches, cache.reclaimed(), cache.pressure_evictions());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: soft_malloc / soft_free and a SoftLinkedList in ~80 lines.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// Demonstrates the core abstraction: soft memory is ordinary usable memory
+// until the machine needs it back — then it is *revoked*, not swapped, and
+// your callback gets a last chance at the data.
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/sds/soft_linked_list.h"
+#include "src/sma/soft_memory_allocator.h"
+
+using softmem::SmaOptions;
+using softmem::SoftLinkedList;
+using softmem::SoftMemoryAllocator;
+
+int main() {
+  // 1) One allocator per process. Without a daemon connection it lives on a
+  //    fixed budget (here: 1024 pages = 4 MiB).
+  SmaOptions options;
+  options.initial_budget_pages = 1024;
+  auto sma_or = SoftMemoryAllocator::Create(options);
+  if (!sma_or.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 sma_or.status().ToString().c_str());
+    return 1;
+  }
+  auto sma = std::move(sma_or).value();
+
+  // 2) Raw soft allocations look exactly like malloc/free...
+  char* scratch = static_cast<char*>(sma->SoftMalloc(1024));
+  std::snprintf(scratch, 1024, "soft memory is just memory");
+  std::printf("raw soft allocation says: \"%s\"\n", scratch);
+  sma->SoftFree(scratch);
+
+  // 3) ...but real applications use Soft Data Structures, which register a
+  //    reclaim protocol and a last-chance callback for you.
+  SoftLinkedList<int>::Options list_opts;
+  list_opts.priority = 1;  // lower priority = sacrificed earlier
+  list_opts.on_reclaim = [](const int& v) {
+    std::printf("  dropped element %d under memory pressure\n", v);
+  };
+  SoftLinkedList<int> cache(sma.get(), list_opts);
+  for (int i = 0; i < 1000; ++i) {
+    cache.push_back(i);
+  }
+  std::printf("cache holds %zu elements, allocator committed %zu pages\n",
+              cache.size(), sma->committed_pages());
+
+  // 4) Memory pressure! In production the Soft Memory Daemon sends this
+  //    demand when another process needs memory; here we trigger it by hand.
+  //    The list gives up its *oldest* elements until 2 pages are free.
+  const size_t slack = sma->budget_pages() - sma->committed_pages();
+  const size_t given = sma->HandleReclaimDemand(slack + 2);
+  std::printf("reclaimed %zu pages; cache now holds %zu elements\n", given,
+              cache.size());
+
+  // 5) The application keeps running: surviving data is intact, new inserts
+  //    work, dropped data is simply gone (re-fetch or recompute it).
+  cache.push_back(1000);
+  std::printf("front element (oldest survivor): %d, back: %d\n",
+              cache.front(), cache.back());
+  std::printf("lifetime reclaimed: %zu elements\n", cache.reclaimed());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// softmemctl — admin CLI for a running softmemd.
+//
+// Usage:
+//   softmemctl [--socket PATH] stats
+//
+// Connects to the daemon's Unix socket and prints a statistics snapshot:
+// capacity, assignments, per-process budgets/usage/weights, reclamation
+// counters. Works without registering as a soft-memory consumer.
+
+#include <cstdio>
+#include <string>
+
+#include "src/ipc/channel.h"
+#include "src/ipc/unix_socket.h"
+
+int main(int argc, char** argv) {
+  using namespace softmem;
+
+  std::string socket_path = "/tmp/softmemd.sock";
+  std::string command = "stats";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else {
+      command = arg;
+    }
+  }
+  if (command != "stats") {
+    std::fprintf(stderr, "usage: softmemctl [--socket PATH] stats\n");
+    return 2;
+  }
+
+  auto channel = ConnectUnixSocket(socket_path);
+  if (!channel.ok()) {
+    std::fprintf(stderr, "softmemctl: cannot reach daemon at %s: %s\n",
+                 socket_path.c_str(), channel.status().ToString().c_str());
+    return 1;
+  }
+  Message query;
+  query.type = MsgType::kStatsQuery;
+  query.seq = 1;
+  if (Status st = (*channel)->Send(query); !st.ok()) {
+    std::fprintf(stderr, "softmemctl: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto reply = (*channel)->Recv(5000);
+  if (!reply.ok() || reply->type != MsgType::kStatsReply) {
+    std::fprintf(stderr, "softmemctl: bad reply\n");
+    return 1;
+  }
+  std::fputs(reply->text.c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// softmemd — the machine-wide Soft Memory Daemon as a real binary (§3.3).
+//
+// Usage:
+//   softmemd [--socket PATH] [--capacity-mib N] [--targets N]
+//            [--over-reclaim F] [--initial-grant-mib N] [--verbose]
+//
+// Processes connect over the Unix socket with ipc::DaemonClient (see the
+// kv_server example) and the daemon arbitrates soft memory between them.
+// SIGINT/SIGTERM shut it down cleanly, printing final statistics.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+#include "src/ipc/daemon_server.h"
+#include "src/ipc/unix_socket.h"
+#include "src/smd/soft_memory_daemon.h"
+#include "src/smd/stats_text.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace softmem;
+
+  std::string socket_path = "/tmp/softmemd.sock";
+  SmdOptions options;
+  options.capacity_pages = 1024 * kMiB / kPageSize;  // 1 GiB default
+  options.initial_grant_pages = 256;
+  options.over_reclaim_factor = 0.25;
+  options.max_reclaim_targets = 3;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--capacity-mib") {
+      options.capacity_pages = std::strtoull(next(), nullptr, 10) * kMiB / kPageSize;
+    } else if (arg == "--targets") {
+      options.max_reclaim_targets = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--over-reclaim") {
+      options.over_reclaim_factor = std::strtod(next(), nullptr);
+    } else if (arg == "--initial-grant-mib") {
+      options.initial_grant_pages = std::strtoull(next(), nullptr, 10) * kMiB / kPageSize;
+    } else if (arg == "--low-watermark-mib") {
+      options.low_watermark_pages = std::strtoull(next(), nullptr, 10) * kMiB / kPageSize;
+    } else if (arg == "--process-cap-mib") {
+      options.default_process_cap_pages = std::strtoull(next(), nullptr, 10) * kMiB / kPageSize;
+    } else if (arg == "--verbose") {
+      SetLogThreshold(LogLevel::kInfo);
+    } else {
+      std::fprintf(stderr,
+                   "usage: softmemd [--socket PATH] [--capacity-mib N]\n"
+                   "                [--targets N] [--over-reclaim F]\n"
+                   "                [--initial-grant-mib N] [--low-watermark-mib N]\n"
+                   "                [--process-cap-mib N] [--verbose]\n");
+      return 2;
+    }
+  }
+
+  SoftMemoryDaemon daemon(options);
+  DaemonServer server(&daemon);
+  auto listener = UnixSocketListener::Bind(socket_path);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "softmemd: %s\n",
+                 listener.status().ToString().c_str());
+    return 1;
+  }
+  server.ServeListener(listener->get());
+  std::printf("softmemd: listening on %s, capacity %s, max %zu targets,"
+              " over-reclaim %.2f\n",
+              socket_path.c_str(),
+              FormatBytes(options.capacity_pages * kPageSize).c_str(),
+              options.max_reclaim_targets, options.over_reclaim_factor);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    ::usleep(200 * 1000);
+    daemon.ProactiveReclaimTick();  // no-op unless --low-watermark-mib set
+  }
+
+  server.Stop();
+  std::printf("\nsoftmemd: shutting down.\n%s",
+              FormatSmdStats(daemon.GetStats()).c_str());
+  return 0;
+}

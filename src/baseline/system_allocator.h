@@ -1,0 +1,20 @@
+// The system allocator baseline (§5): the paper compares every SMA stress
+// case against "the time it takes to create the same number and size of
+// allocations using the system allocator".
+
+#ifndef SOFTMEM_SRC_BASELINE_SYSTEM_ALLOCATOR_H_
+#define SOFTMEM_SRC_BASELINE_SYSTEM_ALLOCATOR_H_
+
+#include <cstdlib>
+
+namespace softmem {
+
+class SystemAllocator {
+ public:
+  void* Alloc(size_t size) { return std::malloc(size); }
+  void Free(void* ptr) { std::free(ptr); }
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_BASELINE_SYSTEM_ALLOCATOR_H_

@@ -1,0 +1,144 @@
+#include "src/baseline/textbook_allocator.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace softmem {
+
+Result<std::unique_ptr<TextbookAllocator>> TextbookAllocator::Create(
+    size_t region_pages, bool use_mmap) {
+  std::unique_ptr<PageSource> source;
+  if (use_mmap) {
+    SOFTMEM_ASSIGN_OR_RETURN(MmapPageSource * raw,
+                             MmapPageSource::Create(region_pages));
+    source.reset(raw);
+  } else {
+    source = std::make_unique<SimPageSource>(region_pages);
+  }
+  return std::unique_ptr<TextbookAllocator>(
+      new TextbookAllocator(std::move(source)));
+}
+
+TextbookAllocator::TextbookAllocator(std::unique_ptr<PageSource> source)
+    : pool_(std::move(source)), metas_(pool_.total_pages()) {
+  partial_head_.fill(kNoPage);
+}
+
+void TextbookAllocator::ListPush(uint32_t* head, uint32_t page) {
+  PageMeta& m = metas_[page];
+  m.prev = kNoPage;
+  m.next = *head;
+  if (*head != kNoPage) {
+    metas_[*head].prev = page;
+  }
+  *head = page;
+}
+
+void TextbookAllocator::ListRemove(uint32_t* head, uint32_t page) {
+  PageMeta& m = metas_[page];
+  if (m.prev != kNoPage) {
+    metas_[m.prev].next = m.next;
+  } else {
+    *head = m.next;
+  }
+  if (m.next != kNoPage) {
+    metas_[m.next].prev = m.prev;
+  }
+  m.prev = kNoPage;
+  m.next = kNoPage;
+}
+
+void* TextbookAllocator::Alloc(size_t size) {
+  if (size == 0) {
+    size = 1;
+  }
+  if (size > kMaxSmallSize) {
+    const size_t pages = PagesForBytes(size);
+    auto run = pool_.Acquire(pages);
+    if (!run.ok()) {
+      return nullptr;
+    }
+    const auto head = static_cast<uint32_t>(run->start);
+    metas_[head].state = PageState::kLargeHead;
+    large_runs_[head] = pages;
+    ++live_;
+    return pool_.PageAddress(head);
+  }
+
+  const int cls = SizeClassFor(size);
+  const size_t cls_bytes = SizeClassBytes(cls);
+  const auto slots_total = static_cast<uint16_t>(SlotsPerPage(cls));
+  uint32_t page = partial_head_[static_cast<size_t>(cls)];
+  if (page == kNoPage) {
+    auto run = pool_.Acquire(1);
+    if (!run.ok()) {
+      return nullptr;
+    }
+    page = static_cast<uint32_t>(run->start);
+    PageMeta& m = metas_[page];
+    m.state = PageState::kSlab;
+    m.size_class = static_cast<uint8_t>(cls);
+    m.used_slots = 0;
+    m.free_head = kNoSlot;
+    m.uninit_slots = slots_total;
+    ListPush(&partial_head_[static_cast<size_t>(cls)], page);
+  }
+  PageMeta& m = metas_[page];
+  char* base = static_cast<char*>(pool_.PageAddress(page));
+  uint16_t slot;
+  if (m.free_head != kNoSlot) {
+    slot = m.free_head;
+    std::memcpy(&m.free_head, base + static_cast<size_t>(slot) * cls_bytes,
+                sizeof(uint16_t));
+  } else {
+    slot = static_cast<uint16_t>(slots_total - m.uninit_slots);
+    --m.uninit_slots;
+  }
+  ++m.used_slots;
+  if (m.used_slots == slots_total) {
+    ListRemove(&partial_head_[static_cast<size_t>(cls)], page);
+  }
+  ++live_;
+  return base + static_cast<size_t>(slot) * cls_bytes;
+}
+
+void TextbookAllocator::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  const size_t page = pool_.PageIndexOf(ptr);
+  PageMeta& m = metas_[page];
+  if (m.state == PageState::kLargeHead) {
+    auto it = large_runs_.find(static_cast<uint32_t>(page));
+    assert(it != large_runs_.end());
+    metas_[page] = PageMeta{};
+    pool_.Release(PageRun{page, it->second});
+    large_runs_.erase(it);
+    --live_;
+    return;
+  }
+  assert(m.state == PageState::kSlab);
+  const int cls = m.size_class;
+  const size_t cls_bytes = SizeClassBytes(cls);
+  const auto slots_total = static_cast<uint16_t>(SlotsPerPage(cls));
+  char* base = static_cast<char*>(pool_.PageAddress(page));
+  const auto slot = static_cast<uint16_t>(
+      static_cast<size_t>(static_cast<char*>(ptr) - base) / cls_bytes);
+  std::memcpy(ptr, &m.free_head, sizeof(uint16_t));
+  m.free_head = slot;
+  const bool was_full = (m.used_slots == slots_total);
+  --m.used_slots;
+  if (was_full) {
+    ListPush(&partial_head_[static_cast<size_t>(cls)],
+             static_cast<uint32_t>(page));
+  }
+  if (m.used_slots == 0) {
+    ListRemove(&partial_head_[static_cast<size_t>(cls)],
+               static_cast<uint32_t>(page));
+    metas_[page] = PageMeta{};
+    pool_.Release(PageRun{page, 1});
+  }
+  --live_;
+}
+
+}  // namespace softmem

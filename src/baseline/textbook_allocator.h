@@ -1,0 +1,53 @@
+// TextbookAllocator — the SMA's slab mechanics with all soft machinery
+// stripped out: no lock, no budget, no daemon, no reclamation registry.
+//
+// The paper notes its prototype "is a simple textbook memory allocator
+// without optimizations". This baseline isolates how much of the SMA's
+// overhead versus malloc is the textbook slab design itself and how much is
+// soft-memory bookkeeping — the attribution the overhead benches report.
+
+#ifndef SOFTMEM_SRC_BASELINE_TEXTBOOK_ALLOCATOR_H_
+#define SOFTMEM_SRC_BASELINE_TEXTBOOK_ALLOCATOR_H_
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/pagealloc/page_pool.h"
+#include "src/sma/page_meta.h"
+#include "src/sma/size_classes.h"
+
+namespace softmem {
+
+class TextbookAllocator {
+ public:
+  // Reserves `region_pages` of virtual space (mmap-backed when `use_mmap`).
+  static Result<std::unique_ptr<TextbookAllocator>> Create(
+      size_t region_pages, bool use_mmap = true);
+
+  // nullptr when the region is exhausted.
+  void* Alloc(size_t size);
+  void Free(void* ptr);
+
+  size_t committed_pages() const { return pool_.committed_pages(); }
+  size_t live_allocations() const { return live_; }
+
+ private:
+  explicit TextbookAllocator(std::unique_ptr<PageSource> source);
+
+  void ListPush(uint32_t* head, uint32_t page);
+  void ListRemove(uint32_t* head, uint32_t page);
+
+  PagePool pool_;
+  std::vector<PageMeta> metas_;
+  std::array<uint32_t, kNumSizeClasses> partial_head_;
+  std::unordered_map<uint32_t, size_t> large_runs_;  // head page -> run pages
+  size_t live_ = 0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_BASELINE_TEXTBOOK_ALLOCATOR_H_

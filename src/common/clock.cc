@@ -1,0 +1,10 @@
+#include "src/common/clock.h"
+
+namespace softmem {
+
+MonotonicClock* MonotonicClock::Get() {
+  static MonotonicClock clock;
+  return &clock;
+}
+
+}  // namespace softmem

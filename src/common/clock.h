@@ -1,0 +1,79 @@
+// Time sources.
+//
+// All softmem components that need time take a `Clock*` so that the runtime
+// simulation (and the timeline benches) can drive them with a deterministic
+// `SimClock` while production code uses the monotonic system clock.
+
+#ifndef SOFTMEM_SRC_COMMON_CLOCK_H_
+#define SOFTMEM_SRC_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace softmem {
+
+// Nanoseconds since an arbitrary (per-clock) epoch.
+using Nanos = int64_t;
+
+inline constexpr Nanos kNanosPerMicro = 1000;
+inline constexpr Nanos kNanosPerMilli = 1000 * 1000;
+inline constexpr Nanos kNanosPerSecond = 1000 * 1000 * 1000;
+
+inline double NanosToSeconds(Nanos ns) {
+  return static_cast<double>(ns) / static_cast<double>(kNanosPerSecond);
+}
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Current time. Monotonic: never decreases across calls.
+  virtual Nanos Now() const = 0;
+};
+
+// Wraps std::chrono::steady_clock.
+class MonotonicClock : public Clock {
+ public:
+  Nanos Now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  // Shared process-wide instance.
+  static MonotonicClock* Get();
+};
+
+// Manually-advanced clock for deterministic tests and simulations.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(Nanos start = 0) : now_(start) {}
+
+  Nanos Now() const override { return now_; }
+
+  void Advance(Nanos delta) { now_ += delta; }
+  void AdvanceSeconds(double seconds) {
+    now_ += static_cast<Nanos>(seconds * static_cast<double>(kNanosPerSecond));
+  }
+  void Set(Nanos t) { now_ = t; }
+
+ private:
+  Nanos now_;
+};
+
+// Scoped stopwatch against any clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock) : clock_(clock), start_(clock->Now()) {}
+
+  Nanos ElapsedNanos() const { return clock_->Now() - start_; }
+  double ElapsedSeconds() const { return NanosToSeconds(ElapsedNanos()); }
+  void Restart() { start_ = clock_->Now(); }
+
+ private:
+  const Clock* clock_;
+  Nanos start_;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_COMMON_CLOCK_H_

@@ -1,0 +1,88 @@
+#include "src/common/event_trace.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <set>
+
+namespace softmem {
+
+void TraceRecorder::Sample(const std::string& name, double value) {
+  SampleAt(name, clock_->Now(), value);
+}
+
+void TraceRecorder::SampleAt(const std::string& name, Nanos time,
+                             double value) {
+  series_[name].push_back(TracePoint{time, value});
+}
+
+void TraceRecorder::Event(std::string label) {
+  events_.push_back(TraceEvent{clock_->Now(), std::move(label)});
+}
+
+const std::vector<TracePoint>& TraceRecorder::Series(
+    const std::string& name) const {
+  static const std::vector<TracePoint> kEmpty;
+  auto it = series_.find(name);
+  return it == series_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> TraceRecorder::SeriesNames() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, points] : series_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void TraceRecorder::WriteCsv(std::ostream& os) const {
+  std::set<Nanos> times;
+  for (const auto& [name, points] : series_) {
+    for (const auto& p : points) {
+      times.insert(p.time);
+    }
+  }
+
+  os << "time_s";
+  for (const auto& [name, points] : series_) {
+    os << "," << name;
+  }
+  os << "\n";
+
+  // Per-series cursor for staircase interpolation.
+  std::vector<const std::vector<TracePoint>*> cols;
+  cols.reserve(series_.size());
+  for (const auto& [name, points] : series_) {
+    cols.push_back(&points);
+  }
+  std::vector<size_t> cursor(cols.size(), 0);
+  std::vector<double> last(cols.size(), 0.0);
+
+  os << std::fixed << std::setprecision(3);
+  for (Nanos t : times) {
+    os << NanosToSeconds(t);
+    for (size_t c = 0; c < cols.size(); ++c) {
+      const auto& points = *cols[c];
+      while (cursor[c] < points.size() && points[cursor[c]].time <= t) {
+        last[c] = points[cursor[c]].value;
+        ++cursor[c];
+      }
+      os << "," << last[c];
+    }
+    os << "\n";
+  }
+}
+
+void TraceRecorder::WriteEvents(std::ostream& os) const {
+  os << std::fixed << std::setprecision(3);
+  for (const auto& e : events_) {
+    os << "t=" << NanosToSeconds(e.time) << "s " << e.label << "\n";
+  }
+}
+
+void TraceRecorder::Clear() {
+  series_.clear();
+  events_.clear();
+}
+
+}  // namespace softmem

@@ -1,0 +1,67 @@
+// Timestamped event / time-series recording.
+//
+// The Figure-2 reproduction needs per-process "soft memory consumed" series
+// over time plus discrete events (request issued, reclamation started /
+// finished). `TraceRecorder` collects both and can render them as aligned
+// columns or CSV for plotting.
+
+#ifndef SOFTMEM_SRC_COMMON_EVENT_TRACE_H_
+#define SOFTMEM_SRC_COMMON_EVENT_TRACE_H_
+
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace softmem {
+
+// One sampled point of a named series.
+struct TracePoint {
+  Nanos time;
+  double value;
+};
+
+// One discrete annotated event.
+struct TraceEvent {
+  Nanos time;
+  std::string label;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(const Clock* clock) : clock_(clock) {}
+
+  // Appends a sample to series `name` at the current clock time.
+  void Sample(const std::string& name, double value);
+  // Appends a sample at an explicit time.
+  void SampleAt(const std::string& name, Nanos time, double value);
+
+  // Records a discrete event at the current clock time.
+  void Event(std::string label);
+
+  const std::vector<TracePoint>& Series(const std::string& name) const;
+  std::vector<std::string> SeriesNames() const;
+  const std::vector<TraceEvent>& Events() const { return events_; }
+
+  // Writes "time_s,<series1>,<series2>,..." rows. Series are merged on their
+  // union of timestamps; missing values repeat the previous sample (staircase
+  // semantics, which is what memory-footprint series mean).
+  void WriteCsv(std::ostream& os) const;
+
+  // Events as "t=<seconds> <label>" lines.
+  void WriteEvents(std::ostream& os) const;
+
+  void Clear();
+
+ private:
+  const Clock* clock_;
+  std::map<std::string, std::vector<TracePoint>> series_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_COMMON_EVENT_TRACE_H_

@@ -1,0 +1,144 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace softmem {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram() : buckets_(kBucketCount, 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  const int log2 = 63 - std::countl_zero(value);
+  const int sub =
+      static_cast<int>((value >> (log2 - 4)) & (kSubBuckets - 1));  // top 4 bits after the MSB
+  const int bucket = log2 * kSubBuckets + sub;
+  return std::min(bucket, kBucketCount - 1);
+}
+
+uint64_t Histogram::BucketLowerBound(int bucket) {
+  if (bucket < kSubBuckets) {
+    return static_cast<uint64_t>(bucket);
+  }
+  const int log2 = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  return (uint64_t{1} << log2) + (static_cast<uint64_t>(sub) << (log2 - 4));
+}
+
+void Histogram::Add(uint64_t value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += static_cast<double>(value);
+  ++buckets_[static_cast<size_t>(BucketFor(value))];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const auto target = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= target) {
+      return std::clamp(BucketLowerBound(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%zu mean=%.1f p50=%llu p99=%llu max=%llu", count_,
+                mean(),
+                static_cast<unsigned long long>(Percentile(50)),
+                static_cast<unsigned long long>(Percentile(99)),
+                static_cast<unsigned long long>(max()));
+  return buf;
+}
+
+}  // namespace softmem

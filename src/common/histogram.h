@@ -1,0 +1,75 @@
+// Statistics containers for benchmarks and daemon telemetry.
+
+#ifndef SOFTMEM_SRC_COMMON_HISTOGRAM_H_
+#define SOFTMEM_SRC_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace softmem {
+
+// Running mean / min / max / stddev over double samples. O(1) memory.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  // Sample variance (Welford). Zero for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Log-bucketed histogram of non-negative integer samples (e.g. latencies in
+// nanoseconds). Sub-buckets give ~6% resolution; percentile queries
+// interpolate within a bucket.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const;
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return count_ == 0 ? 0 : max_; }
+
+  // Value at percentile `p` in [0, 100]. Returns 0 for an empty histogram.
+  uint64_t Percentile(double p) const;
+
+  // One-line summary: count/mean/p50/p99/max.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBuckets = 16;  // per power of two
+  static constexpr int kBucketCount = 64 * kSubBuckets;
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketLowerBound(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  size_t count_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,69 @@
+// Minimal leveled logging.
+//
+// Usage: SOFTMEM_LOG(Info) << "reclaimed " << pages << " pages";
+// The default threshold is Warning so tests and benches stay quiet; the
+// daemon binary raises it to Info. Thread-safe (one lock around the write).
+
+#ifndef SOFTMEM_SRC_COMMON_LOGGING_H_
+#define SOFTMEM_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace softmem {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Global threshold; messages below it are discarded.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();  // emits the line
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Cheap discard sink used when the level is below threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define SOFTMEM_LOG(severity)                                           \
+  (::softmem::LogLevel::k##severity < ::softmem::GetLogThreshold())     \
+      ? static_cast<void>(0)                                            \
+      : ::softmem::internal::LogVoidify() &                             \
+            ::softmem::internal::LogMessage(                            \
+                ::softmem::LogLevel::k##severity, __FILE__, __LINE__)   \
+                .stream()
+
+namespace internal {
+// Lets the ternary above swallow the stream expression.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+}  // namespace internal
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_COMMON_LOGGING_H_

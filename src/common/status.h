@@ -1,0 +1,159 @@
+// Error-handling vocabulary for the softmem library.
+//
+// softmem avoids exceptions on all hot paths: the entire point of soft memory
+// is that running out of memory is an expected, recoverable situation, so
+// failures travel as values. `Status` carries an error code plus a human
+// readable message; `Result<T>` is Status-or-value.
+
+#ifndef SOFTMEM_SRC_COMMON_STATUS_H_
+#define SOFTMEM_SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace softmem {
+
+// Error categories used across the library. Kept deliberately small; the
+// message string carries the detail.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   // caller error: bad size, null pointer, ...
+  kNotFound = 2,          // lookup miss (key, process id, page, ...)
+  kResourceExhausted = 3, // out of budget / capacity / pool pages
+  kFailedPrecondition = 4,// object in the wrong state for the call
+  kDenied = 5,            // SMD refused a soft memory request
+  kUnavailable = 6,       // transport closed / peer gone
+  kInternal = 7,          // invariant violation; indicates a softmem bug
+};
+
+// Returns a stable lowercase name for `code` ("ok", "denied", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on success (no allocation).
+class Status {
+ public:
+  // Success.
+  Status() : code_(StatusCode::kOk) {}
+
+  // Error with a message. `code` must not be kOk (use the default ctor).
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code-name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors mirroring the StatusCode enum.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status DeniedError(std::string message);
+Status UnavailableError(std::string message);
+Status InternalError(std::string message);
+
+// Status-or-value. Access to `value()` on an error aborts in debug builds;
+// callers are expected to check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  // Implicit from a value: `return 42;`.
+  Result(T value) : rep_(std::move(value)) {}
+  // Implicit from an error status: `return NotFoundError(...)`.
+  Result(Status status) : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() && "Result must not hold an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Returns the value, or `fallback` on error.
+  T value_or(T fallback) const {
+    if (ok()) {
+      return std::get<T>(rep_);
+    }
+    return fallback;
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Propagates an error status out of the current function.
+//
+//   SOFTMEM_RETURN_IF_ERROR(DoThing());
+#define SOFTMEM_RETURN_IF_ERROR(expr)          \
+  do {                                         \
+    ::softmem::Status _status = (expr);        \
+    if (!_status.ok()) {                       \
+      return _status;                          \
+    }                                          \
+  } while (0)
+
+// Unwraps a Result<T> into `lhs`, propagating errors.
+//
+//   SOFTMEM_ASSIGN_OR_RETURN(auto page, source.Commit(1));
+#define SOFTMEM_ASSIGN_OR_RETURN(lhs, expr)                 \
+  SOFTMEM_ASSIGN_OR_RETURN_IMPL_(                           \
+      SOFTMEM_STATUS_CONCAT_(_result, __LINE__), lhs, expr)
+#define SOFTMEM_STATUS_CONCAT_INNER_(a, b) a##b
+#define SOFTMEM_STATUS_CONCAT_(a, b) SOFTMEM_STATUS_CONCAT_INNER_(a, b)
+#define SOFTMEM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) {                                     \
+    return tmp.status();                               \
+  }                                                    \
+  lhs = std::move(tmp).value()
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_COMMON_STATUS_H_

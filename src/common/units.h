@@ -1,0 +1,43 @@
+// Byte-size and page-size vocabulary used throughout softmem.
+
+#ifndef SOFTMEM_SRC_COMMON_UNITS_H_
+#define SOFTMEM_SRC_COMMON_UNITS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace softmem {
+
+inline constexpr size_t kKiB = 1024;
+inline constexpr size_t kMiB = 1024 * kKiB;
+inline constexpr size_t kGiB = 1024 * kMiB;
+
+// Soft memory is accounted and reclaimed at page granularity. We use a fixed
+// 4 KiB logical page regardless of the platform's actual page size; the mmap
+// page source rounds to the OS page size internally.
+inline constexpr size_t kPageSize = 4 * kKiB;
+
+// Number of whole pages needed to hold `bytes` (rounds up).
+constexpr size_t PagesForBytes(size_t bytes) {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+
+// Rounds `bytes` up to a multiple of the page size.
+constexpr size_t RoundUpToPage(size_t bytes) {
+  return PagesForBytes(bytes) * kPageSize;
+}
+
+// Rounds `v` up to a multiple of `alignment` (alignment must be a power of 2).
+constexpr size_t AlignUp(size_t v, size_t alignment) {
+  return (v + alignment - 1) & ~(alignment - 1);
+}
+
+constexpr bool IsPowerOfTwo(size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// "10.0 MiB", "512 B", ... for logs and bench output.
+std::string FormatBytes(size_t bytes);
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_COMMON_UNITS_H_

@@ -1,0 +1,42 @@
+// Message transport abstraction.
+//
+// A MessageChannel moves whole Messages between one process's SMA-side
+// client and the daemon. Two implementations:
+//  * LocalChannel     — in-process queue pair (tests, SimMachine daemons),
+//  * UnixSocketChannel — SOCK_SEQPACKET Unix domain socket (real deployment).
+
+#ifndef SOFTMEM_SRC_IPC_CHANNEL_H_
+#define SOFTMEM_SRC_IPC_CHANNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "src/common/status.h"
+#include "src/ipc/messages.h"
+
+namespace softmem {
+
+class MessageChannel {
+ public:
+  virtual ~MessageChannel() = default;
+
+  // Sends one message. Fails with kUnavailable if the peer is gone.
+  virtual Status Send(const Message& m) = 0;
+
+  // Receives one message, waiting up to `timeout_ms` (-1 = forever, 0 = poll).
+  // kUnavailable: channel closed. kNotFound: timed out with no message.
+  virtual Result<Message> Recv(int timeout_ms) = 0;
+
+  // Closes this endpoint; pending and future Recv calls on the peer fail
+  // with kUnavailable once the queue drains.
+  virtual void Close() = 0;
+};
+
+// Creates a connected in-process channel pair (a <-> b).
+std::pair<std::unique_ptr<MessageChannel>, std::unique_ptr<MessageChannel>>
+CreateLocalChannelPair();
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_IPC_CHANNEL_H_

@@ -1,0 +1,158 @@
+#include "src/ipc/daemon_client.h"
+
+#include <chrono>
+
+#include "src/common/logging.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+
+Result<std::unique_ptr<DaemonClient>> DaemonClient::Register(
+    std::unique_ptr<MessageChannel> channel, const std::string& name,
+    DaemonClientOptions options) {
+  auto client = std::unique_ptr<DaemonClient>(
+      new DaemonClient(std::move(channel), options));
+  Message reg;
+  reg.type = MsgType::kRegister;
+  reg.seq = client->next_seq_++;
+  reg.text = name;
+  SOFTMEM_RETURN_IF_ERROR(client->channel_->Send(reg));
+  auto ack = client->channel_->Recv(options.rpc_timeout_ms);
+  if (!ack.ok()) {
+    return ack.status();
+  }
+  if (ack->type == MsgType::kError) {
+    return Status(ack->status_code(), ack->text);
+  }
+  if (ack->type != MsgType::kRegisterAck) {
+    return InternalError("unexpected handshake reply");
+  }
+  client->pid_ = ack->pid;
+  client->initial_budget_pages_ = ack->pages;
+  return client;
+}
+
+DaemonClient::~DaemonClient() {
+  stopping_.store(true);
+  {
+    std::lock_guard<std::recursive_mutex> lock(io_mu_);
+    Message bye;
+    bye.type = MsgType::kGoodbye;
+    channel_->Send(bye);
+    channel_->Close();
+  }
+  if (poller_.joinable()) {
+    poller_.join();
+  }
+}
+
+void DaemonClient::AttachAllocator(SoftMemoryAllocator* sma) { sma_ = sma; }
+
+void DaemonClient::StartPoller() {
+  if (!poller_.joinable()) {
+    poller_ = std::thread([this] { PollerLoop(); });
+  }
+}
+
+void DaemonClient::HandleDemand(const Message& demand) {
+  size_t given = 0;
+  if (sma_ != nullptr) {
+    given = sma_->HandleReclaimDemand(demand.pages);
+  }
+  demands_served_.fetch_add(1);
+  Message result;
+  result.type = MsgType::kReclaimResult;
+  result.seq = demand.seq;
+  result.pages = given;
+  channel_->Send(result);
+}
+
+Result<size_t> DaemonClient::RequestBudget(size_t pages) {
+  std::lock_guard<std::recursive_mutex> lock(io_mu_);
+  Message req;
+  req.type = MsgType::kRequestBudget;
+  req.seq = next_seq_++;
+  req.pages = pages;
+  SOFTMEM_RETURN_IF_ERROR(channel_->Send(req));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.rpc_timeout_ms);
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - std::chrono::steady_clock::now())
+                          .count();
+    if (left <= 0) {
+      return UnavailableError("daemon rpc timeout");
+    }
+    auto m = channel_->Recv(static_cast<int>(left));
+    if (!m.ok()) {
+      if (m.status().code() == StatusCode::kNotFound) {
+        return UnavailableError("daemon rpc timeout");
+      }
+      return m.status();
+    }
+    switch (m->type) {
+      case MsgType::kBudgetReply:
+        if (m->seq != req.seq) {
+          continue;  // stale reply (should not happen); keep waiting
+        }
+        if (m->status_code() != StatusCode::kOk) {
+          return Status(m->status_code(), m->text);
+        }
+        return static_cast<size_t>(m->pages);
+      case MsgType::kReclaimDemand:
+        // The daemon is reclaiming from us while we wait — e.g. another
+        // process's request ranked us as a target. Service it inline (the
+        // SMA lock is recursive, and our own in-flight request is excluded
+        // from targeting by the daemon).
+        HandleDemand(*m);
+        break;
+      default:
+        SOFTMEM_LOG(Warning) << "daemon client: unexpected "
+                             << MsgTypeName(m->type);
+        break;
+    }
+  }
+}
+
+void DaemonClient::ReleaseBudget(size_t pages) {
+  std::lock_guard<std::recursive_mutex> lock(io_mu_);
+  Message m;
+  m.type = MsgType::kReleaseBudget;
+  m.pages = pages;
+  channel_->Send(m);
+}
+
+void DaemonClient::ReportUsage(size_t soft_pages, size_t traditional_bytes) {
+  std::lock_guard<std::recursive_mutex> lock(io_mu_);
+  Message m;
+  m.type = MsgType::kUsageReport;
+  m.pages = soft_pages;
+  m.bytes = traditional_bytes;
+  channel_->Send(m);
+}
+
+void DaemonClient::PollerLoop() {
+  while (!stopping_.load()) {
+    {
+      std::unique_lock<std::recursive_mutex> lock(io_mu_, std::try_to_lock);
+      if (lock.owns_lock()) {
+        auto m = channel_->Recv(options_.poll_interval_ms);
+        if (m.ok() && m->type == MsgType::kReclaimDemand) {
+          HandleDemand(*m);
+          continue;
+        }
+        if (m.ok()) {
+          SOFTMEM_LOG(Warning) << "daemon client poller: unexpected "
+                               << MsgTypeName(m->type);
+        } else if (m.status().code() == StatusCode::kUnavailable) {
+          return;  // daemon gone
+        }
+        // kNotFound = poll timeout: fall through to the sleep below.
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.poll_interval_ms));
+  }
+}
+
+}  // namespace softmem

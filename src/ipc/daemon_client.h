@@ -1,0 +1,104 @@
+// DaemonClient — the process side of the SMA <-> SMD protocol.
+//
+// Implements SmdChannel so a SoftMemoryAllocator can request budget through
+// it. The client owns the channel and multiplexes it:
+//
+//  * While an RPC is in flight, the requesting thread pumps the channel;
+//    if a kReclaimDemand arrives before the reply (the daemon may be
+//    reclaiming from *us* on behalf of someone else), it is serviced inline
+//    against the attached allocator, then the pump keeps waiting.
+//  * When idle, an optional background poller thread services demands.
+//
+// Creation is a handshake: Register() sends kRegister and waits for the ack
+// carrying our daemon-assigned process id and initial budget grant. Wire the
+// pieces as:
+//
+//   auto client = DaemonClient::Register(std::move(channel), "redis");
+//   options.initial_budget_pages = (*client)->initial_budget_pages();
+//   auto sma = SoftMemoryAllocator::Create(options, client->get());
+//   (*client)->AttachAllocator(sma->get());
+//   (*client)->StartPoller();
+
+#ifndef SOFTMEM_SRC_IPC_DAEMON_CLIENT_H_
+#define SOFTMEM_SRC_IPC_DAEMON_CLIENT_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/common/status.h"
+#include "src/ipc/channel.h"
+#include "src/sma/smd_channel.h"
+
+namespace softmem {
+
+class SoftMemoryAllocator;
+
+struct DaemonClientOptions {
+  // How long an RPC waits for its reply before giving up.
+  int rpc_timeout_ms = 10000;
+  // Poller granularity: how often the idle poller checks for demands.
+  int poll_interval_ms = 20;
+};
+
+class DaemonClient : public SmdChannel {
+ public:
+  // Connects (protocol-wise) to the daemon over `channel`.
+  static Result<std::unique_ptr<DaemonClient>> Register(
+      std::unique_ptr<MessageChannel> channel, const std::string& name,
+      DaemonClientOptions options = {});
+
+  ~DaemonClient() override;
+
+  DaemonClient(const DaemonClient&) = delete;
+  DaemonClient& operator=(const DaemonClient&) = delete;
+
+  // The allocator that reclaim demands are executed against. Must be set
+  // before any demand can be honoured (demands before attachment yield 0).
+  void AttachAllocator(SoftMemoryAllocator* sma);
+
+  // Starts the idle-demand poller thread.
+  void StartPoller();
+
+  // Daemon-assigned identity and the budget granted at registration.
+  uint64_t process_id() const { return pid_; }
+  size_t initial_budget_pages() const { return initial_budget_pages_; }
+
+  // SmdChannel implementation (called by the SMA).
+  Result<size_t> RequestBudget(size_t pages) override;
+  void ReleaseBudget(size_t pages) override;
+  void ReportUsage(size_t soft_pages, size_t traditional_bytes) override;
+
+  // Demands serviced so far (observability for tests).
+  size_t demands_served() const { return demands_served_.load(); }
+
+ private:
+  DaemonClient(std::unique_ptr<MessageChannel> channel,
+               DaemonClientOptions options)
+      : channel_(std::move(channel)), options_(options) {}
+
+  void HandleDemand(const Message& demand);
+  void PollerLoop();
+
+  std::unique_ptr<MessageChannel> channel_;
+  const DaemonClientOptions options_;
+
+  // Serializes use of the channel: a thread holding io_mu_ owns both
+  // directions until it releases it.
+  std::recursive_mutex io_mu_;
+  uint64_t next_seq_ = 1;
+
+  SoftMemoryAllocator* sma_ = nullptr;
+  uint64_t pid_ = 0;
+  size_t initial_budget_pages_ = 0;
+
+  std::thread poller_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> demands_served_{0};
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_IPC_DAEMON_CLIENT_H_

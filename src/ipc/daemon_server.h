@@ -1,0 +1,76 @@
+// DaemonServer — runs a SoftMemoryDaemon over MessageChannels.
+//
+// One Session per connected client, with two threads:
+//  * a reader thread that only routes messages — budget traffic is queued to
+//    the worker, reclaim results are delivered to the waiting sink — and
+//  * a worker thread that executes daemon calls (which may block for the
+//    duration of a machine-wide reclamation pass).
+//
+// The split matters: during a reclamation triggered by client B, the daemon
+// waits for client A's kReclaimResult. A's reader must stay free to deliver
+// it even if A itself has daemon traffic queued, or the pass would deadlock
+// until the demand timeout.
+
+#ifndef SOFTMEM_SRC_IPC_DAEMON_SERVER_H_
+#define SOFTMEM_SRC_IPC_DAEMON_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ipc/channel.h"
+#include "src/ipc/unix_socket.h"
+#include "src/smd/soft_memory_daemon.h"
+
+namespace softmem {
+
+struct DaemonServerOptions {
+  // How long a reclamation demand may wait for the client's answer before
+  // the daemon gives up on that target (dead/stuck client).
+  int demand_timeout_ms = 10000;
+};
+
+class DaemonServer {
+ public:
+  explicit DaemonServer(SoftMemoryDaemon* daemon,
+                        DaemonServerOptions options = {});
+  ~DaemonServer();
+
+  DaemonServer(const DaemonServer&) = delete;
+  DaemonServer& operator=(const DaemonServer&) = delete;
+
+  // Starts serving a connected client channel.
+  void AddClient(std::unique_ptr<MessageChannel> channel);
+
+  // Starts a background accept loop on `listener` (not owned; must outlive
+  // Stop()).
+  void ServeListener(UnixSocketListener* listener);
+
+  // Disconnects all clients and joins all threads. Idempotent.
+  void Stop();
+
+  size_t active_sessions() const;
+
+ private:
+  class Session;
+
+  void ReapFinishedLocked();
+
+  SoftMemoryDaemon* daemon_;
+  const DaemonServerOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::thread accept_thread_;
+  UnixSocketListener* listener_ = nullptr;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_IPC_DAEMON_SERVER_H_

@@ -1,0 +1,82 @@
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "src/ipc/channel.h"
+
+namespace softmem {
+
+namespace {
+
+// Shared state of one direction (a queue) plus liveness of both ends.
+struct Core {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Message> to_a;
+  std::deque<Message> to_b;
+  bool a_open = true;
+  bool b_open = true;
+};
+
+class LocalEndpoint : public MessageChannel {
+ public:
+  LocalEndpoint(std::shared_ptr<Core> core, bool is_a)
+      : core_(std::move(core)), is_a_(is_a) {}
+
+  ~LocalEndpoint() override { Close(); }
+
+  Status Send(const Message& m) override {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    const bool peer_open = is_a_ ? core_->b_open : core_->a_open;
+    if (!peer_open) {
+      return UnavailableError("peer closed");
+    }
+    (is_a_ ? core_->to_b : core_->to_a).push_back(m);
+    core_->cv.notify_all();
+    return Status::Ok();
+  }
+
+  Result<Message> Recv(int timeout_ms) override {
+    std::unique_lock<std::mutex> lock(core_->mu);
+    auto& queue = is_a_ ? core_->to_a : core_->to_b;
+    auto ready = [&]() {
+      const bool peer_open = is_a_ ? core_->b_open : core_->a_open;
+      const bool self_open = is_a_ ? core_->a_open : core_->b_open;
+      return !queue.empty() || !peer_open || !self_open;
+    };
+    if (timeout_ms < 0) {
+      core_->cv.wait(lock, ready);
+    } else if (!core_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                                   ready)) {
+      return NotFoundError("recv timeout");
+    }
+    if (!queue.empty()) {
+      Message m = std::move(queue.front());
+      queue.pop_front();
+      return m;
+    }
+    return UnavailableError("channel closed");
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    (is_a_ ? core_->a_open : core_->b_open) = false;
+    core_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<Core> core_;
+  bool is_a_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<MessageChannel>, std::unique_ptr<MessageChannel>>
+CreateLocalChannelPair() {
+  auto core = std::make_shared<Core>();
+  return {std::make_unique<LocalEndpoint>(core, true),
+          std::make_unique<LocalEndpoint>(core, false)};
+}
+
+}  // namespace softmem

@@ -1,0 +1,61 @@
+// The SMA <-> SMD protocol message set.
+//
+// Requests carry a sequence number; every reply echoes it. Reclaim demands
+// travel daemon->process and are the only daemon-initiated messages, so a
+// client waiting for a reply must be prepared to service a kReclaimDemand
+// first (see DaemonClient).
+
+#ifndef SOFTMEM_SRC_IPC_MESSAGES_H_
+#define SOFTMEM_SRC_IPC_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace softmem {
+
+enum class MsgType : uint8_t {
+  kRegister = 1,       // c->d: text = process name
+  kRegisterAck = 2,    // d->c: pages = initial budget, seq unused, u64 arg = pid
+  kRequestBudget = 3,  // c->d: pages = wanted
+  kBudgetReply = 4,    // d->c: status + pages granted
+  kReleaseBudget = 5,  // c->d: pages returned (no reply)
+  kUsageReport = 6,    // c->d: pages = soft pages, bytes = traditional (no reply)
+  kReclaimDemand = 7,  // d->c: pages demanded
+  kReclaimResult = 8,  // c->d: pages relinquished
+  kGoodbye = 9,        // c->d: orderly deregistration (no reply)
+  kError = 10,         // either direction: status + text
+  kStatsQuery = 11,    // c->d: request a daemon statistics snapshot
+  kStatsReply = 12,    // d->c: text = formatted stats, pages = free pages,
+                       //       bytes = capacity in bytes
+};
+
+struct Message {
+  MsgType type = MsgType::kError;
+  uint64_t seq = 0;    // correlates replies with requests
+  uint64_t pid = 0;    // daemon-assigned process id (kRegisterAck)
+  uint64_t pages = 0;  // budget / reclaim page counts
+  uint64_t bytes = 0;  // traditional-memory bytes (kUsageReport)
+  uint32_t status = 0; // StatusCode for replies
+  std::string text;    // process name / error detail
+
+  StatusCode status_code() const { return static_cast<StatusCode>(status); }
+};
+
+// Serializes `m` into a self-contained datagram.
+std::vector<uint8_t> EncodeMessage(const Message& m);
+
+// Parses a datagram. Rejects unknown types and truncated payloads.
+Result<Message> DecodeMessage(const uint8_t* data, size_t size);
+inline Result<Message> DecodeMessage(const std::vector<uint8_t>& buf) {
+  return DecodeMessage(buf.data(), buf.size());
+}
+
+// Human-readable type name for logs.
+const char* MsgTypeName(MsgType type);
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_IPC_MESSAGES_H_

@@ -1,0 +1,153 @@
+#include "src/ipc/unix_socket.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace softmem {
+
+namespace {
+
+Status MakeAddr(const std::string& path, sockaddr_un* addr) {
+  if (path.size() + 1 > sizeof(addr->sun_path)) {
+    return InvalidArgumentError("socket path too long");
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return Status::Ok();
+}
+
+// Waits for readability. kNotFound on timeout, kUnavailable on error/hup
+// with no pending data.
+Status WaitReadable(int fd, int timeout_ms) {
+  pollfd p{fd, POLLIN, 0};
+  const int n = ::poll(&p, 1, timeout_ms);
+  if (n == 0) {
+    return NotFoundError("recv timeout");
+  }
+  if (n < 0) {
+    return UnavailableError(std::string("poll: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+constexpr size_t kMaxDatagram = 64 * 1024;
+
+}  // namespace
+
+UnixSocketChannel::~UnixSocketChannel() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status UnixSocketChannel::Send(const Message& m) {
+  if (fd_ < 0) {
+    return UnavailableError("channel closed");
+  }
+  const std::vector<uint8_t> bytes = EncodeMessage(m);
+  const ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  if (n < 0) {
+    return UnavailableError(std::string("send: ") + std::strerror(errno));
+  }
+  if (static_cast<size_t>(n) != bytes.size()) {
+    return InternalError("short send on seqpacket socket");
+  }
+  return Status::Ok();
+}
+
+Result<Message> UnixSocketChannel::Recv(int timeout_ms) {
+  if (fd_ < 0) {
+    return UnavailableError("channel closed");
+  }
+  SOFTMEM_RETURN_IF_ERROR(WaitReadable(fd_, timeout_ms));
+  std::vector<uint8_t> buf(kMaxDatagram);
+  const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+  if (n < 0) {
+    return UnavailableError(std::string("recv: ") + std::strerror(errno));
+  }
+  if (n == 0) {
+    return UnavailableError("peer closed");
+  }
+  return DecodeMessage(buf.data(), static_cast<size_t>(n));
+}
+
+void UnixSocketChannel::Close() {
+  // Shut down but keep the fd alive until destruction: another thread may be
+  // blocked in poll()/recv() on it, and closing here would race with kernel
+  // fd reuse. shutdown() wakes such threads with EOF.
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+UnixSocketListener::~UnixSocketListener() { Shutdown(); }
+
+Result<std::unique_ptr<UnixSocketListener>> UnixSocketListener::Bind(
+    const std::string& path) {
+  sockaddr_un addr;
+  SOFTMEM_RETURN_IF_ERROR(MakeAddr(path, &addr));
+  const int fd = ::socket(AF_UNIX, SOCK_SEQPACKET | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return UnavailableError(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(path.c_str());  // remove stale socket file
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return UnavailableError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    return UnavailableError(std::string("listen: ") + std::strerror(errno));
+  }
+  return std::unique_ptr<UnixSocketListener>(
+      new UnixSocketListener(fd, path));
+}
+
+Result<std::unique_ptr<MessageChannel>> UnixSocketListener::Accept(
+    int timeout_ms) {
+  if (fd_ < 0) {
+    return UnavailableError("listener shut down");
+  }
+  SOFTMEM_RETURN_IF_ERROR(WaitReadable(fd_, timeout_ms));
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    return UnavailableError(std::string("accept: ") + std::strerror(errno));
+  }
+  return std::unique_ptr<MessageChannel>(
+      std::make_unique<UnixSocketChannel>(client));
+}
+
+void UnixSocketListener::Shutdown() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(path_.c_str());
+  }
+}
+
+Result<std::unique_ptr<MessageChannel>> ConnectUnixSocket(
+    const std::string& path) {
+  sockaddr_un addr;
+  SOFTMEM_RETURN_IF_ERROR(MakeAddr(path, &addr));
+  const int fd = ::socket(AF_UNIX, SOCK_SEQPACKET | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return UnavailableError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return UnavailableError(std::string("connect: ") + std::strerror(errno));
+  }
+  return std::unique_ptr<MessageChannel>(
+      std::make_unique<UnixSocketChannel>(fd));
+}
+
+}  // namespace softmem

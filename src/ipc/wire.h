@@ -1,0 +1,108 @@
+// Bounds-checked binary serialization (little-endian).
+//
+// The SMA<->SMD protocol is tiny, but the codec is written defensively: a
+// daemon must survive malformed bytes from a confused client, so every read
+// is length-checked and returns a Status instead of trusting the buffer.
+
+#ifndef SOFTMEM_SRC_IPC_WIRE_H_
+#define SOFTMEM_SRC_IPC_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace softmem {
+
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  // Length-prefixed (u32) byte string.
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+
+  Result<uint8_t> ReadU8() {
+    if (pos_ + 1 > size_) {
+      return InvalidArgumentError("wire: truncated u8");
+    }
+    return data_[pos_++];
+  }
+
+  Result<uint32_t> ReadU32() {
+    if (pos_ + 4 > size_) {
+      return InvalidArgumentError("wire: truncated u32");
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> ReadU64() {
+    if (pos_ + 8 > size_) {
+      return InvalidArgumentError("wire: truncated u64");
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<std::string> ReadString() {
+    SOFTMEM_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+    if (pos_ + len > size_) {
+      return InvalidArgumentError("wire: truncated string");
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_IPC_WIRE_H_

@@ -1,0 +1,321 @@
+#include "src/kv/dict.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace softmem {
+
+namespace {
+// FNV-1a: compact and good enough for a KV store substrate.
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+}  // namespace
+
+uint64_t Dict::HashKey(std::string_view key) {
+  uint64_t h = kFnvOffset;
+  for (const char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+Dict::Dict(SoftMemoryAllocator* sma, DictOptions options)
+    : sma_(sma), options_(std::move(options)) {
+  if (sma_ != nullptr) {
+    ContextOptions co;
+    co.name = "Dict";
+    co.priority = options_.priority;
+    co.mode = ReclaimMode::kCustom;
+    auto ctx = sma_->CreateContext(co);
+    if (ctx.ok()) {
+      ctx_ = *ctx;
+      has_ctx_ = true;
+      sma_->SetCustomReclaim(
+          ctx_, [this](size_t target) { return ReclaimOldest(target); });
+    }
+  }
+  size_t buckets = 4;
+  while (buckets < options_.initial_buckets) {
+    buckets *= 2;
+  }
+  table_[0].buckets = new Entry*[buckets]();
+  table_[0].size = buckets;
+  table_[0].mask = buckets - 1;
+}
+
+Dict::~Dict() {
+  Clear();
+  delete[] table_[0].buckets;
+  delete[] table_[1].buckets;
+  if (has_ctx_) {
+    sma_->DestroyContext(ctx_);
+  }
+}
+
+Dict::Entry* Dict::AllocEntry() {
+  if (sma_ != nullptr) {
+    return static_cast<Entry*>(sma_->SoftMalloc(ctx_, sizeof(Entry)));
+  }
+  return static_cast<Entry*>(std::malloc(sizeof(Entry)));
+}
+
+void Dict::FreeEntry(Entry* e) {
+  if (sma_ != nullptr) {
+    soft_entry_bytes_ -= sma_->AllocationSize(e);
+    sma_->SoftFree(e);
+  } else {
+    std::free(e);
+  }
+}
+
+void Dict::StartRehash(size_t new_size) {
+  table_[1].buckets = new Entry*[new_size]();
+  table_[1].size = new_size;
+  table_[1].mask = new_size - 1;
+  table_[1].used = 0;
+  rehash_idx_ = 0;
+}
+
+void Dict::RehashStep() {
+  if (rehash_idx_ < 0) {
+    return;
+  }
+  // Migrate up to one non-empty bucket (skipping at most a few empties so a
+  // sparse table still finishes).
+  int empties = 10;
+  while (empties-- > 0 &&
+         static_cast<size_t>(rehash_idx_) < table_[0].size &&
+         table_[0].buckets[rehash_idx_] == nullptr) {
+    ++rehash_idx_;
+  }
+  if (static_cast<size_t>(rehash_idx_) < table_[0].size) {
+    Entry* e = table_[0].buckets[rehash_idx_];
+    table_[0].buckets[rehash_idx_] = nullptr;
+    while (e != nullptr) {
+      Entry* next = e->next;
+      const size_t b = HashKey(e->key()) & table_[1].mask;
+      e->next = table_[1].buckets[b];
+      table_[1].buckets[b] = e;
+      --table_[0].used;
+      ++table_[1].used;
+      e = next;
+    }
+    ++rehash_idx_;
+  }
+  if (static_cast<size_t>(rehash_idx_) >= table_[0].size &&
+      table_[0].used == 0) {
+    // Rehash complete: ht[1] becomes ht[0].
+    delete[] table_[0].buckets;
+    table_[0] = table_[1];
+    table_[1] = Table{};
+    rehash_idx_ = -1;
+  }
+}
+
+void Dict::MaybeExpand() {
+  if (rehash_idx_ >= 0) {
+    return;  // already rehashing
+  }
+  if (table_[0].used >= table_[0].size) {  // load factor 1.0, like Redis
+    StartRehash(table_[0].size * 2);
+  }
+}
+
+Dict::Entry** Dict::FindSlot(std::string_view key, uint64_t hash,
+                             Table** out_table) {
+  for (int t = 0; t < 2; ++t) {
+    Table& table = table_[t];
+    if (table.size == 0) {
+      break;
+    }
+    Entry** link = &table.buckets[hash & table.mask];
+    while (*link != nullptr) {
+      if ((*link)->key() == key) {
+        *out_table = &table;
+        return link;
+      }
+      link = &(*link)->next;
+    }
+    if (rehash_idx_ < 0) {
+      break;  // not rehashing: only ht[0] is live
+    }
+  }
+  return nullptr;
+}
+
+bool Dict::Set(std::string_view key, std::string_view value) {
+  RehashStep();
+  const uint64_t hash = HashKey(key);
+
+  Table* table = nullptr;
+  if (Entry** link = FindSlot(key, hash, &table); link != nullptr) {
+    // Overwrite in place: swap the traditional key+value blob.
+    Entry* e = *link;
+    char* fresh = static_cast<char*>(std::malloc(key.size() + value.size()));
+    if (fresh == nullptr) {
+      return false;
+    }
+    std::memcpy(fresh, key.data(), key.size());
+    std::memcpy(fresh + key.size(), value.data(), value.size());
+    traditional_bytes_ -= e->key_len + e->val_len;
+    std::free(e->kv_data);
+    e->kv_data = fresh;
+    e->key_len = static_cast<uint32_t>(key.size());
+    e->val_len = static_cast<uint32_t>(value.size());
+    traditional_bytes_ += key.size() + value.size();
+    return true;
+  }
+
+  MaybeExpand();
+  Entry* e = AllocEntry();
+  if (e == nullptr) {
+    ++set_failures_;
+    return false;
+  }
+  if (sma_ != nullptr) {
+    soft_entry_bytes_ += sma_->AllocationSize(e);
+  }
+  e->kv_data = static_cast<char*>(std::malloc(key.size() + value.size()));
+  if (e->kv_data == nullptr) {
+    FreeEntry(e);
+    ++set_failures_;
+    return false;
+  }
+  std::memcpy(e->kv_data, key.data(), key.size());
+  std::memcpy(e->kv_data + key.size(), value.data(), value.size());
+  e->key_len = static_cast<uint32_t>(key.size());
+  e->val_len = static_cast<uint32_t>(value.size());
+  traditional_bytes_ += key.size() + value.size();
+
+  // Insert into whichever table receives new keys (ht[1] while rehashing).
+  Table& target = rehash_idx_ >= 0 ? table_[1] : table_[0];
+  const size_t b = hash & target.mask;
+  e->next = target.buckets[b];
+  target.buckets[b] = e;
+  ++target.used;
+
+  e->age_next = nullptr;
+  e->age_prev = age_tail_;
+  if (age_tail_ != nullptr) {
+    age_tail_->age_next = e;
+  } else {
+    age_head_ = e;
+  }
+  age_tail_ = e;
+  ++size_;
+  return true;
+}
+
+std::optional<std::string_view> Dict::Get(std::string_view key) {
+  RehashStep();
+  Table* table = nullptr;
+  Entry** link = FindSlot(key, HashKey(key), &table);
+  if (link == nullptr) {
+    return std::nullopt;
+  }
+  return (*link)->value();
+}
+
+bool Dict::Exists(std::string_view key) { return Get(key).has_value(); }
+
+bool Dict::Del(std::string_view key) {
+  RehashStep();
+  Table* table = nullptr;
+  Entry** link = FindSlot(key, HashKey(key), &table);
+  if (link == nullptr) {
+    return false;
+  }
+  Entry* e = *link;
+  *link = e->next;
+  --table->used;
+  UnlinkAge(e);
+  --size_;
+  DropEntry(e, /*invoke_callback=*/false);
+  return true;
+}
+
+void Dict::UnlinkAge(Entry* e) {
+  if (e->age_prev != nullptr) {
+    e->age_prev->age_next = e->age_next;
+  } else {
+    age_head_ = e->age_next;
+  }
+  if (e->age_next != nullptr) {
+    e->age_next->age_prev = e->age_prev;
+  } else {
+    age_tail_ = e->age_prev;
+  }
+}
+
+void Dict::DropEntry(Entry* e, bool invoke_callback) {
+  if (invoke_callback && options_.on_reclaim) {
+    options_.on_reclaim(e->key(), e->value());
+  }
+  traditional_bytes_ -= e->key_len + e->val_len;
+  std::free(e->kv_data);  // "de-allocate them via the reclamation callback"
+  FreeEntry(e);
+}
+
+void Dict::Clear() {
+  for (auto& table : table_) {
+    for (size_t b = 0; b < table.size; ++b) {
+      Entry* e = table.buckets[b];
+      while (e != nullptr) {
+        Entry* next = e->next;
+        DropEntry(e, /*invoke_callback=*/false);
+        e = next;
+      }
+      table.buckets[b] = nullptr;
+    }
+    table.used = 0;
+  }
+  age_head_ = age_tail_ = nullptr;
+  size_ = 0;
+  rehash_idx_ = -1;
+  delete[] table_[1].buckets;
+  table_[1] = Table{};
+}
+
+void Dict::ForEach(const std::function<void(std::string_view,
+                                            std::string_view)>& fn) const {
+  for (const Entry* e = age_head_; e != nullptr; e = e->age_next) {
+    fn(e->key(), e->value());
+  }
+}
+
+size_t Dict::ReclaimOldest(size_t target_bytes) {
+  size_t freed = 0;
+  while (freed < target_bytes && age_head_ != nullptr) {
+    Entry* victim = age_head_;
+    // Unlink from its bucket chain (the table it currently lives in).
+    const uint64_t hash = HashKey(victim->key());
+    bool unlinked = false;
+    for (auto& table : table_) {
+      if (table.size == 0) {
+        continue;
+      }
+      Entry** link = &table.buckets[hash & table.mask];
+      while (*link != nullptr) {
+        if (*link == victim) {
+          *link = victim->next;
+          --table.used;
+          unlinked = true;
+          break;
+        }
+        link = &(*link)->next;
+      }
+      if (unlinked) {
+        break;
+      }
+    }
+    UnlinkAge(victim);
+    --size_;
+    freed += sma_->AllocationSize(victim);
+    DropEntry(victim, /*invoke_callback=*/true);
+    ++reclaimed_;
+  }
+  return freed;
+}
+
+}  // namespace softmem

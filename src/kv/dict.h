@@ -1,0 +1,140 @@
+// Dict — a Redis-style chained hash table with incremental rehash.
+//
+// This is the substrate for the paper's §5 experiment: Redis "stores data in
+// an in-memory hash table. We modified this hash table to store the elements
+// of its buckets in soft memory, turning it into an SDS." Dict reproduces
+// the relevant Redis design:
+//
+//  * two tables (ht[0], ht[1]) with *incremental* rehash — each mutating
+//    operation migrates one bucket, so rehashing never stalls the server;
+//  * per-bucket chains of entry nodes;
+//  * optionally, entry nodes live in **soft memory** while key and value
+//    bytes stay in traditional memory and are released by the reclamation
+//    callback — the paper's exact 25-line Redis integration. Reclamation
+//    drops oldest entries first; a dropped key simply reads as "not found"
+//    afterwards (the caching contract).
+//
+// Construct with a SoftMemoryAllocator for soft mode, or nullptr for a
+// fully-traditional dict (the baseline in the restart-cost experiment).
+
+#ifndef SOFTMEM_SRC_KV_DICT_H_
+#define SOFTMEM_SRC_KV_DICT_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+
+struct DictOptions {
+  // Reclamation priority of the entry-node context (soft mode only).
+  size_t priority = 0;
+  // Invoked per entry dropped by memory pressure, before the key/value
+  // traditional memory is freed (the paper's last-chance callback).
+  std::function<void(std::string_view key, std::string_view value)> on_reclaim;
+  size_t initial_buckets = 4;
+};
+
+class Dict {
+ public:
+  // `sma` == nullptr: traditional mode (malloc entries, not reclaimable).
+  explicit Dict(SoftMemoryAllocator* sma, DictOptions options = {});
+  ~Dict();
+
+  Dict(const Dict&) = delete;
+  Dict& operator=(const Dict&) = delete;
+
+  // Inserts or overwrites. False if entry memory is unavailable (soft budget
+  // exhausted and the daemon denied more).
+  bool Set(std::string_view key, std::string_view value);
+
+  // Returns the value or nullopt. The view is valid until the next mutation.
+  std::optional<std::string_view> Get(std::string_view key);
+
+  bool Del(std::string_view key);
+  bool Exists(std::string_view key);
+
+  size_t Size() const { return size_; }
+  void Clear();
+
+  // Visits every live entry (both tables, unspecified order).
+  void ForEach(
+      const std::function<void(std::string_view, std::string_view)>& fn) const;
+
+  // True while an incremental rehash is in progress.
+  bool Rehashing() const { return rehash_idx_ >= 0; }
+  size_t BucketCount() const { return table_[0].size + table_[1].size; }
+
+  // Entries dropped by memory pressure so far.
+  size_t reclaimed() const { return reclaimed_; }
+  // Failed Sets due to soft memory exhaustion.
+  size_t set_failures() const { return set_failures_; }
+
+  // Approximate traditional-memory footprint of keys+values (bytes). This is
+  // what the kv server reports to the daemon as traditional usage.
+  size_t traditional_bytes() const { return traditional_bytes_; }
+  // Soft bytes consumed by entry nodes (0 in traditional mode).
+  size_t soft_entry_bytes() const { return soft_entry_bytes_; }
+
+ private:
+  struct Entry {
+    Entry* next;       // bucket chain
+    Entry* age_prev;   // insertion-order list (oldest = age_head_)
+    Entry* age_next;
+    char* kv_data;     // traditional memory: key bytes then value bytes
+    uint32_t key_len;
+    uint32_t val_len;
+
+    std::string_view key() const { return {kv_data, key_len}; }
+    std::string_view value() const { return {kv_data + key_len, val_len}; }
+  };
+
+  struct Table {
+    Entry** buckets = nullptr;
+    size_t size = 0;       // bucket count (power of two)
+    size_t mask = 0;
+    size_t used = 0;       // entries
+  };
+
+  static uint64_t HashKey(std::string_view key);
+
+  Entry* AllocEntry();
+  void FreeEntry(Entry* e);
+
+  // Moves one bucket from ht[0] to ht[1]; finishes the rehash when done.
+  void RehashStep();
+  void StartRehash(size_t new_size);
+  void MaybeExpand();
+
+  Entry** FindSlot(std::string_view key, uint64_t hash, Table** out_table);
+  void UnlinkAge(Entry* e);
+  void DropEntry(Entry* e, bool invoke_callback);
+
+  // Custom SDS reclaim protocol: evict oldest entries until target bytes of
+  // *node* memory is freed.
+  size_t ReclaimOldest(size_t target_bytes);
+
+  SoftMemoryAllocator* sma_;  // may be null (traditional mode)
+  DictOptions options_;
+  ContextId ctx_ = 0;
+  bool has_ctx_ = false;
+
+  Table table_[2];
+  long rehash_idx_ = -1;  // bucket index in ht[0] being migrated; -1 = idle
+  size_t size_ = 0;
+  Entry* age_head_ = nullptr;
+  Entry* age_tail_ = nullptr;
+
+  size_t reclaimed_ = 0;
+  size_t set_failures_ = 0;
+  size_t traditional_bytes_ = 0;
+  size_t soft_entry_bytes_ = 0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_KV_DICT_H_

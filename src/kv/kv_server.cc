@@ -1,0 +1,275 @@
+#include "src/kv/kv_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace softmem {
+
+namespace {
+
+Status SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return UnavailableError("send failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<KvServer>> KvServer::Listen(KvStore* store,
+                                                   uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return UnavailableError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return UnavailableError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(fd, 128) < 0) {
+    ::close(fd);
+    return UnavailableError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  auto server = std::unique_ptr<KvServer>(
+      new KvServer(store, fd, ntohs(addr.sin_port)));
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+KvServer::KvServer(KvStore* store, int listen_fd, uint16_t port)
+    : store_(store), listen_fd_(listen_fd), port_(port) {}
+
+KvServer::~KvServer() { Stop(); }
+
+void KvServer::Stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  ::close(listen_fd_);
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  for (auto& t : conn_threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  conn_threads_.clear();
+}
+
+void KvServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int n = ::poll(&p, 1, 200);
+    if (n <= 0) {
+      continue;
+    }
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (stopping_.load()) {
+        break;
+      }
+      continue;
+    }
+    connections_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    conn_threads_.emplace_back([this, client] { ServeConnection(client); });
+  }
+}
+
+void KvServer::ServeConnection(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  RespParser parser;
+  char buf[16 * 1024];
+  while (!stopping_.load()) {
+    pollfd p{fd, POLLIN, 0};
+    const int pn = ::poll(&p, 1, 200);
+    if (pn == 0) {
+      continue;
+    }
+    if (pn < 0) {
+      break;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;
+    }
+    parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    std::string replies;
+    for (;;) {
+      auto cmd = parser.Next();
+      if (!cmd.ok()) {
+        RespEncode(RespValue::Error("ERR protocol error"), &replies);
+        SendAll(fd, replies);
+        ::close(fd);
+        return;
+      }
+      if (!cmd->has_value()) {
+        break;
+      }
+      RespValue reply;
+      {
+        std::lock_guard<std::mutex> lock(store_mu_);
+        reply = store_->Execute(**cmd);
+      }
+      RespEncode(reply, &replies);
+    }
+    if (!replies.empty() && !SendAll(fd, replies).ok()) {
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+// ---- KvClient --------------------------------------------------------------
+
+Result<std::unique_ptr<KvClient>> KvClient::Connect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return UnavailableError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return UnavailableError(std::string("connect: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<KvClient>(new KvClient(fd));
+}
+
+KvClient::~KvClient() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<RespValue> KvClient::Command(const std::vector<std::string>& argv) {
+  std::vector<RespValue> parts;
+  parts.reserve(argv.size());
+  for (const auto& a : argv) {
+    parts.push_back(RespValue::Bulk(a));
+  }
+  SOFTMEM_RETURN_IF_ERROR(
+      SendAll(fd_, RespEncodeToString(RespValue::Array(std::move(parts)))));
+  return ReadReply();
+}
+
+Result<std::string> KvClient::ReadLine() {
+  for (;;) {
+    const size_t nl = buf_.find("\r\n");
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 2);
+      return line;
+    }
+    char tmp[4096];
+    const ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+    if (n <= 0) {
+      return UnavailableError("server closed connection");
+    }
+    buf_.append(tmp, static_cast<size_t>(n));
+  }
+}
+
+Result<RespValue> KvClient::ReadReply() {
+  SOFTMEM_ASSIGN_OR_RETURN(std::string line, ReadLine());
+  if (line.empty()) {
+    return InternalError("empty reply line");
+  }
+  const char tag = line[0];
+  const std::string body = line.substr(1);
+  switch (tag) {
+    case '+':
+      return RespValue::Simple(body);
+    case '-':
+      return RespValue::Error(body);
+    case ':': {
+      int64_t v = 0;
+      std::from_chars(body.data(), body.data() + body.size(), v);
+      return RespValue::Integer(v);
+    }
+    case '$': {
+      int64_t len = 0;
+      std::from_chars(body.data(), body.data() + body.size(), len);
+      if (len < 0) {
+        return RespValue::Null();
+      }
+      while (buf_.size() < static_cast<size_t>(len) + 2) {
+        char tmp[4096];
+        const ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+        if (n <= 0) {
+          return UnavailableError("server closed connection");
+        }
+        buf_.append(tmp, static_cast<size_t>(n));
+      }
+      std::string payload = buf_.substr(0, static_cast<size_t>(len));
+      buf_.erase(0, static_cast<size_t>(len) + 2);
+      return RespValue::Bulk(std::move(payload));
+    }
+    case '*': {
+      int64_t count = 0;
+      std::from_chars(body.data(), body.data() + body.size(), count);
+      RespValue arr;
+      arr.type = RespType::kArray;
+      for (int64_t i = 0; i < count; ++i) {
+        SOFTMEM_ASSIGN_OR_RETURN(RespValue item, ReadReply());
+        arr.array.push_back(std::move(item));
+      }
+      return arr;
+    }
+    default:
+      return InternalError("unknown reply tag");
+  }
+}
+
+Status KvClient::Set(const std::string& key, const std::string& value) {
+  SOFTMEM_ASSIGN_OR_RETURN(RespValue r, Command({"SET", key, value}));
+  if (r.type == RespType::kError) {
+    return ResourceExhaustedError(r.str);
+  }
+  return Status::Ok();
+}
+
+Result<std::optional<std::string>> KvClient::Get(const std::string& key) {
+  SOFTMEM_ASSIGN_OR_RETURN(RespValue r, Command({"GET", key}));
+  if (r.type == RespType::kNull) {
+    return std::optional<std::string>(std::nullopt);
+  }
+  if (r.type == RespType::kBulkString) {
+    return std::optional<std::string>(std::move(r.str));
+  }
+  return InternalError("unexpected GET reply");
+}
+
+}  // namespace softmem

@@ -1,0 +1,86 @@
+// KvServer — serves a KvStore over TCP, speaking RESP2.
+//
+// Like Redis, command execution is serialized (one store lock); connections
+// are handled by lightweight threads that parse, execute, and reply. This is
+// the network face used by the kv_server example and the restart-cost bench.
+
+#ifndef SOFTMEM_SRC_KV_KV_SERVER_H_
+#define SOFTMEM_SRC_KV_KV_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/kv/kv_store.h"
+
+namespace softmem {
+
+class KvServer {
+ public:
+  // Binds 127.0.0.1:`port` (0 = kernel-assigned; see port()). The store is
+  // not owned and must outlive the server.
+  static Result<std::unique_ptr<KvServer>> Listen(KvStore* store,
+                                                  uint16_t port);
+  ~KvServer();
+
+  KvServer(const KvServer&) = delete;
+  KvServer& operator=(const KvServer&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  // Stops accepting, closes all connections, joins threads. Idempotent.
+  void Stop();
+
+  size_t connections_handled() const { return connections_.load(); }
+
+ private:
+  KvServer(KvStore* store, int listen_fd, uint16_t port);
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  KvStore* store_;
+  std::mutex store_mu_;
+  int listen_fd_;
+  uint16_t port_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> connections_{0};
+  std::thread accept_thread_;
+  std::mutex threads_mu_;
+  std::vector<std::thread> conn_threads_;
+};
+
+// Minimal blocking RESP client for tests and examples.
+class KvClient {
+ public:
+  static Result<std::unique_ptr<KvClient>> Connect(uint16_t port);
+  ~KvClient();
+
+  KvClient(const KvClient&) = delete;
+  KvClient& operator=(const KvClient&) = delete;
+
+  // Sends argv as a RESP array and reads one reply. The reply's `str` holds
+  // bulk/simple/error payloads; integers land in `integer`.
+  Result<RespValue> Command(const std::vector<std::string>& argv);
+
+  // Convenience wrappers.
+  Status Set(const std::string& key, const std::string& value);
+  Result<std::optional<std::string>> Get(const std::string& key);
+
+ private:
+  explicit KvClient(int fd) : fd_(fd) {}
+
+  Result<RespValue> ReadReply();
+  Result<std::string> ReadLine();
+
+  int fd_;
+  std::string buf_;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_KV_KV_SERVER_H_

@@ -1,0 +1,555 @@
+#include "src/kv/kv_store.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+namespace softmem {
+
+namespace {
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return out;
+}
+
+RespValue WrongArity(const std::string& cmd) {
+  return RespValue::Error("ERR wrong number of arguments for '" + cmd + "'");
+}
+
+bool ParseSeconds(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size() && *out >= 0;
+}
+
+}  // namespace
+
+KvStore::KvStore(SoftMemoryAllocator* sma, DictOptions dict_options,
+                 const Clock* clock)
+    : clock_(clock), dict_(sma, [&dict_options, this]() {
+        // Chain our expiry cleanup in front of the user's reclaim hook: a
+        // reclaimed key must not leave stale TTL metadata behind.
+        auto user_hook = dict_options.on_reclaim;
+        dict_options.on_reclaim = [this, user_hook](std::string_view key,
+                                                    std::string_view value) {
+          expires_.erase(std::string(key));
+          if (user_hook) {
+            user_hook(key, value);
+          }
+        };
+        return std::move(dict_options);
+      }()),
+      lists_(sma),
+      hashes_(sma) {}
+
+bool KvStore::ExpireIfDue(std::string_view key) {
+  auto it = expires_.find(std::string(key));
+  if (it == expires_.end()) {
+    return false;
+  }
+  if (clock_->Now() < it->second) {
+    return false;
+  }
+  expires_.erase(it);
+  dict_.Del(key);
+  ++expired_;
+  return true;
+}
+
+bool KvStore::Set(std::string_view key, std::string_view value) {
+  ++sets_;
+  // Redis SET clears any previous TTL.
+  expires_.erase(std::string(key));
+  return dict_.Set(key, value);
+}
+
+std::optional<std::string_view> KvStore::Get(std::string_view key) {
+  ++gets_;
+  ExpireIfDue(key);
+  auto v = dict_.Get(key);
+  if (v.has_value()) {
+    ++hits_;
+  } else {
+    ++misses_;
+  }
+  return v;
+}
+
+bool KvStore::Del(std::string_view key) {
+  expires_.erase(std::string(key));
+  const bool removed = dict_.Del(key);
+  if (removed) {
+    ++dels_;
+  }
+  return removed;
+}
+
+bool KvStore::Exists(std::string_view key) {
+  ExpireIfDue(key);
+  return dict_.Exists(key);
+}
+
+void KvStore::FlushAll() {
+  dict_.Clear();
+  lists_.Clear();
+  hashes_.Clear();
+  expires_.clear();
+}
+
+std::string KvStore::Type(std::string_view key) {
+  ExpireIfDue(key);
+  if (dict_.Exists(key)) {
+    return "string";
+  }
+  if (lists_.Exists(key)) {
+    return "list";
+  }
+  if (hashes_.Exists(key)) {
+    return "hash";
+  }
+  return "none";
+}
+
+bool KvStore::Expire(std::string_view key, double seconds) {
+  ExpireIfDue(key);
+  if (!dict_.Exists(key)) {
+    return false;
+  }
+  expires_[std::string(key)] =
+      clock_->Now() +
+      static_cast<Nanos>(seconds * static_cast<double>(kNanosPerSecond));
+  return true;
+}
+
+double KvStore::Ttl(std::string_view key) {
+  ExpireIfDue(key);
+  if (!dict_.Exists(key)) {
+    return -2;
+  }
+  auto it = expires_.find(std::string(key));
+  if (it == expires_.end()) {
+    return -1;
+  }
+  return NanosToSeconds(it->second - clock_->Now());
+}
+
+Result<int64_t> KvStore::IncrBy(std::string_view key, int64_t delta) {
+  ExpireIfDue(key);
+  int64_t current = 0;
+  auto v = dict_.Get(key);
+  if (v.has_value()) {
+    const std::string_view sv = *v;
+    auto [p, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), current);
+    if (ec != std::errc() || p != sv.data() + sv.size()) {
+      return InvalidArgumentError("value is not an integer");
+    }
+  }
+  current += delta;
+  // Counter updates must not silently reset TTLs (unlike SET).
+  if (!dict_.Set(key, std::to_string(current))) {
+    return ResourceExhaustedError("soft memory exhausted");
+  }
+  ++sets_;
+  return current;
+}
+
+Result<int64_t> KvStore::Append(std::string_view key, std::string_view suffix) {
+  ExpireIfDue(key);
+  std::string combined;
+  auto v = dict_.Get(key);
+  if (v.has_value()) {
+    combined.assign(v->data(), v->size());
+  }
+  combined.append(suffix);
+  if (!dict_.Set(key, combined)) {
+    return ResourceExhaustedError("soft memory exhausted");
+  }
+  ++sets_;
+  return static_cast<int64_t>(combined.size());
+}
+
+namespace {
+
+// Glob match supporting '*' (any run) and '?' (any one byte).
+bool GlobMatch(std::string_view pattern, std::string_view text) {
+  size_t p = 0;
+  size_t t = 0;
+  size_t star_p = std::string_view::npos;
+  size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+}  // namespace
+
+std::vector<std::string> KvStore::Keys(std::string_view pattern,
+                                       size_t limit) {
+  std::vector<std::string> out;
+  dict_.ForEach([&](std::string_view key, std::string_view) {
+    if (out.size() < limit && GlobMatch(pattern, key)) {
+      out.emplace_back(key);
+    }
+  });
+  return out;
+}
+
+bool KvStore::Persist(std::string_view key) {
+  ExpireIfDue(key);
+  if (!dict_.Exists(key)) {
+    return false;
+  }
+  return expires_.erase(std::string(key)) > 0;
+}
+
+RespValue KvStore::Execute(const std::vector<std::string>& argv) {
+  if (argv.empty()) {
+    return RespValue::Error("ERR empty command");
+  }
+  const std::string cmd = ToUpper(argv[0]);
+
+  if (cmd == "PING") {
+    return argv.size() > 1 ? RespValue::Bulk(argv[1])
+                           : RespValue::Simple("PONG");
+  }
+  if (cmd == "ECHO") {
+    if (argv.size() != 2) {
+      return WrongArity("echo");
+    }
+    return RespValue::Bulk(argv[1]);
+  }
+  if (cmd == "SET") {
+    if (argv.size() != 3) {
+      return WrongArity("set");
+    }
+    if (!Set(argv[1], argv[2])) {
+      // The soft-memory analogue of Redis's OOM error — but the server
+      // itself stays up (the paper's point).
+      return RespValue::Error("OOM soft memory exhausted");
+    }
+    return RespValue::Simple("OK");
+  }
+  if (cmd == "SETEX") {
+    if (argv.size() != 4) {
+      return WrongArity("setex");
+    }
+    double seconds = 0;
+    if (!ParseSeconds(argv[2], &seconds)) {
+      return RespValue::Error("ERR invalid expire time");
+    }
+    if (!Set(argv[1], argv[3])) {
+      return RespValue::Error("OOM soft memory exhausted");
+    }
+    Expire(argv[1], seconds);
+    return RespValue::Simple("OK");
+  }
+  if (cmd == "GET") {
+    if (argv.size() != 2) {
+      return WrongArity("get");
+    }
+    auto v = Get(argv[1]);
+    if (!v.has_value()) {
+      return RespValue::Null();
+    }
+    return RespValue::Bulk(std::string(*v));
+  }
+  if (cmd == "DEL") {
+    if (argv.size() < 2) {
+      return WrongArity("del");
+    }
+    int64_t removed = 0;
+    for (size_t i = 1; i < argv.size(); ++i) {
+      removed += Del(argv[i]) ? 1 : 0;
+      removed += lists_.Del(argv[i]) ? 1 : 0;
+      removed += hashes_.Del(argv[i]) ? 1 : 0;
+    }
+    return RespValue::Integer(removed);
+  }
+  if (cmd == "EXISTS") {
+    if (argv.size() < 2) {
+      return WrongArity("exists");
+    }
+    int64_t found = 0;
+    for (size_t i = 1; i < argv.size(); ++i) {
+      found += (Exists(argv[i]) || lists_.Exists(argv[i]) ||
+                hashes_.Exists(argv[i]))
+                   ? 1
+                   : 0;
+    }
+    return RespValue::Integer(found);
+  }
+  if (cmd == "TYPE") {
+    if (argv.size() != 2) {
+      return WrongArity("type");
+    }
+    return RespValue::Simple(Type(argv[1]));
+  }
+  if (cmd == "LPUSH" || cmd == "RPUSH") {
+    if (argv.size() < 3) {
+      return WrongArity("lpush");
+    }
+    if (Type(argv[1]) != "none" && Type(argv[1]) != "list") {
+      return RespValue::Error("WRONGTYPE key holds another kind of value");
+    }
+    Result<int64_t> len = 0;
+    for (size_t i = 2; i < argv.size(); ++i) {
+      len = lists_.Push(argv[1], argv[i], cmd == "LPUSH");
+      if (!len.ok()) {
+        return RespValue::Error("OOM soft memory exhausted");
+      }
+    }
+    return RespValue::Integer(*len);
+  }
+  if (cmd == "LPOP" || cmd == "RPOP") {
+    if (argv.size() != 2) {
+      return WrongArity("lpop");
+    }
+    auto v = lists_.Pop(argv[1], cmd == "LPOP");
+    return v.has_value() ? RespValue::Bulk(std::move(*v)) : RespValue::Null();
+  }
+  if (cmd == "LRANGE") {
+    if (argv.size() != 4) {
+      return WrongArity("lrange");
+    }
+    int64_t start = 0;
+    int64_t stop = 0;
+    auto [p1, e1] = std::from_chars(argv[2].data(),
+                                    argv[2].data() + argv[2].size(), start);
+    auto [p2, e2] = std::from_chars(argv[3].data(),
+                                    argv[3].data() + argv[3].size(), stop);
+    if (e1 != std::errc() || e2 != std::errc()) {
+      return RespValue::Error("ERR value is not an integer");
+    }
+    std::vector<RespValue> out;
+    for (auto& v : lists_.Range(argv[1], start, stop)) {
+      out.push_back(RespValue::Bulk(std::move(v)));
+    }
+    return RespValue::Array(std::move(out));
+  }
+  if (cmd == "LLEN") {
+    if (argv.size() != 2) {
+      return WrongArity("llen");
+    }
+    return RespValue::Integer(lists_.Len(argv[1]));
+  }
+  if (cmd == "HSET") {
+    if (argv.size() < 4 || argv.size() % 2 != 0) {
+      return WrongArity("hset");
+    }
+    if (Type(argv[1]) != "none" && Type(argv[1]) != "hash") {
+      return RespValue::Error("WRONGTYPE key holds another kind of value");
+    }
+    int64_t added = 0;
+    for (size_t i = 2; i + 1 < argv.size(); i += 2) {
+      auto r = hashes_.Set(argv[1], argv[i], argv[i + 1]);
+      if (!r.ok()) {
+        return RespValue::Error("OOM soft memory exhausted");
+      }
+      added += *r;
+    }
+    return RespValue::Integer(added);
+  }
+  if (cmd == "HGET") {
+    if (argv.size() != 3) {
+      return WrongArity("hget");
+    }
+    auto v = hashes_.Get(argv[1], argv[2]);
+    return v.has_value() ? RespValue::Bulk(std::move(*v)) : RespValue::Null();
+  }
+  if (cmd == "HDEL") {
+    if (argv.size() < 3) {
+      return WrongArity("hdel");
+    }
+    int64_t removed = 0;
+    for (size_t i = 2; i < argv.size(); ++i) {
+      removed += hashes_.DelField(argv[1], argv[i]) ? 1 : 0;
+    }
+    return RespValue::Integer(removed);
+  }
+  if (cmd == "HGETALL") {
+    if (argv.size() != 2) {
+      return WrongArity("hgetall");
+    }
+    std::vector<RespValue> out;
+    for (auto& [field, value] : hashes_.GetAll(argv[1])) {
+      out.push_back(RespValue::Bulk(field));
+      out.push_back(RespValue::Bulk(value));
+    }
+    return RespValue::Array(std::move(out));
+  }
+  if (cmd == "HLEN") {
+    if (argv.size() != 2) {
+      return WrongArity("hlen");
+    }
+    return RespValue::Integer(hashes_.Len(argv[1]));
+  }
+  if (cmd == "EXPIRE") {
+    if (argv.size() != 3) {
+      return WrongArity("expire");
+    }
+    double seconds = 0;
+    if (!ParseSeconds(argv[2], &seconds)) {
+      return RespValue::Error("ERR invalid expire time");
+    }
+    return RespValue::Integer(Expire(argv[1], seconds) ? 1 : 0);
+  }
+  if (cmd == "TTL") {
+    if (argv.size() != 2) {
+      return WrongArity("ttl");
+    }
+    return RespValue::Integer(static_cast<int64_t>(Ttl(argv[1])));
+  }
+  if (cmd == "PERSIST") {
+    if (argv.size() != 2) {
+      return WrongArity("persist");
+    }
+    return RespValue::Integer(Persist(argv[1]) ? 1 : 0);
+  }
+  if (cmd == "MGET") {
+    if (argv.size() < 2) {
+      return WrongArity("mget");
+    }
+    std::vector<RespValue> values;
+    for (size_t i = 1; i < argv.size(); ++i) {
+      auto v = Get(argv[i]);
+      values.push_back(v.has_value() ? RespValue::Bulk(std::string(*v))
+                                     : RespValue::Null());
+    }
+    return RespValue::Array(std::move(values));
+  }
+  if (cmd == "MSET") {
+    if (argv.size() < 3 || argv.size() % 2 == 0) {
+      return WrongArity("mset");
+    }
+    for (size_t i = 1; i + 1 < argv.size(); i += 2) {
+      if (!Set(argv[i], argv[i + 1])) {
+        return RespValue::Error("OOM soft memory exhausted");
+      }
+    }
+    return RespValue::Simple("OK");
+  }
+  if (cmd == "INCR" || cmd == "DECR") {
+    if (argv.size() != 2) {
+      return WrongArity(cmd == "INCR" ? "incr" : "decr");
+    }
+    auto r = IncrBy(argv[1], cmd == "INCR" ? 1 : -1);
+    if (!r.ok()) {
+      return RespValue::Error("ERR " + r.status().message());
+    }
+    return RespValue::Integer(*r);
+  }
+  if (cmd == "INCRBY" || cmd == "DECRBY") {
+    if (argv.size() != 3) {
+      return WrongArity("incrby");
+    }
+    int64_t delta = 0;
+    auto [p, ec] = std::from_chars(argv[2].data(),
+                                   argv[2].data() + argv[2].size(), delta);
+    if (ec != std::errc() || p != argv[2].data() + argv[2].size()) {
+      return RespValue::Error("ERR value is not an integer");
+    }
+    auto r = IncrBy(argv[1], cmd == "INCRBY" ? delta : -delta);
+    if (!r.ok()) {
+      return RespValue::Error("ERR " + r.status().message());
+    }
+    return RespValue::Integer(*r);
+  }
+  if (cmd == "APPEND") {
+    if (argv.size() != 3) {
+      return WrongArity("append");
+    }
+    auto r = Append(argv[1], argv[2]);
+    if (!r.ok()) {
+      return RespValue::Error("OOM soft memory exhausted");
+    }
+    return RespValue::Integer(*r);
+  }
+  if (cmd == "STRLEN") {
+    if (argv.size() != 2) {
+      return WrongArity("strlen");
+    }
+    auto v = Get(argv[1]);
+    return RespValue::Integer(
+        v.has_value() ? static_cast<int64_t>(v->size()) : 0);
+  }
+  if (cmd == "KEYS") {
+    if (argv.size() != 2) {
+      return WrongArity("keys");
+    }
+    std::vector<RespValue> out;
+    for (auto& key : Keys(argv[1])) {
+      out.push_back(RespValue::Bulk(std::move(key)));
+    }
+    return RespValue::Array(std::move(out));
+  }
+  if (cmd == "DBSIZE") {
+    return RespValue::Integer(static_cast<int64_t>(DbSize()));
+  }
+  if (cmd == "FLUSHALL") {
+    FlushAll();
+    return RespValue::Simple("OK");
+  }
+  if (cmd == "INFO") {
+    return RespValue::Bulk(InfoString());
+  }
+  if (cmd == "COMMAND") {
+    return RespValue::Array({});  // client library handshake compatibility
+  }
+  return RespValue::Error("ERR unknown command '" + argv[0] + "'");
+}
+
+KvStoreStats KvStore::GetStats() const {
+  KvStoreStats s;
+  s.sets = sets_;
+  s.gets = gets_;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.dels = dels_;
+  s.reclaimed = dict_.reclaimed();
+  s.set_failures = dict_.set_failures();
+  s.expired = expired_;
+  s.keys = dict_.Size();
+  s.traditional_bytes = dict_.traditional_bytes();
+  s.soft_entry_bytes = dict_.soft_entry_bytes();
+  return s;
+}
+
+std::string KvStore::InfoString() const {
+  const KvStoreStats s = GetStats();
+  std::ostringstream os;
+  os << "# softmem-kv\r\n"
+     << "keys:" << s.keys << "\r\n"
+     << "sets:" << s.sets << "\r\n"
+     << "gets:" << s.gets << "\r\n"
+     << "hits:" << s.hits << "\r\n"
+     << "misses:" << s.misses << "\r\n"
+     << "reclaimed:" << s.reclaimed << "\r\n"
+     << "set_failures:" << s.set_failures << "\r\n"
+     << "expired:" << s.expired << "\r\n"
+     << "traditional_bytes:" << s.traditional_bytes << "\r\n"
+     << "soft_entry_bytes:" << s.soft_entry_bytes << "\r\n";
+  return os.str();
+}
+
+}  // namespace softmem

@@ -1,0 +1,119 @@
+// KvStore — a mini-Redis: single-threaded command semantics over a Dict.
+//
+// With a SoftMemoryAllocator attached, entry nodes live in soft memory and
+// the store behaves exactly like the paper's patched Redis under memory
+// pressure: reclaimed keys return "not found" afterwards, and "in a caching
+// setup, the client would re-fetch these entries from a database".
+
+#ifndef SOFTMEM_SRC_KV_KV_STORE_H_
+#define SOFTMEM_SRC_KV_KV_STORE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/kv/dict.h"
+#include "src/kv/kv_types.h"
+#include "src/kv/resp.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+
+struct KvStoreStats {
+  size_t sets = 0;
+  size_t gets = 0;
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t dels = 0;
+  size_t reclaimed = 0;     // entries dropped by memory pressure
+  size_t set_failures = 0;  // SETs refused for lack of soft memory
+  size_t expired = 0;       // keys removed by TTL expiry
+  size_t keys = 0;
+  size_t traditional_bytes = 0;
+  size_t soft_entry_bytes = 0;
+};
+
+class KvStore {
+ public:
+  // `sma` == nullptr: traditional (baseline) mode. `clock` drives key
+  // expiration (default: the real monotonic clock; tests pass a SimClock).
+  explicit KvStore(SoftMemoryAllocator* sma, DictOptions dict_options = {},
+                   const Clock* clock = MonotonicClock::Get());
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  // ---- Direct API ----------------------------------------------------------
+  bool Set(std::string_view key, std::string_view value);
+  std::optional<std::string_view> Get(std::string_view key);
+  bool Del(std::string_view key);
+  bool Exists(std::string_view key);
+  size_t DbSize() const {
+    return dict_.Size() + lists_.KeyCount() + hashes_.KeyCount();
+  }
+  void FlushAll();
+
+  // Expiration (Redis semantics, lazily enforced on access).
+  // Sets a relative time-to-live; false if the key does not exist.
+  bool Expire(std::string_view key, double seconds);
+  // Remaining TTL in seconds; -1 = no expiry set, -2 = no such key.
+  double Ttl(std::string_view key);
+  // Removes an expiry; false if the key does not exist or had none.
+  bool Persist(std::string_view key);
+
+  // Counters and string ops (Redis semantics).
+  // Adds `delta` to the integer stored at key (0 if absent); error status if
+  // the current value is not an integer or memory is unavailable.
+  Result<int64_t> IncrBy(std::string_view key, int64_t delta);
+  // Appends to the value (creates the key if needed); returns new length.
+  Result<int64_t> Append(std::string_view key, std::string_view suffix);
+
+  // Collects keys matching a glob pattern ('*' and '?'), up to `limit`.
+  std::vector<std::string> Keys(std::string_view pattern,
+                                size_t limit = SIZE_MAX);
+
+  // Typed values: LISTs and HASHes, each its own SDS (see kv_types.h).
+  ListRegistry* lists() { return &lists_; }
+  HashRegistry* hashes() { return &hashes_; }
+
+  // Redis TYPE: "string", "list", "hash", or "none".
+  std::string Type(std::string_view key);
+
+  // ---- RESP command dispatch -------------------------------------------------
+  // Strings: PING, ECHO, SET, SETEX, GET, MGET, MSET, DEL, EXISTS, DBSIZE,
+  // FLUSHALL, EXPIRE, TTL, PERSIST, INCR, DECR, INCRBY, DECRBY, APPEND,
+  // STRLEN, KEYS, TYPE, INFO.
+  // Lists:  LPUSH, RPUSH, LPOP, RPOP, LRANGE, LLEN.
+  // Hashes: HSET, HGET, HDEL, HGETALL, HLEN.
+  // Unknown commands yield a RESP error (never a crash).
+  RespValue Execute(const std::vector<std::string>& argv);
+
+  KvStoreStats GetStats() const;
+  Dict* dict() { return &dict_; }
+
+ private:
+  std::string InfoString() const;
+  // Deletes `key` if its TTL has elapsed. Returns true if it expired.
+  bool ExpireIfDue(std::string_view key);
+
+  const Clock* clock_;
+  Dict dict_;
+  ListRegistry lists_;
+  HashRegistry hashes_;
+  // Expiry metadata stays in traditional memory, like the paper's
+  // "authentication records, data structure metadata".
+  std::unordered_map<std::string, Nanos> expires_;
+  size_t sets_ = 0;
+  size_t gets_ = 0;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  size_t dels_ = 0;
+  size_t expired_ = 0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_KV_KV_STORE_H_

@@ -1,0 +1,201 @@
+#include "src/kv/kv_types.h"
+
+#include <algorithm>
+
+namespace softmem {
+
+// ---- ListRegistry -----------------------------------------------------------
+
+ListRegistry::List* ListRegistry::Find(std::string_view key) {
+  auto it = lists_.find(key);
+  return it == lists_.end() ? nullptr : it->second.get();
+}
+
+ListRegistry::List* ListRegistry::FindOrCreate(std::string_view key) {
+  if (List* found = Find(key); found != nullptr) {
+    return found;
+  }
+  auto list = std::make_unique<List>(sma_);
+  List* raw = list.get();
+  lists_.emplace(std::string(key), std::move(list));
+  return raw;
+}
+
+void ListRegistry::DropIfEmpty(std::string_view key) {
+  auto it = lists_.find(key);
+  if (it != lists_.end() && it->second->empty()) {
+    lists_.erase(it);
+  }
+}
+
+Result<int64_t> ListRegistry::Push(std::string_view key,
+                                   std::string_view value, bool left) {
+  List* list = FindOrCreate(key);
+  const bool ok = left ? list->push_front(std::string(value))
+                       : list->push_back(std::string(value));
+  if (!ok) {
+    DropIfEmpty(key);
+    return ResourceExhaustedError("soft memory exhausted");
+  }
+  return static_cast<int64_t>(list->size());
+}
+
+std::optional<std::string> ListRegistry::Pop(std::string_view key, bool left) {
+  List* list = Find(key);
+  if (list == nullptr || list->empty()) {
+    return std::nullopt;
+  }
+  std::string out = left ? list->front() : list->back();
+  if (left) {
+    list->pop_front();
+  } else {
+    list->pop_back();
+  }
+  DropIfEmpty(key);
+  return out;
+}
+
+std::vector<std::string> ListRegistry::Range(std::string_view key,
+                                             int64_t start, int64_t stop) {
+  std::vector<std::string> out;
+  List* list = Find(key);
+  if (list == nullptr) {
+    return out;
+  }
+  const auto n = static_cast<int64_t>(list->size());
+  if (start < 0) {
+    start += n;
+  }
+  if (stop < 0) {
+    stop += n;
+  }
+  start = std::max<int64_t>(start, 0);
+  stop = std::min(stop, n - 1);
+  if (start > stop) {
+    return out;
+  }
+  int64_t index = 0;
+  list->ForEach([&](const std::string& v) {
+    if (index >= start && index <= stop) {
+      out.push_back(v);
+    }
+    ++index;
+  });
+  return out;
+}
+
+int64_t ListRegistry::Len(std::string_view key) {
+  List* list = Find(key);
+  return list == nullptr ? 0 : static_cast<int64_t>(list->size());
+}
+
+bool ListRegistry::Exists(std::string_view key) const {
+  return lists_.find(key) != lists_.end();
+}
+
+bool ListRegistry::Del(std::string_view key) {
+  return lists_.erase(std::string(key)) > 0;
+}
+
+size_t ListRegistry::reclaimed() const {
+  size_t total = 0;
+  for (const auto& [key, list] : lists_) {
+    total += list->reclaimed();
+  }
+  return total;
+}
+
+// ---- HashRegistry -----------------------------------------------------------
+
+HashRegistry::Hash* HashRegistry::Find(std::string_view key) {
+  auto it = hashes_.find(key);
+  return it == hashes_.end() ? nullptr : it->second.get();
+}
+
+HashRegistry::Hash* HashRegistry::FindOrCreate(std::string_view key) {
+  if (Hash* found = Find(key); found != nullptr) {
+    return found;
+  }
+  auto hash = std::make_unique<Hash>(sma_);
+  Hash* raw = hash.get();
+  hashes_.emplace(std::string(key), std::move(hash));
+  return raw;
+}
+
+void HashRegistry::DropIfEmpty(std::string_view key) {
+  auto it = hashes_.find(key);
+  if (it != hashes_.end() && it->second->empty()) {
+    hashes_.erase(it);
+  }
+}
+
+Result<int64_t> HashRegistry::Set(std::string_view key,
+                                  std::string_view field,
+                                  std::string_view value) {
+  Hash* hash = FindOrCreate(key);
+  const bool existed = hash->Contains(std::string(field));
+  if (!hash->Put(std::string(field), std::string(value))) {
+    DropIfEmpty(key);
+    return ResourceExhaustedError("soft memory exhausted");
+  }
+  return existed ? 0 : 1;
+}
+
+std::optional<std::string> HashRegistry::Get(std::string_view key,
+                                             std::string_view field) {
+  Hash* hash = Find(key);
+  if (hash == nullptr) {
+    return std::nullopt;
+  }
+  std::string* v = hash->Get(std::string(field));
+  if (v == nullptr) {
+    return std::nullopt;
+  }
+  return *v;
+}
+
+bool HashRegistry::DelField(std::string_view key, std::string_view field) {
+  Hash* hash = Find(key);
+  if (hash == nullptr) {
+    return false;
+  }
+  const bool removed = hash->Remove(std::string(field));
+  DropIfEmpty(key);
+  return removed;
+}
+
+int64_t HashRegistry::Len(std::string_view key) {
+  Hash* hash = Find(key);
+  return hash == nullptr ? 0 : static_cast<int64_t>(hash->size());
+}
+
+std::vector<std::pair<std::string, std::string>> HashRegistry::GetAll(
+    std::string_view key) {
+  std::vector<std::pair<std::string, std::string>> out;
+  Hash* hash = Find(key);
+  if (hash == nullptr) {
+    return out;
+  }
+  hash->ForEach([&](const std::string& f, const std::string& v) {
+    out.emplace_back(f, v);
+  });
+  return out;
+}
+
+bool HashRegistry::Exists(std::string_view key) const {
+  return hashes_.find(key) != hashes_.end();
+}
+
+bool HashRegistry::Del(std::string_view key) {
+  return hashes_.erase(std::string(key)) > 0;
+}
+
+size_t HashRegistry::reclaimed() const {
+  size_t total = 0;
+  for (const auto& [key, hash] : hashes_) {
+    total += hash->reclaimed();
+  }
+  return total;
+}
+
+}  // namespace softmem

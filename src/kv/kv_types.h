@@ -1,0 +1,100 @@
+// Typed values for the KV store: Redis-style LISTs and HASHes, each backed
+// by its own Soft Data Structure (§7 "Soft Data Structures ... used in
+// composition"): every list is a SoftLinkedList and every hash a
+// SoftHashTable with its own context, so reclamation can shed one cold
+// structure without touching the others. The per-key registry itself is
+// traditional memory (data structure metadata).
+
+#ifndef SOFTMEM_SRC_KV_KV_TYPES_H_
+#define SOFTMEM_SRC_KV_KV_TYPES_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sds/soft_hash_table.h"
+#include "src/sds/soft_linked_list.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+
+// Registry of LIST values. All operations are Redis-shaped; out-of-memory
+// surfaces as false/failure rather than a crash.
+class ListRegistry {
+ public:
+  explicit ListRegistry(SoftMemoryAllocator* sma) : sma_(sma) {}
+
+  // Appends to the left/right of the list, creating it if needed. Returns
+  // the new length, or an error when soft memory is unavailable.
+  Result<int64_t> Push(std::string_view key, std::string_view value,
+                       bool left);
+
+  // Pops from the left/right; nullopt if the list is missing or empty.
+  std::optional<std::string> Pop(std::string_view key, bool left);
+
+  // Elements in [start, stop] with Redis index semantics (negative counts
+  // from the tail; out-of-range clamps). Missing list = empty result.
+  std::vector<std::string> Range(std::string_view key, int64_t start,
+                                 int64_t stop);
+
+  int64_t Len(std::string_view key);
+  bool Exists(std::string_view key) const;
+  bool Del(std::string_view key);
+  void Clear() { lists_.clear(); }
+  size_t KeyCount() const { return lists_.size(); }
+
+  // Elements dropped by memory pressure across all lists.
+  size_t reclaimed() const;
+
+ private:
+  using List = SoftLinkedList<std::string>;
+  List* Find(std::string_view key);
+  List* FindOrCreate(std::string_view key);
+  // Empty lists disappear, like in Redis.
+  void DropIfEmpty(std::string_view key);
+
+  SoftMemoryAllocator* sma_;
+  std::map<std::string, std::unique_ptr<List>, std::less<>> lists_;
+};
+
+// Registry of HASH values.
+class HashRegistry {
+ public:
+  explicit HashRegistry(SoftMemoryAllocator* sma) : sma_(sma) {}
+
+  // Sets one field. Returns 1 if the field is new, 0 if overwritten, or an
+  // error when soft memory is unavailable.
+  Result<int64_t> Set(std::string_view key, std::string_view field,
+                      std::string_view value);
+
+  std::optional<std::string> Get(std::string_view key, std::string_view field);
+  bool DelField(std::string_view key, std::string_view field);
+  int64_t Len(std::string_view key);
+
+  // All (field, value) pairs, insertion-ordered.
+  std::vector<std::pair<std::string, std::string>> GetAll(
+      std::string_view key);
+
+  bool Exists(std::string_view key) const;
+  bool Del(std::string_view key);
+  void Clear() { hashes_.clear(); }
+  size_t KeyCount() const { return hashes_.size(); }
+
+  size_t reclaimed() const;
+
+ private:
+  using Hash = SoftHashTable<std::string, std::string>;
+  Hash* Find(std::string_view key);
+  Hash* FindOrCreate(std::string_view key);
+  void DropIfEmpty(std::string_view key);
+
+  SoftMemoryAllocator* sma_;
+  std::map<std::string, std::unique_ptr<Hash>, std::less<>> hashes_;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_KV_KV_TYPES_H_

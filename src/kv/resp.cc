@@ -1,0 +1,194 @@
+#include "src/kv/resp.h"
+
+#include <charconv>
+
+namespace softmem {
+
+RespValue RespValue::Simple(std::string s) {
+  RespValue v;
+  v.type = RespType::kSimpleString;
+  v.str = std::move(s);
+  return v;
+}
+
+RespValue RespValue::Error(std::string s) {
+  RespValue v;
+  v.type = RespType::kError;
+  v.str = std::move(s);
+  return v;
+}
+
+RespValue RespValue::Integer(int64_t i) {
+  RespValue v;
+  v.type = RespType::kInteger;
+  v.integer = i;
+  return v;
+}
+
+RespValue RespValue::Bulk(std::string s) {
+  RespValue v;
+  v.type = RespType::kBulkString;
+  v.str = std::move(s);
+  return v;
+}
+
+RespValue RespValue::Null() { return RespValue{}; }
+
+RespValue RespValue::Array(std::vector<RespValue> items) {
+  RespValue v;
+  v.type = RespType::kArray;
+  v.array = std::move(items);
+  return v;
+}
+
+void RespEncode(const RespValue& value, std::string* out) {
+  switch (value.type) {
+    case RespType::kSimpleString:
+      out->push_back('+');
+      out->append(value.str);
+      out->append("\r\n");
+      break;
+    case RespType::kError:
+      out->push_back('-');
+      out->append(value.str);
+      out->append("\r\n");
+      break;
+    case RespType::kInteger:
+      out->push_back(':');
+      out->append(std::to_string(value.integer));
+      out->append("\r\n");
+      break;
+    case RespType::kBulkString:
+      out->push_back('$');
+      out->append(std::to_string(value.str.size()));
+      out->append("\r\n");
+      out->append(value.str);
+      out->append("\r\n");
+      break;
+    case RespType::kNull:
+      out->append("$-1\r\n");
+      break;
+    case RespType::kArray:
+      out->push_back('*');
+      out->append(std::to_string(value.array.size()));
+      out->append("\r\n");
+      for (const RespValue& item : value.array) {
+        RespEncode(item, out);
+      }
+      break;
+  }
+}
+
+std::string RespEncodeToString(const RespValue& value) {
+  std::string out;
+  RespEncode(value, &out);
+  return out;
+}
+
+void RespParser::Feed(std::string_view bytes) {
+  buf_.append(bytes);
+  if (pos_ > 64 * 1024 && pos_ > buf_.size() / 2) {
+    Compact();
+  }
+}
+
+void RespParser::Compact() {
+  buf_.erase(0, pos_);
+  pos_ = 0;
+}
+
+std::optional<std::string_view> RespParser::ReadLine(size_t from,
+                                                     size_t* end) const {
+  const size_t nl = buf_.find("\r\n", from);
+  if (nl == std::string::npos) {
+    return std::nullopt;
+  }
+  *end = nl + 2;
+  return std::string_view(buf_).substr(from, nl - from);
+}
+
+Result<std::optional<std::vector<std::string>>> RespParser::Next() {
+  if (pos_ >= buf_.size()) {
+    return std::optional<std::vector<std::string>>(std::nullopt);
+  }
+
+  // Inline command: anything not starting with '*'.
+  if (buf_[pos_] != '*') {
+    size_t end = 0;
+    auto line = ReadLine(pos_, &end);
+    if (!line.has_value()) {
+      return std::optional<std::vector<std::string>>(std::nullopt);
+    }
+    std::vector<std::string> argv;
+    size_t i = 0;
+    const std::string_view l = *line;
+    while (i < l.size()) {
+      while (i < l.size() && l[i] == ' ') {
+        ++i;
+      }
+      const size_t start = i;
+      while (i < l.size() && l[i] != ' ') {
+        ++i;
+      }
+      if (i > start) {
+        argv.emplace_back(l.substr(start, i - start));
+      }
+    }
+    pos_ = end;
+    if (argv.empty()) {
+      return Next();  // blank line: skip
+    }
+    return std::optional<std::vector<std::string>>(std::move(argv));
+  }
+
+  // Array-of-bulk-strings form. Parse speculatively; rewind if incomplete.
+  size_t cursor = pos_;
+  size_t end = 0;
+  auto header = ReadLine(cursor, &end);
+  if (!header.has_value()) {
+    return std::optional<std::vector<std::string>>(std::nullopt);
+  }
+  int64_t count = 0;
+  {
+    const std::string_view h = header->substr(1);
+    auto [p, ec] = std::from_chars(h.data(), h.data() + h.size(), count);
+    if (ec != std::errc() || p != h.data() + h.size() || count < 0 ||
+        count > 1024 * 1024) {
+      return InvalidArgumentError("resp: bad array header");
+    }
+  }
+  cursor = end;
+
+  std::vector<std::string> argv;
+  argv.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    auto len_line = ReadLine(cursor, &end);
+    if (!len_line.has_value()) {
+      return std::optional<std::vector<std::string>>(std::nullopt);
+    }
+    if (len_line->empty() || (*len_line)[0] != '$') {
+      return InvalidArgumentError("resp: expected bulk string");
+    }
+    int64_t len = 0;
+    const std::string_view l = len_line->substr(1);
+    auto [p, ec] = std::from_chars(l.data(), l.data() + l.size(), len);
+    if (ec != std::errc() || p != l.data() + l.size() || len < 0 ||
+        len > 512 * 1024 * 1024) {
+      return InvalidArgumentError("resp: bad bulk length");
+    }
+    cursor = end;
+    if (buf_.size() < cursor + static_cast<size_t>(len) + 2) {
+      return std::optional<std::vector<std::string>>(std::nullopt);
+    }
+    argv.emplace_back(buf_.substr(cursor, static_cast<size_t>(len)));
+    if (buf_[cursor + static_cast<size_t>(len)] != '\r' ||
+        buf_[cursor + static_cast<size_t>(len) + 1] != '\n') {
+      return InvalidArgumentError("resp: bulk string not CRLF-terminated");
+    }
+    cursor += static_cast<size_t>(len) + 2;
+  }
+  pos_ = cursor;
+  return std::optional<std::vector<std::string>>(std::move(argv));
+}
+
+}  // namespace softmem

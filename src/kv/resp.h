@@ -1,0 +1,76 @@
+// RESP2 — the Redis serialization protocol (the subset a cache needs).
+//
+// Values: simple strings (+OK\r\n), errors (-ERR ...\r\n), integers
+// (:42\r\n), bulk strings ($3\r\nfoo\r\n, $-1\r\n = null), and arrays
+// (*N\r\n...). Commands arrive as arrays of bulk strings; the parser is
+// incremental so a server can feed it partial socket reads.
+
+#ifndef SOFTMEM_SRC_KV_RESP_H_
+#define SOFTMEM_SRC_KV_RESP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace softmem {
+
+enum class RespType : uint8_t {
+  kSimpleString,
+  kError,
+  kInteger,
+  kBulkString,
+  kNull,
+  kArray,
+};
+
+struct RespValue {
+  RespType type = RespType::kNull;
+  std::string str;       // simple/error/bulk payload
+  int64_t integer = 0;   // kInteger
+  std::vector<RespValue> array;
+
+  static RespValue Simple(std::string s);
+  static RespValue Error(std::string s);
+  static RespValue Integer(int64_t v);
+  static RespValue Bulk(std::string s);
+  static RespValue Null();
+  static RespValue Array(std::vector<RespValue> items);
+};
+
+// Serializes a value to the wire format.
+void RespEncode(const RespValue& value, std::string* out);
+std::string RespEncodeToString(const RespValue& value);
+
+// Incremental command parser: feed bytes, poll complete commands.
+// A command is an array of bulk strings ("*2\r\n$3\r\nGET\r\n$1\r\nk\r\n");
+// the classic inline form ("GET k\r\n") is accepted too.
+class RespParser {
+ public:
+  // Appends raw bytes from the transport.
+  void Feed(std::string_view bytes);
+
+  // Extracts the next complete command (argv). nullopt = need more bytes.
+  // A Status error means the stream is corrupt and the connection should be
+  // dropped.
+  Result<std::optional<std::vector<std::string>>> Next();
+
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  // Reads one CRLF-terminated line starting at `from`; returns the line
+  // without CRLF and advances *end past it, or nullopt if incomplete.
+  std::optional<std::string_view> ReadLine(size_t from, size_t* end) const;
+
+  void Compact();
+
+  std::string buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_KV_RESP_H_

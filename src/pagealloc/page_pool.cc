@@ -1,0 +1,142 @@
+#include "src/pagealloc/page_pool.h"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace softmem {
+
+PagePool::PagePool(std::unique_ptr<PageSource> source)
+    : source_(std::move(source)) {
+  free_virtual_[0] = source_->page_count();
+}
+
+void PagePool::InsertRun(RunMap* map, size_t start, size_t count) {
+  if (count == 0) {
+    return;
+  }
+  // Coalesce with the predecessor.
+  auto next = map->lower_bound(start);
+  if (next != map->begin()) {
+    auto prev = std::prev(next);
+    assert(prev->first + prev->second <= start && "overlapping free runs");
+    if (prev->first + prev->second == start) {
+      start = prev->first;
+      count += prev->second;
+      map->erase(prev);
+    }
+  }
+  // Coalesce with the successor.
+  next = map->lower_bound(start);
+  if (next != map->end()) {
+    assert(start + count <= next->first && "overlapping free runs");
+    if (start + count == next->first) {
+      count += next->second;
+      map->erase(next);
+    }
+  }
+  (*map)[start] = count;
+}
+
+bool PagePool::TakeFirstFit(RunMap* map, size_t count, size_t* out_start) {
+  for (auto it = map->begin(); it != map->end(); ++it) {
+    if (it->second >= count) {
+      *out_start = it->first;
+      const size_t leftover = it->second - count;
+      const size_t leftover_start = it->first + count;
+      map->erase(it);
+      if (leftover > 0) {
+        (*map)[leftover_start] = leftover;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<PageRun> PagePool::Acquire(size_t count) {
+  auto pooled = AcquirePooled(count);
+  if (pooled.ok()) {
+    return pooled;
+  }
+  return AcquireFresh(count);
+}
+
+Result<PageRun> PagePool::AcquirePooled(size_t count) {
+  if (count == 0) {
+    return InvalidArgumentError("cannot acquire zero pages");
+  }
+  size_t start = 0;
+  if (TakeFirstFit(&free_committed_, count, &start)) {
+    pooled_pages_ -= count;
+    return PageRun{start, count};
+  }
+  return ResourceExhaustedError("no pooled run of requested size");
+}
+
+Result<PageRun> PagePool::AcquireFresh(size_t count) {
+  if (count == 0) {
+    return InvalidArgumentError("cannot acquire zero pages");
+  }
+  size_t start = 0;
+  // Because the map is ordered by address and we take the first fit,
+  // previously released low-address runs are re-backed before the heap grows
+  // into fresh address space (§4: re-back released virtual pages before
+  // extending the heap).
+  if (TakeFirstFit(&free_virtual_, count, &start)) {
+    PageRun run{start, count};
+    Status st = source_->Commit(run);
+    if (!st.ok()) {
+      InsertRun(&free_virtual_, start, count);  // undo
+      return st;
+    }
+    return run;
+  }
+  return ResourceExhaustedError("no contiguous run of requested size");
+}
+
+void PagePool::Release(PageRun run) {
+  assert(run.count > 0);
+  InsertRun(&free_committed_, run.start, run.count);
+  pooled_pages_ += run.count;
+}
+
+size_t PagePool::DecommitPooled(size_t max_pages) {
+  size_t decommitted = 0;
+  while (decommitted < max_pages && !free_committed_.empty()) {
+    // Pick the largest pooled run: fewest syscalls per reclaimed page.
+    auto best = free_committed_.begin();
+    for (auto it = free_committed_.begin(); it != free_committed_.end(); ++it) {
+      if (it->second > best->second) {
+        best = it;
+      }
+    }
+    size_t take = std::min(best->second, max_pages - decommitted);
+    // Take from the tail of the run so the map entry just shrinks.
+    const size_t start = best->first + best->second - take;
+    PageRun run{start, take};
+    Status st = source_->Decommit(run);
+    if (!st.ok()) {
+      // Decommit failures are not recoverable bookkeeping-wise; stop here.
+      break;
+    }
+    if (take == best->second) {
+      free_committed_.erase(best);
+    } else {
+      best->second -= take;
+    }
+    pooled_pages_ -= take;
+    InsertRun(&free_virtual_, run.start, run.count);
+    decommitted += take;
+  }
+  return decommitted;
+}
+
+size_t PagePool::PageIndexOf(const void* ptr) const {
+  const char* base = static_cast<const char*>(source_->PageAddress(0));
+  const char* p = static_cast<const char*>(ptr);
+  assert(p >= base && p < base + total_pages() * kPageSize);
+  return static_cast<size_t>(p - base) / kPageSize;
+}
+
+}  // namespace softmem

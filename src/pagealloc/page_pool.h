@@ -1,0 +1,98 @@
+// Process-global free pool of soft memory pages.
+//
+// The SMA keeps "a global free pool of free pages that it assigns to SDS
+// heaps upon memory requests and replenishes when a SDS transfers pages back
+// to the pool after freeing allocations" (§3.1). PagePool implements that
+// pool on top of a PageSource:
+//
+//  * Acquire(n)        — hand out a contiguous committed run of n pages,
+//                        preferring already-committed pooled runs (cheap),
+//                        then re-backing previously released virtual runs,
+//                        i.e. only extending into untouched address space
+//                        last (lowest-address-first-fit gives this for free).
+//  * Release(run)      — return a run to the pool, still committed.
+//  * DecommitPooled(n) — give up to n pooled pages back to the OS; this is
+//                        the "release pages back to the operating system"
+//                        step of reclamation.
+//
+// The pool does not enforce the soft budget; the SMA does, using
+// committed_pages() as the consumption figure.
+//
+// Not thread-safe: the owning SoftMemoryAllocator serializes access.
+
+#ifndef SOFTMEM_SRC_PAGEALLOC_PAGE_POOL_H_
+#define SOFTMEM_SRC_PAGEALLOC_PAGE_POOL_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/pagealloc/page_source.h"
+
+namespace softmem {
+
+class PagePool {
+ public:
+  explicit PagePool(std::unique_ptr<PageSource> source);
+
+  PagePool(const PagePool&) = delete;
+  PagePool& operator=(const PagePool&) = delete;
+
+  // Obtains a committed run of exactly `count` contiguous pages. Fails with
+  // kResourceExhausted when neither the pool, nor re-backing, nor fresh
+  // commit can produce one.
+  Result<PageRun> Acquire(size_t count);
+
+  // Acquire variant that only consults the pool of already-committed runs —
+  // never commits new pages, so it cannot raise the committed-page count.
+  // The SMA uses this to serve requests without consuming budget headroom.
+  Result<PageRun> AcquirePooled(size_t count);
+
+  // Acquire variant that only commits previously-unbacked virtual pages
+  // (re-backing released runs before extending into fresh address space).
+  // Raises committed_pages() by `count` on success.
+  Result<PageRun> AcquireFresh(size_t count);
+
+  // Returns a run to the pool (stays committed, available for reuse).
+  // The run must have been produced by Acquire and not already released.
+  void Release(PageRun run);
+
+  // Decommits up to `max_pages` pooled pages, preferring the largest pooled
+  // runs so reclamation produces few syscalls. Returns pages decommitted.
+  size_t DecommitPooled(size_t max_pages);
+
+  // Address of the first byte of `run`.
+  void* RunAddress(PageRun run) const { return source_->PageAddress(run.start); }
+  void* PageAddress(size_t index) const { return source_->PageAddress(index); }
+
+  // Page index containing `ptr`. ptr must lie inside the region.
+  size_t PageIndexOf(const void* ptr) const;
+
+  // Accounting.
+  size_t total_pages() const { return source_->page_count(); }
+  size_t committed_pages() const { return source_->committed_pages(); }
+  size_t pooled_pages() const { return pooled_pages_; }
+  // Pages committed and handed out (committed minus pooled).
+  size_t in_use_pages() const { return committed_pages() - pooled_pages_; }
+
+  PageSource* source() { return source_.get(); }
+
+ private:
+  using RunMap = std::map<size_t, size_t>;  // start page -> page count
+
+  // Inserts [start, start+count) into `map`, coalescing neighbours.
+  static void InsertRun(RunMap* map, size_t start, size_t count);
+  // Removes the first run of >= count pages (first fit); returns its start,
+  // splitting leftovers back into the map. Returns false if none fits.
+  static bool TakeFirstFit(RunMap* map, size_t count, size_t* out_start);
+
+  std::unique_ptr<PageSource> source_;
+  RunMap free_committed_;  // the pool: committed, unused
+  RunMap free_virtual_;    // reserved but unbacked (never used or decommitted)
+  size_t pooled_pages_ = 0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_PAGEALLOC_PAGE_POOL_H_

@@ -1,0 +1,116 @@
+#include "src/pagealloc/page_source.h"
+
+#include <sys/mman.h>
+
+#include <cerrno>
+#include <cstring>
+#include <new>
+#include <string>
+
+namespace softmem {
+
+namespace internal {
+
+Status CommitMap::Check(PageRun run, bool expect_committed) const {
+  if (run.count == 0) {
+    return InvalidArgumentError("empty page run");
+  }
+  if (run.start + run.count > committed_.size() ||
+      run.start + run.count < run.start) {
+    return InvalidArgumentError("page run out of range");
+  }
+  for (size_t i = run.start; i < run.start + run.count; ++i) {
+    if (committed_[i] != expect_committed) {
+      return FailedPreconditionError(
+          expect_committed ? "page not committed" : "page already committed");
+    }
+  }
+  return Status::Ok();
+}
+
+void CommitMap::Set(PageRun run, bool committed) {
+  for (size_t i = run.start; i < run.start + run.count; ++i) {
+    if (committed_[i] != committed) {
+      committed_count_ += committed ? 1 : -1;
+      committed_[i] = committed;
+    }
+  }
+}
+
+}  // namespace internal
+
+Result<MmapPageSource*> MmapPageSource::Create(size_t page_count) {
+  if (page_count == 0) {
+    return InvalidArgumentError("page_count must be positive");
+  }
+  void* base = ::mmap(nullptr, page_count * kPageSize, PROT_NONE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (base == MAP_FAILED) {
+    return ResourceExhaustedError(std::string("mmap reserve failed: ") +
+                                  std::strerror(errno));
+  }
+  return new MmapPageSource(base, page_count);
+}
+
+MmapPageSource::~MmapPageSource() {
+  ::munmap(base_, map_.page_count() * kPageSize);
+}
+
+Status MmapPageSource::Commit(PageRun run) {
+  SOFTMEM_RETURN_IF_ERROR(map_.Check(run, /*expect_committed=*/false));
+  void* addr = PageAddress(run.start);
+  if (::mprotect(addr, run.bytes(), PROT_READ | PROT_WRITE) != 0) {
+    return ResourceExhaustedError(std::string("mprotect commit failed: ") +
+                                  std::strerror(errno));
+  }
+  map_.Set(run, true);
+  return Status::Ok();
+}
+
+Status MmapPageSource::Decommit(PageRun run) {
+  SOFTMEM_RETURN_IF_ERROR(map_.Check(run, /*expect_committed=*/true));
+  void* addr = PageAddress(run.start);
+  // MADV_DONTNEED drops the physical pages immediately; the follow-up
+  // mprotect makes stray accesses fault instead of silently reading zeros.
+  if (::madvise(addr, run.bytes(), MADV_DONTNEED) != 0) {
+    return InternalError(std::string("madvise failed: ") +
+                         std::strerror(errno));
+  }
+  if (::mprotect(addr, run.bytes(), PROT_NONE) != 0) {
+    return InternalError(std::string("mprotect decommit failed: ") +
+                         std::strerror(errno));
+  }
+  map_.Set(run, false);
+  return Status::Ok();
+}
+
+SimPageSource::SimPageSource(size_t page_count)
+    : base_(static_cast<char*>(
+          ::operator new(page_count * kPageSize, std::align_val_t(kPageSize)))),
+      map_(page_count),
+      commit_limit_(page_count) {}
+
+SimPageSource::~SimPageSource() {
+  ::operator delete(base_, std::align_val_t(kPageSize));
+}
+
+Status SimPageSource::Commit(PageRun run) {
+  SOFTMEM_RETURN_IF_ERROR(map_.Check(run, /*expect_committed=*/false));
+  if (map_.committed_pages() + run.count > commit_limit_) {
+    return ResourceExhaustedError("sim commit limit reached");
+  }
+  ++commit_calls_;
+  map_.Set(run, true);
+  return Status::Ok();
+}
+
+Status SimPageSource::Decommit(PageRun run) {
+  SOFTMEM_RETURN_IF_ERROR(map_.Check(run, /*expect_committed=*/true));
+  ++decommit_calls_;
+  // Poison the dropped range so use-after-reclaim bugs surface in tests.
+  std::memset(base_ + run.start * kPageSize, 0xDD, run.bytes());
+  map_.Set(run, false);
+  return Status::Ok();
+}
+
+}  // namespace softmem

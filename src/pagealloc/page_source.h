@@ -1,0 +1,163 @@
+// Virtual-memory page sources.
+//
+// A PageSource owns a fixed-size contiguous *virtual* region divided into
+// kPageSize pages. Pages start unbacked; `Commit` backs a run with physical
+// memory and `Decommit` returns the physical backing to the OS while keeping
+// the virtual range reserved. This mirrors the paper's prototype (§4): "when
+// the memory allocator releases pages back to the operating system upon a
+// reclamation demand, it tracks the released virtual pages to re-back them
+// with physical pages before extending the heap."
+//
+// Two implementations:
+//  * MmapPageSource — the real thing: PROT_NONE reservation, mprotect to
+//    commit, madvise(MADV_DONTNEED) + mprotect(PROT_NONE) to decommit.
+//  * SimPageSource  — heap-backed, with commit-failure injection for tests.
+
+#ifndef SOFTMEM_SRC_PAGEALLOC_PAGE_SOURCE_H_
+#define SOFTMEM_SRC_PAGEALLOC_PAGE_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace softmem {
+
+// A contiguous run of pages within a source's region, identified by page
+// index. `count == 0` means "empty run".
+struct PageRun {
+  size_t start = 0;
+  size_t count = 0;
+
+  size_t bytes() const { return count * kPageSize; }
+  bool empty() const { return count == 0; }
+
+  friend bool operator==(const PageRun& a, const PageRun& b) {
+    return a.start == b.start && a.count == b.count;
+  }
+};
+
+class PageSource {
+ public:
+  virtual ~PageSource() = default;
+
+  // Total pages in the reserved virtual region.
+  virtual size_t page_count() const = 0;
+
+  // Pages currently backed by physical memory.
+  virtual size_t committed_pages() const = 0;
+
+  // Address of page `index`. Valid for any index < page_count(); the memory
+  // is only usable while the page is committed.
+  virtual void* PageAddress(size_t index) const = 0;
+
+  // Backs pages [run.start, run.start+run.count) with physical memory.
+  // The pages must currently be uncommitted. Fails with kResourceExhausted
+  // if physical memory cannot be obtained.
+  virtual Status Commit(PageRun run) = 0;
+
+  // Releases the physical backing of a committed run. The virtual range
+  // stays reserved and may be re-committed later.
+  virtual Status Decommit(PageRun run) = 0;
+
+  // True iff page `index` is committed.
+  virtual bool IsCommitted(size_t index) const = 0;
+};
+
+namespace internal {
+
+// Commit bookkeeping shared by both implementations.
+class CommitMap {
+ public:
+  explicit CommitMap(size_t page_count) : committed_(page_count, false) {}
+
+  size_t page_count() const { return committed_.size(); }
+  size_t committed_pages() const { return committed_count_; }
+  bool IsCommitted(size_t index) const { return committed_[index]; }
+
+  // Validates that `run` is in range and every page matches `expect_committed`.
+  Status Check(PageRun run, bool expect_committed) const;
+
+  void Set(PageRun run, bool committed);
+
+ private:
+  std::vector<bool> committed_;
+  size_t committed_count_ = 0;
+};
+
+}  // namespace internal
+
+// mmap-backed page source (Linux).
+class MmapPageSource : public PageSource {
+ public:
+  // Reserves `page_count` pages of virtual address space. Aborts the
+  // constructor contract via a failed Result: use Create().
+  static Result<MmapPageSource*> Create(size_t page_count);
+  ~MmapPageSource() override;
+
+  MmapPageSource(const MmapPageSource&) = delete;
+  MmapPageSource& operator=(const MmapPageSource&) = delete;
+
+  size_t page_count() const override { return map_.page_count(); }
+  size_t committed_pages() const override { return map_.committed_pages(); }
+  void* PageAddress(size_t index) const override {
+    return static_cast<char*>(base_) + index * kPageSize;
+  }
+  Status Commit(PageRun run) override;
+  Status Decommit(PageRun run) override;
+  bool IsCommitted(size_t index) const override {
+    return map_.IsCommitted(index);
+  }
+
+ private:
+  MmapPageSource(void* base, size_t page_count)
+      : base_(base), map_(page_count) {}
+
+  void* base_;
+  internal::CommitMap map_;
+};
+
+// Heap-backed page source for tests and portable builds. Commit/Decommit are
+// bookkeeping only (memory stays usable), plus optional failure injection.
+class SimPageSource : public PageSource {
+ public:
+  explicit SimPageSource(size_t page_count);
+  ~SimPageSource() override;
+
+  SimPageSource(const SimPageSource&) = delete;
+  SimPageSource& operator=(const SimPageSource&) = delete;
+
+  size_t page_count() const override { return map_.page_count(); }
+  size_t committed_pages() const override { return map_.committed_pages(); }
+  void* PageAddress(size_t index) const override {
+    return base_ + index * kPageSize;
+  }
+  Status Commit(PageRun run) override;
+  Status Decommit(PageRun run) override;
+  bool IsCommitted(size_t index) const override {
+    return map_.IsCommitted(index);
+  }
+
+  // After this many more committed pages, Commit() fails with
+  // kResourceExhausted. Simulates physical memory exhaustion.
+  void set_commit_limit(size_t max_committed_pages) {
+    commit_limit_ = max_committed_pages;
+  }
+
+  // Counters for tests.
+  size_t commit_calls() const { return commit_calls_; }
+  size_t decommit_calls() const { return decommit_calls_; }
+
+ private:
+  char* base_;
+  internal::CommitMap map_;
+  size_t commit_limit_;
+  size_t commit_calls_ = 0;
+  size_t decommit_calls_ = 0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_PAGEALLOC_PAGE_SOURCE_H_

@@ -1,0 +1,217 @@
+#include "src/runtime/cluster_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace softmem {
+
+namespace {
+
+struct Job {
+  size_t id = 0;
+  double arrival = 0;
+  double earliest_admission = 0;  // kill backoff
+  double total_work = 0;     // CPU-seconds needed
+  double done_work = 0;
+  size_t base_memory = 0;    // steady demand
+  size_t priority = 0;       // higher = more important
+  double cache_fraction = 1.0;  // soft policy: fraction of cache present
+  double completion = -1;
+  uint64_t phase = 0;        // deterministic per-job burst phase
+};
+
+// Deterministic per-(job, tick) burst factor in [0, 1].
+double BurstFactor(const Job& job, uint64_t tick) {
+  uint64_t x = job.phase ^ (tick * 0x9e3779b97f4a7c15ULL);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 29;
+  // Smooth-ish: average two neighbouring ticks so demand doesn't teleport.
+  const double a = static_cast<double>(x % 1000) / 1000.0;
+  return a;
+}
+
+}  // namespace
+
+ClusterSimResult RunClusterSim(const ClusterSimOptions& opt) {
+  Rng rng(opt.seed);
+  ClusterSimResult result;
+  result.jobs_submitted = opt.job_count;
+
+  // Generate the job stream.
+  std::deque<Job> pending;  // not yet arrived (sorted by arrival)
+  {
+    double t = 0;
+    for (size_t i = 0; i < opt.job_count; ++i) {
+      Job j;
+      j.id = i;
+      // Exponential-ish interarrival from inverse CDF.
+      t += -opt.mean_interarrival * std::log(1.0 - rng.NextDouble());
+      j.arrival = t;
+      j.total_work = opt.min_duration +
+                     rng.NextDouble() * (opt.max_duration - opt.min_duration);
+      j.base_memory = opt.min_job_memory +
+                      rng.NextBounded(opt.max_job_memory - opt.min_job_memory);
+      j.priority = rng.NextBounded(10);
+      j.phase = rng.NextU64();
+      pending.push_back(j);
+    }
+  }
+
+  const double headroom =
+      opt.admission_headroom >= 0
+          ? opt.admission_headroom
+          : (opt.policy == PressurePolicy::kKillBased ? opt.burstiness : 0.0);
+
+  std::deque<Job> waiting;   // arrived, not admitted
+  std::vector<Job> running;
+  double utilization_sum = 0;
+  uint64_t ticks = 0;
+  const auto soft_part = [&](const Job& j) {
+    return static_cast<size_t>(static_cast<double>(j.base_memory) *
+                               opt.soft_fraction);
+  };
+  const auto demand = [&](const Job& j, uint64_t tick) {
+    const double burst =
+        1.0 + opt.burstiness * BurstFactor(j, tick);
+    const auto trad = static_cast<size_t>(
+        static_cast<double>(j.base_memory - soft_part(j)) * burst);
+    const auto soft = static_cast<size_t>(
+        static_cast<double>(soft_part(j)) * j.cache_fraction * burst);
+    return trad + soft;
+  };
+  const auto traditional_demand = [&](const Job& j, uint64_t tick) {
+    const double burst = 1.0 + opt.burstiness * BurstFactor(j, tick);
+    return static_cast<size_t>(
+        static_cast<double>(j.base_memory - soft_part(j)) * burst);
+  };
+
+  double now = 0;
+  const uint64_t kMaxTicks = 10 * 1000 * 1000;
+  while ((result.jobs_completed < opt.job_count) && ticks < kMaxTicks) {
+    ++ticks;
+    now += opt.tick_seconds;
+
+    // Arrivals.
+    while (!pending.empty() && pending.front().arrival <= now) {
+      waiting.push_back(pending.front());
+      pending.pop_front();
+    }
+
+    // Admission (FIFO): admit while the base demand fits.
+    size_t used = 0;
+    for (const Job& j : running) {
+      used += demand(j, ticks);
+    }
+    for (size_t scanned = 0; scanned < waiting.size();) {
+      Job& candidate = waiting.front();
+      if (candidate.earliest_admission > now) {
+        // Backed off: rotate to the back and look at the next job.
+        waiting.push_back(candidate);
+        waiting.pop_front();
+        ++scanned;
+        continue;
+      }
+      const auto admission_demand = static_cast<size_t>(
+          static_cast<double>(candidate.base_memory) * (1.0 + headroom));
+      if (used + admission_demand > opt.machine_memory) {
+        break;
+      }
+      used += candidate.base_memory;
+      running.push_back(candidate);
+      waiting.pop_front();
+    }
+
+    // Pressure resolution.
+    auto total_demand = [&]() {
+      size_t sum = 0;
+      for (const Job& j : running) {
+        sum += demand(j, ticks);
+      }
+      return sum;
+    };
+    if (opt.policy == PressurePolicy::kSoftMemory) {
+      // Tier 1: shrink caches, largest soft holdings first.
+      if (total_demand() > opt.machine_memory) {
+        ++result.soft_reclamations;
+        std::vector<size_t> order(running.size());
+        for (size_t i = 0; i < order.size(); ++i) {
+          order[i] = i;
+        }
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+          const auto sa = static_cast<double>(soft_part(running[a])) *
+                          running[a].cache_fraction;
+          const auto sb = static_cast<double>(soft_part(running[b])) *
+                          running[b].cache_fraction;
+          return sa > sb;
+        });
+        for (size_t idx : order) {
+          if (total_demand() <= opt.machine_memory) {
+            break;
+          }
+          Job& victim = running[idx];
+          const size_t before = demand(victim, ticks);
+          victim.cache_fraction = 0.0;
+          result.reclaimed_memory_units += before - demand(victim, ticks);
+        }
+      }
+    }
+    // Tier 2 (both policies): kill lowest-priority jobs until demand fits.
+    while (total_demand() > opt.machine_memory && !running.empty()) {
+      size_t victim = 0;
+      for (size_t i = 1; i < running.size(); ++i) {
+        if (running[i].priority < running[victim].priority ||
+            (running[i].priority == running[victim].priority &&
+             demand(running[i], ticks) > demand(running[victim], ticks))) {
+          victim = i;
+        }
+      }
+      ++result.kills;
+      result.wasted_cpu_seconds += running[victim].done_work;
+      Job restarted = running[victim];
+      restarted.done_work = 0;
+      restarted.cache_fraction = 1.0;
+      restarted.earliest_admission = now + opt.kill_backoff_seconds;
+      running.erase(running.begin() + static_cast<long>(victim));
+      waiting.push_back(restarted);  // re-queued from scratch
+    }
+
+    // Progress + cache warm-up.
+    utilization_sum += std::min(
+        1.0, static_cast<double>(total_demand()) /
+                 static_cast<double>(opt.machine_memory));
+    for (auto it = running.begin(); it != running.end();) {
+      Job& j = *it;
+      // The penalty scales with the share of the job's data that was cache
+      // and is currently missing.
+      const double slowdown =
+          1.0 + opt.miss_penalty * (1.0 - j.cache_fraction) *
+                    opt.soft_fraction;
+      const double progress = opt.tick_seconds / slowdown;
+      j.done_work += progress;
+      result.useful_cpu_seconds += progress;
+      // Cache refills over time (re-fetch on miss): 5%/tick toward full.
+      j.cache_fraction = std::min(1.0, j.cache_fraction + 0.05);
+      if (j.done_work >= j.total_work) {
+        ++result.jobs_completed;
+        result.mean_completion_seconds += now - j.arrival;
+        it = running.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    (void)traditional_demand;
+  }
+
+  result.total_sim_seconds = now;
+  if (result.jobs_completed > 0) {
+    result.mean_completion_seconds /=
+        static_cast<double>(result.jobs_completed);
+  }
+  result.mean_memory_utilization =
+      utilization_sum / static_cast<double>(ticks);
+  return result;
+}
+
+}  // namespace softmem

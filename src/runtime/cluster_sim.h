@@ -1,0 +1,94 @@
+// ClusterSim — a machine-level job simulator for the paper's motivation
+// claims (§1, §2):
+//
+//   "low-priority processes are routinely killed to free up resources during
+//    memory pressure. This wastes CPU cycles upon re-running killed jobs and
+//    incentivizes datacenter operators to run at low memory utilization for
+//    safety. ... Soft memory eliminates the utilization-performance
+//    trade-off for the memory resource."
+//
+// The simulator runs a stream of jobs with time-varying memory demand on one
+// machine under two pressure policies:
+//
+//  * kKillBased  — Borg-style: when demand exceeds capacity, kill the
+//    lowest-priority running job; its completed work is wasted and the job
+//    re-enters the queue from scratch.
+//  * kSoftMemory — each job splits its demand into an incompressible
+//    traditional part and a revocable soft part (its caches); under pressure
+//    the machine reclaims soft memory from low-weight... rather, from
+//    running jobs (largest soft holdings first), which slows those jobs
+//    (cache misses cost extra work) but kills nobody. If even the sum of
+//    traditional parts exceeds capacity, kills remain the last resort.
+//
+// Deterministic from the seed; the MOTIVATION bench sweeps offered load and
+// reports kills, wasted work, completion times, and utilization per policy.
+
+#ifndef SOFTMEM_SRC_RUNTIME_CLUSTER_SIM_H_
+#define SOFTMEM_SRC_RUNTIME_CLUSTER_SIM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace softmem {
+
+enum class PressurePolicy {
+  kKillBased,   // evict lowest-priority job on pressure
+  kSoftMemory,  // reclaim soft memory; kill only as a last resort
+};
+
+struct ClusterSimOptions {
+  PressurePolicy policy = PressurePolicy::kKillBased;
+  size_t machine_memory = 64 * 1024;  // abstract memory units (e.g. MiB)
+  size_t job_count = 200;
+  uint64_t seed = 1;
+
+  // Job shape distributions.
+  size_t min_job_memory = 1024;
+  size_t max_job_memory = 16 * 1024;
+  double min_duration = 50;    // simulated seconds of CPU work
+  double max_duration = 500;
+  double mean_interarrival = 8;  // seconds between job arrivals
+
+  // Fraction of a job's memory that is revocable cache (soft mode only).
+  double soft_fraction = 0.5;
+  // Work slowdown per unit of reclaimed cache: a job running with half its
+  // cache gone progresses at 1/(1 + penalty*0.5) speed.
+  double miss_penalty = 0.6;
+  // Memory demand varies over a job's life: peak = base * (1 + burstiness).
+  double burstiness = 0.5;
+  double tick_seconds = 1.0;
+
+  // Admission headroom: a job is admitted only if used + base*(1+headroom)
+  // fits. Negative = derive from the policy: kill-based operators provision
+  // for peak (headroom = burstiness — the paper's "deployments provision
+  // for peak load"), soft-memory operators admit on base demand because
+  // pressure is survivable.
+  double admission_headroom = -1.0;
+
+  // A killed job may not be re-admitted for this long (avoids kill-thrash;
+  // models scheduler retry backoff).
+  double kill_backoff_seconds = 30.0;
+};
+
+struct ClusterSimResult {
+  size_t jobs_submitted = 0;
+  size_t jobs_completed = 0;
+  size_t kills = 0;                 // evictions due to memory pressure
+  double wasted_cpu_seconds = 0;    // completed work destroyed by kills
+  double useful_cpu_seconds = 0;
+  double total_sim_seconds = 0;
+  double mean_completion_seconds = 0;  // submission -> completion
+  double mean_memory_utilization = 0;  // fraction of machine memory in use
+  size_t soft_reclamations = 0;        // soft-policy pressure events
+  size_t reclaimed_memory_units = 0;
+};
+
+// Runs the simulation to completion (all jobs finished).
+ClusterSimResult RunClusterSim(const ClusterSimOptions& options);
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_RUNTIME_CLUSTER_SIM_H_

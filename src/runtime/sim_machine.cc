@@ -1,0 +1,80 @@
+#include "src/runtime/sim_machine.h"
+
+namespace softmem {
+
+// SmdChannel that calls straight into the machine's daemon.
+class SimProcess::DirectChannel : public SmdChannel {
+ public:
+  DirectChannel(SoftMemoryDaemon* daemon, ProcessId* pid)
+      : daemon_(daemon), pid_(pid) {}
+
+  Result<size_t> RequestBudget(size_t pages) override {
+    return daemon_->HandleBudgetRequest(*pid_, pages);
+  }
+  void ReleaseBudget(size_t pages) override {
+    daemon_->HandleBudgetRelease(*pid_, pages);
+  }
+  void ReportUsage(size_t soft_pages, size_t traditional_bytes) override {
+    daemon_->HandleUsageReport(*pid_, soft_pages, traditional_bytes);
+  }
+
+ private:
+  SoftMemoryDaemon* daemon_;
+  ProcessId* pid_;
+};
+
+// ReclaimSink that calls straight into the process's allocator.
+class SimProcess::DirectSink : public ReclaimSink {
+ public:
+  DirectSink() = default;
+
+  size_t DemandReclaim(size_t pages) override {
+    if (sma == nullptr) {
+      return 0;
+    }
+    return sma->HandleReclaimDemand(pages);
+  }
+
+  SoftMemoryAllocator* sma = nullptr;  // late-bound after SMA creation
+};
+
+SimProcess::SimProcess(SimMachine* machine, std::string name)
+    : machine_(machine), name_(std::move(name)) {}
+
+SimProcess::~SimProcess() { Exit(); }
+
+void SimProcess::Exit() {
+  if (sma_ != nullptr) {
+    sink_->sma = nullptr;
+    sma_.reset();  // frees all soft memory
+    machine_->daemon_.DeregisterProcess(pid_);
+  }
+}
+
+Result<SimProcess*> SimMachine::SpawnProcess(const std::string& name,
+                                             SmaOptions sma_options) {
+  auto proc = std::unique_ptr<SimProcess>(new SimProcess(this, name));
+  proc->sink_ = std::make_unique<SimProcess::DirectSink>();
+  SOFTMEM_ASSIGN_OR_RETURN(proc->pid_,
+                           daemon_.RegisterProcess(name, proc->sink_.get()));
+  proc->channel_ = std::make_unique<SimProcess::DirectChannel>(&daemon_,
+                                                               &proc->pid_);
+  // The daemon's initial grant is the process's whole starting budget.
+  SOFTMEM_ASSIGN_OR_RETURN(sma_options.initial_budget_pages,
+                           daemon_.GetBudget(proc->pid_));
+  auto sma = SoftMemoryAllocator::Create(sma_options, proc->channel_.get());
+  if (!sma.ok()) {
+    daemon_.DeregisterProcess(proc->pid_);
+    return sma.status();
+  }
+  proc->sma_ = std::move(sma).value();
+  proc->sink_->sma = proc->sma_.get();
+  processes_.push_back(std::move(proc));
+  return processes_.back().get();
+}
+
+SimMachine::SimMachine(const SmdOptions& smd_options,
+                       std::unique_ptr<ReclamationWeightPolicy> policy)
+    : daemon_(smd_options, std::move(policy)) {}
+
+}  // namespace softmem

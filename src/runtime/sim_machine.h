@@ -1,0 +1,102 @@
+// SimMachine — a deterministic one-machine soft memory deployment.
+//
+// Hosts any number of simulated "processes", each with its own
+// SoftMemoryAllocator, all arbitrated by one SoftMemoryDaemon. The wiring is
+// direct (synchronous function calls instead of sockets), so experiments are
+// exactly reproducible: the Figure-2 timeline bench and the multi-process
+// stress cases run on a SimMachine with a SimClock.
+//
+// The protocol semantics are identical to the Unix-socket deployment — the
+// same SmdChannel/ReclaimSink interfaces are used, just without transport.
+
+#ifndef SOFTMEM_SRC_RUNTIME_SIM_MACHINE_H_
+#define SOFTMEM_SRC_RUNTIME_SIM_MACHINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/sma/soft_memory_allocator.h"
+#include "src/smd/soft_memory_daemon.h"
+
+namespace softmem {
+
+class SimMachine;
+
+// One simulated process: an SMA wired to the machine's daemon.
+class SimProcess {
+ public:
+  ~SimProcess();
+
+  SimProcess(const SimProcess&) = delete;
+  SimProcess& operator=(const SimProcess&) = delete;
+
+  SoftMemoryAllocator* sma() { return sma_.get(); }
+  ProcessId pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+
+  // Convenience passthroughs.
+  void* SoftMalloc(size_t size) { return sma_->SoftMalloc(size); }
+  void SoftFree(void* ptr) { sma_->SoftFree(ptr); }
+
+  // Soft memory currently held, in bytes (committed pages).
+  size_t soft_bytes() const { return sma_->committed_pages() * kPageSize; }
+
+  // Terminates the process: destroys its allocator and returns its budget
+  // to the daemon. Idempotent.
+  void Exit();
+
+  bool alive() const { return sma_ != nullptr; }
+
+ private:
+  friend class SimMachine;
+
+  class DirectChannel;
+  class DirectSink;
+
+  SimProcess(SimMachine* machine, std::string name);
+
+  SimMachine* machine_;
+  std::string name_;
+  ProcessId pid_ = 0;
+  std::unique_ptr<DirectChannel> channel_;
+  std::unique_ptr<DirectSink> sink_;
+  std::unique_ptr<SoftMemoryAllocator> sma_;
+};
+
+class SimMachine {
+ public:
+  // `clock` is optional; default is a machine-owned SimClock starting at 0.
+  explicit SimMachine(const SmdOptions& smd_options,
+                      std::unique_ptr<ReclamationWeightPolicy> policy = nullptr);
+
+  SimMachine(const SimMachine&) = delete;
+  SimMachine& operator=(const SimMachine&) = delete;
+
+  // Creates a process with its own allocator. The process registers with the
+  // daemon; its initial budget is the daemon's initial grant (overriding
+  // sma_options.initial_budget_pages).
+  Result<SimProcess*> SpawnProcess(const std::string& name,
+                                   SmaOptions sma_options);
+
+  SoftMemoryDaemon* daemon() { return &daemon_; }
+  SimClock* clock() { return &clock_; }
+
+  // All processes ever spawned (exited ones have alive() == false).
+  const std::vector<std::unique_ptr<SimProcess>>& processes() const {
+    return processes_;
+  }
+
+ private:
+  friend class SimProcess;
+
+  SoftMemoryDaemon daemon_;
+  SimClock clock_;
+  std::vector<std::unique_ptr<SimProcess>> processes_;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_RUNTIME_SIM_MACHINE_H_

@@ -1,0 +1,19 @@
+// Umbrella header for the Soft Data Structure library (§3.2).
+//
+// Each SDS owns one SMA context (its own heap + priority), implements the
+// `reclaim` protocol the SMA calls under memory pressure, and optionally
+// forwards per-element last-chance callbacks to the application.
+
+#ifndef SOFTMEM_SRC_SDS_SDS_H_
+#define SOFTMEM_SRC_SDS_SDS_H_
+
+#include "src/sds/soft_array.h"        // gives up its whole block
+#include "src/sds/soft_bloom_filter.h"  // drops to "maybe" answers
+#include "src/sds/soft_hash_table.h"   // drops entries oldest-first
+#include "src/sds/soft_linked_list.h"  // drops nodes oldest-first
+#include "src/sds/soft_lru_cache.h"    // evicts least-recently-used
+#include "src/sds/soft_queue.h"        // drops oldest requests by segment
+#include "src/sds/soft_skip_list.h"    // ordered map, drops oldest entries
+#include "src/sds/soft_vector.h"       // gives up its whole block
+
+#endif  // SOFTMEM_SRC_SDS_SDS_H_

@@ -1,0 +1,151 @@
+// SoftArray — the paper's simplest Soft Data Structure (§3.2).
+//
+// A fixed-size contiguous array whose storage lives in soft memory. Because
+// an array is a single contiguous block, it "gives up all of its soft memory
+// upon a reclamation demand": after reclamation the array is invalid until
+// Restore() re-allocates it. The application learns about the loss through
+// the optional on_reclaim hook (last-chance access to the data) and through
+// valid().
+
+#ifndef SOFTMEM_SRC_SDS_SOFT_ARRAY_H_
+#define SOFTMEM_SRC_SDS_SOFT_ARRAY_H_
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+#include "src/common/status.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+
+template <typename T>
+class SoftArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SoftArray elements must be trivially copyable: reclamation "
+                "drops the block without running destructors");
+
+ public:
+  struct Options {
+    // Reclamation order key: lower priority is revoked first.
+    size_t priority = 0;
+    // Last-chance hook over the whole block before it is dropped.
+    std::function<void(T* data, size_t count)> on_reclaim;
+  };
+
+  // Creates the array and allocates its block. On allocation failure the
+  // array starts invalid (check valid()).
+  SoftArray(SoftMemoryAllocator* sma, size_t count, Options options = {})
+      : sma_(sma), count_(count), options_(std::move(options)) {
+    ContextOptions co;
+    co.name = "SoftArray";
+    co.priority = options_.priority;
+    co.mode = ReclaimMode::kCustom;
+    auto ctx = sma_->CreateContext(co);
+    if (!ctx.ok()) {
+      return;
+    }
+    ctx_ = *ctx;
+    has_ctx_ = true;
+    sma_->SetCustomReclaim(ctx_, [this](size_t target) {
+      return ReclaimAll(target);
+    });
+    AllocateBlock();
+  }
+
+  ~SoftArray() {
+    if (has_ctx_) {
+      sma_->DestroyContext(ctx_);  // frees the block too
+    }
+  }
+
+  SoftArray(const SoftArray&) = delete;
+  SoftArray& operator=(const SoftArray&) = delete;
+
+  // False after reclamation (or failed allocation); element access is then
+  // forbidden.
+  bool valid() const { return data_ != nullptr; }
+
+  size_t size() const { return count_; }
+  size_t size_bytes() const { return count_ * sizeof(T); }
+
+  T* data() {
+    assert(valid());
+    return data_;
+  }
+  const T* data() const {
+    assert(valid());
+    return data_;
+  }
+
+  T& operator[](size_t i) {
+    assert(valid() && i < count_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    assert(valid() && i < count_);
+    return data_[i];
+  }
+
+  // How many times this array has been revoked.
+  size_t reclaim_count() const { return reclaim_count_; }
+
+  // Re-allocates the block after a reclamation (contents value-initialized).
+  Status Restore() {
+    if (valid()) {
+      return Status::Ok();
+    }
+    if (!has_ctx_) {
+      return FailedPreconditionError("context creation failed");
+    }
+    if (!AllocateBlock()) {
+      return ResourceExhaustedError("soft memory unavailable");
+    }
+    return Status::Ok();
+  }
+
+  ContextId context() const { return ctx_; }
+
+ private:
+  bool AllocateBlock() {
+    void* p = sma_->SoftMalloc(ctx_, count_ * sizeof(T));
+    if (p == nullptr) {
+      return false;
+    }
+    // Placement array-new may add bookkeeping overhead; construct per slot.
+    T* elems = static_cast<T*>(p);
+    for (size_t i = 0; i < count_; ++i) {
+      new (elems + i) T();
+    }
+    data_ = elems;
+    return true;
+  }
+
+  size_t ReclaimAll(size_t /*target_bytes*/) {
+    if (!valid()) {
+      return 0;
+    }
+    if (options_.on_reclaim) {
+      options_.on_reclaim(data_, count_);
+    }
+    const size_t freed = sma_->AllocationSize(data_);
+    sma_->SoftFree(data_);
+    data_ = nullptr;
+    ++reclaim_count_;
+    return freed;
+  }
+
+  SoftMemoryAllocator* sma_;
+  size_t count_;
+  Options options_;
+  ContextId ctx_ = 0;
+  bool has_ctx_ = false;
+  T* data_ = nullptr;
+  size_t reclaim_count_ = 0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SDS_SOFT_ARRAY_H_

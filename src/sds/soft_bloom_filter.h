@@ -1,0 +1,181 @@
+// SoftBloomFilter — a Bloom filter whose bit array lives in soft memory.
+//
+// Probabilistic membership structures are ideal soft memory tenants: losing
+// the filter costs nothing but precision. After reclamation every query
+// conservatively answers "maybe present" (the safe direction for the usual
+// negative-cache / "skip the lookup" use), and the application can rebuild
+// the filter whenever it likes via Restore().
+
+#ifndef SOFTMEM_SRC_SDS_SOFT_BLOOM_FILTER_H_
+#define SOFTMEM_SRC_SDS_SOFT_BLOOM_FILTER_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string_view>
+
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+
+class SoftBloomFilter {
+ public:
+  struct Options {
+    size_t priority = 0;
+    // Invoked once when the filter is dropped by memory pressure.
+    std::function<void()> on_reclaim;
+  };
+
+  // Sizes the filter for `expected_items` at `fp_rate` false positives
+  // (standard m = -n ln p / ln^2 2, k = m/n ln 2).
+  SoftBloomFilter(SoftMemoryAllocator* sma, size_t expected_items,
+                  double fp_rate = 0.01)
+      : SoftBloomFilter(sma, expected_items, fp_rate, Options()) {}
+
+  SoftBloomFilter(SoftMemoryAllocator* sma, size_t expected_items,
+                  double fp_rate, Options options)
+      : sma_(sma), options_(std::move(options)) {
+    const double ln2 = 0.6931471805599453;
+    const double m = -static_cast<double>(expected_items) *
+                     std::log(fp_rate) / (ln2 * ln2);
+    bit_count_ = static_cast<size_t>(m) | 63;  // round up to 64-bit words
+    ++bit_count_;
+    hash_count_ = static_cast<int>(std::ceil(
+        m / static_cast<double>(expected_items) * ln2));
+    if (hash_count_ < 1) {
+      hash_count_ = 1;
+    }
+    ContextOptions co;
+    co.name = "SoftBloomFilter";
+    co.priority = options_.priority;
+    co.mode = ReclaimMode::kCustom;
+    auto ctx = sma_->CreateContext(co);
+    if (ctx.ok()) {
+      ctx_ = *ctx;
+      has_ctx_ = true;
+      sma_->SetCustomReclaim(
+          ctx_, [this](size_t target) { return ReclaimAll(target); });
+    }
+    AllocateBits();
+  }
+
+  ~SoftBloomFilter() {
+    if (has_ctx_) {
+      sma_->DestroyContext(ctx_);
+    }
+  }
+
+  SoftBloomFilter(const SoftBloomFilter&) = delete;
+  SoftBloomFilter& operator=(const SoftBloomFilter&) = delete;
+
+  // False once reclaimed (queries degrade to "maybe", adds are dropped).
+  bool valid() const { return bits_ != nullptr; }
+  size_t bit_count() const { return bit_count_; }
+  int hash_count() const { return hash_count_; }
+  size_t items_added() const { return items_added_; }
+  size_t reclaim_count() const { return reclaim_count_; }
+
+  // Records `key`. Silently a no-op while invalid (rebuild with Restore).
+  void Add(std::string_view key) {
+    if (!valid()) {
+      return;
+    }
+    uint64_t h1 = 0;
+    uint64_t h2 = 0;
+    HashPair(key, &h1, &h2);
+    for (int i = 0; i < hash_count_; ++i) {
+      const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % bit_count_;
+      bits_[bit / 64] |= uint64_t{1} << (bit % 64);
+    }
+    ++items_added_;
+  }
+
+  // True if `key` may have been added; false only when definitely absent.
+  // A reclaimed filter answers true (conservative).
+  bool MayContain(std::string_view key) const {
+    if (!valid()) {
+      return true;
+    }
+    uint64_t h1 = 0;
+    uint64_t h2 = 0;
+    HashPair(key, &h1, &h2);
+    for (int i = 0; i < hash_count_; ++i) {
+      const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % bit_count_;
+      if ((bits_[bit / 64] & (uint64_t{1} << (bit % 64))) == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Re-allocates an empty filter after reclamation.
+  Status Restore() {
+    if (valid()) {
+      return Status::Ok();
+    }
+    if (!has_ctx_) {
+      return FailedPreconditionError("context creation failed");
+    }
+    if (!AllocateBits()) {
+      return ResourceExhaustedError("soft memory unavailable");
+    }
+    return Status::Ok();
+  }
+
+  ContextId context() const { return ctx_; }
+
+ private:
+  bool AllocateBits() {
+    void* p = sma_->SoftMalloc(ctx_, bit_count_ / 8);
+    if (p == nullptr) {
+      return false;
+    }
+    bits_ = static_cast<uint64_t*>(p);
+    std::memset(bits_, 0, bit_count_ / 8);
+    items_added_ = 0;
+    return true;
+  }
+
+  // 128-bit-ish double hashing from two FNV passes.
+  static void HashPair(std::string_view key, uint64_t* h1, uint64_t* h2) {
+    uint64_t a = 14695981039346656037ULL;
+    uint64_t b = 0x9e3779b97f4a7c15ULL;
+    for (const char c : key) {
+      a = (a ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+      b = (b + static_cast<uint8_t>(c)) * 0xff51afd7ed558ccdULL;
+      b ^= b >> 33;
+    }
+    *h1 = a;
+    *h2 = b | 1;  // odd, so strides cover the table
+  }
+
+  size_t ReclaimAll(size_t /*target_bytes*/) {
+    if (!valid()) {
+      return 0;
+    }
+    if (options_.on_reclaim) {
+      options_.on_reclaim();
+    }
+    const size_t freed = sma_->AllocationSize(bits_);
+    sma_->SoftFree(bits_);
+    bits_ = nullptr;
+    ++reclaim_count_;
+    return freed;
+  }
+
+  SoftMemoryAllocator* sma_;
+  Options options_;
+  ContextId ctx_ = 0;
+  bool has_ctx_ = false;
+  uint64_t* bits_ = nullptr;
+  size_t bit_count_ = 0;
+  int hash_count_ = 0;
+  size_t items_added_ = 0;
+  size_t reclaim_count_ = 0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SDS_SOFT_BLOOM_FILTER_H_

@@ -1,0 +1,295 @@
+// SoftHashTable — a chained hash table whose bucket chains live in soft
+// memory, modelled on the paper's Redis integration (§5, §7 "Soft Data
+// Structures"):
+//
+//   "we changed the hashtable's per-bucket soft linked lists to store their
+//    list elements in soft memory. These elements then themselves point to
+//    dynamically-allocated heap memory for storing the key and value ...
+//    we left the keys and values in traditional memory and de-allocate them
+//    via the reclamation callback function."
+//
+// Here the chain nodes (and the bucket array) are soft allocations; K and V
+// are stored inline in the node and destroyed on reclamation, so types that
+// own traditional memory (std::string, std::vector, ...) reproduce exactly
+// that split: node in soft memory, payload bytes in traditional memory
+// released by the destructor during the reclaim callback.
+//
+// Reclamation drops entries oldest-inserted-first across all buckets.
+
+#ifndef SOFTMEM_SRC_SDS_SOFT_HASH_TABLE_H_
+#define SOFTMEM_SRC_SDS_SOFT_HASH_TABLE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <new>
+#include <utility>
+
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class SoftHashTable {
+ public:
+  struct Options {
+    size_t priority = 0;
+    size_t initial_buckets = 16;
+    // Invoked on each entry just before memory pressure drops it.
+    std::function<void(const K&, const V&)> on_reclaim;
+  };
+
+  explicit SoftHashTable(SoftMemoryAllocator* sma, Options options = {})
+      : sma_(sma), options_(std::move(options)) {
+    ContextOptions co;
+    co.name = "SoftHashTable";
+    co.priority = options_.priority;
+    co.mode = ReclaimMode::kCustom;
+    auto ctx = sma_->CreateContext(co);
+    if (ctx.ok()) {
+      ctx_ = *ctx;
+      has_ctx_ = true;
+      sma_->SetCustomReclaim(
+          ctx_, [this](size_t target) { return ReclaimOldest(target); });
+    }
+    AllocateBuckets(options_.initial_buckets);
+  }
+
+  ~SoftHashTable() {
+    Clear();
+    if (buckets_ != nullptr) {
+      sma_->SoftFree(buckets_);
+    }
+    if (has_ctx_) {
+      sma_->DestroyContext(ctx_);
+    }
+  }
+
+  SoftHashTable(const SoftHashTable&) = delete;
+  SoftHashTable& operator=(const SoftHashTable&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t bucket_count() const { return bucket_count_; }
+
+  // Inserts or overwrites. Returns false if soft memory is unavailable.
+  bool Put(const K& key, V value) {
+    if (buckets_ == nullptr && !AllocateBuckets(options_.initial_buckets)) {
+      ++insert_failures_;
+      return false;
+    }
+    Node* n = FindNode(key);
+    if (n != nullptr) {
+      n->value = std::move(value);
+      return true;
+    }
+    if (size_ + 1 > bucket_count_) {
+      Rehash(bucket_count_ * 2);  // best effort; table works regardless
+    }
+    void* p = sma_->SoftMalloc(ctx_, sizeof(Node));
+    if (p == nullptr) {
+      ++insert_failures_;
+      return false;
+    }
+    Node* node = static_cast<Node*>(p);
+    new (&node->key) K(key);
+    new (&node->value) V(std::move(value));
+    const size_t b = Hash{}(key) % bucket_count_;
+    node->next = buckets_[b];
+    buckets_[b] = node;
+    // Age links (oldest first).
+    node->age_next = nullptr;
+    node->age_prev = age_tail_;
+    if (age_tail_ != nullptr) {
+      age_tail_->age_next = node;
+    } else {
+      age_head_ = node;
+    }
+    age_tail_ = node;
+    ++size_;
+    return true;
+  }
+
+  // Returns the value or nullptr. The pointer is valid until the next
+  // mutation or reclamation.
+  V* Get(const K& key) {
+    Node* n = FindNode(key);
+    return n != nullptr ? &n->value : nullptr;
+  }
+
+  bool Contains(const K& key) { return FindNode(key) != nullptr; }
+
+  // Removes `key`; returns true if it was present.
+  bool Remove(const K& key) {
+    if (buckets_ == nullptr) {
+      return false;
+    }
+    const size_t b = Hash{}(key) % bucket_count_;
+    Node** link = &buckets_[b];
+    while (*link != nullptr) {
+      Node* n = *link;
+      if (n->key == key) {
+        *link = n->next;
+        UnlinkAge(n);
+        DestroyNode(n);
+        --size_;
+        return true;
+      }
+      link = &n->next;
+    }
+    return false;
+  }
+
+  void Clear() {
+    for (size_t b = 0; buckets_ != nullptr && b < bucket_count_; ++b) {
+      Node* n = buckets_[b];
+      while (n != nullptr) {
+        Node* next = n->next;
+        DestroyNode(n);
+        n = next;
+      }
+      buckets_[b] = nullptr;
+    }
+    age_head_ = age_tail_ = nullptr;
+    size_ = 0;
+  }
+
+  // Re-buckets into `new_count` buckets (best effort: keeps the old array if
+  // the new one cannot be allocated).
+  void Rehash(size_t new_count) {
+    if (new_count == 0) {
+      return;
+    }
+    void* p = sma_->SoftMalloc(ctx_, new_count * sizeof(Node*));
+    if (p == nullptr) {
+      return;
+    }
+    Node** fresh = static_cast<Node**>(p);
+    for (size_t i = 0; i < new_count; ++i) {
+      fresh[i] = nullptr;
+    }
+    for (size_t b = 0; buckets_ != nullptr && b < bucket_count_; ++b) {
+      Node* n = buckets_[b];
+      while (n != nullptr) {
+        Node* next = n->next;
+        const size_t nb = Hash{}(n->key) % new_count;
+        n->next = fresh[nb];
+        fresh[nb] = n;
+        n = next;
+      }
+    }
+    if (buckets_ != nullptr) {
+      sma_->SoftFree(buckets_);
+    }
+    buckets_ = fresh;
+    bucket_count_ = new_count;
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (Node* n = age_head_; n != nullptr; n = n->age_next) {
+      fn(n->key, n->value);
+    }
+  }
+
+  size_t reclaimed() const { return reclaimed_; }
+  size_t insert_failures() const { return insert_failures_; }
+  ContextId context() const { return ctx_; }
+
+ private:
+  struct Node {
+    Node* next;  // bucket chain
+    Node* age_prev;
+    Node* age_next;
+    K key;
+    V value;
+  };
+
+  bool AllocateBuckets(size_t count) {
+    if (!has_ctx_) {
+      return false;
+    }
+    void* p = sma_->SoftMalloc(ctx_, count * sizeof(Node*));
+    if (p == nullptr) {
+      return false;
+    }
+    buckets_ = static_cast<Node**>(p);
+    for (size_t i = 0; i < count; ++i) {
+      buckets_[i] = nullptr;
+    }
+    bucket_count_ = count;
+    return true;
+  }
+
+  Node* FindNode(const K& key) {
+    if (buckets_ == nullptr || size_ == 0) {
+      return nullptr;
+    }
+    const size_t b = Hash{}(key) % bucket_count_;
+    for (Node* n = buckets_[b]; n != nullptr; n = n->next) {
+      if (n->key == key) {
+        return n;
+      }
+    }
+    return nullptr;
+  }
+
+  void UnlinkAge(Node* n) {
+    if (n->age_prev != nullptr) {
+      n->age_prev->age_next = n->age_next;
+    } else {
+      age_head_ = n->age_next;
+    }
+    if (n->age_next != nullptr) {
+      n->age_next->age_prev = n->age_prev;
+    } else {
+      age_tail_ = n->age_prev;
+    }
+  }
+
+  void DestroyNode(Node* n) {
+    n->key.~K();
+    n->value.~V();
+    sma_->SoftFree(n);
+  }
+
+  // Drop oldest entries until `target_bytes` of node memory is freed.
+  size_t ReclaimOldest(size_t target_bytes) {
+    size_t freed = 0;
+    while (freed < target_bytes && age_head_ != nullptr) {
+      Node* victim = age_head_;
+      if (options_.on_reclaim) {
+        options_.on_reclaim(victim->key, victim->value);
+      }
+      // Unlink from its bucket chain.
+      const size_t b = Hash{}(victim->key) % bucket_count_;
+      Node** link = &buckets_[b];
+      while (*link != victim) {
+        link = &(*link)->next;
+      }
+      *link = victim->next;
+      UnlinkAge(victim);
+      freed += sma_->AllocationSize(victim);
+      DestroyNode(victim);
+      --size_;
+      ++reclaimed_;
+    }
+    return freed;
+  }
+
+  SoftMemoryAllocator* sma_;
+  Options options_;
+  ContextId ctx_ = 0;
+  bool has_ctx_ = false;
+  Node** buckets_ = nullptr;
+  size_t bucket_count_ = 0;
+  Node* age_head_ = nullptr;
+  Node* age_tail_ = nullptr;
+  size_t size_ = 0;
+  size_t reclaimed_ = 0;
+  size_t insert_failures_ = 0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SDS_SOFT_HASH_TABLE_H_

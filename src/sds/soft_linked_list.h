@@ -1,0 +1,220 @@
+// SoftLinkedList — the paper's flagship Soft Data Structure (§3.2, Listing 1).
+//
+// A doubly-linked list whose nodes live in soft memory. Under a reclamation
+// demand it "prioritizes newer entries over older entries when giving up
+// list elements": nodes are dropped oldest-insertion-first, each after the
+// optional application callback (the last-chance hook of §3.1).
+//
+// Element values are destroyed properly on every path, so a T that owns
+// traditional memory (e.g. std::string) follows the paper's Redis pattern:
+// node in soft memory, payload bytes in traditional memory released by the
+// destructor during reclamation.
+
+#ifndef SOFTMEM_SRC_SDS_SOFT_LINKED_LIST_H_
+#define SOFTMEM_SRC_SDS_SOFT_LINKED_LIST_H_
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <new>
+#include <utility>
+
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+
+template <typename T>
+class SoftLinkedList {
+ public:
+  struct Options {
+    size_t priority = 0;
+    // Invoked on each element just before it is reclaimed.
+    std::function<void(const T&)> on_reclaim;
+  };
+
+  explicit SoftLinkedList(SoftMemoryAllocator* sma, Options options = {})
+      : sma_(sma), options_(std::move(options)) {
+    ContextOptions co;
+    co.name = "SoftLinkedList";
+    co.priority = options_.priority;
+    co.mode = ReclaimMode::kCustom;
+    auto ctx = sma_->CreateContext(co);
+    if (ctx.ok()) {
+      ctx_ = *ctx;
+      has_ctx_ = true;
+      sma_->SetCustomReclaim(
+          ctx_, [this](size_t target) { return ReclaimOldest(target); });
+    }
+  }
+
+  ~SoftLinkedList() {
+    clear();
+    if (has_ctx_) {
+      sma_->DestroyContext(ctx_);
+    }
+  }
+
+  SoftLinkedList(const SoftLinkedList&) = delete;
+  SoftLinkedList& operator=(const SoftLinkedList&) = delete;
+
+  // Appends a copy of `value`. Returns false if soft memory is unavailable.
+  bool push_back(const T& value) { return Emplace(/*front=*/false, value); }
+  bool push_back(T&& value) { return Emplace(false, std::move(value)); }
+  bool push_front(const T& value) { return Emplace(/*front=*/true, value); }
+  bool push_front(T&& value) { return Emplace(true, std::move(value)); }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  T& front() {
+    assert(head_ != nullptr);
+    return head_->value;
+  }
+  T& back() {
+    assert(tail_ != nullptr);
+    return tail_->value;
+  }
+
+  void pop_front() {
+    assert(head_ != nullptr);
+    DestroyNode(head_);
+  }
+  void pop_back() {
+    assert(tail_ != nullptr);
+    DestroyNode(tail_);
+  }
+
+  void clear() {
+    while (head_ != nullptr) {
+      DestroyNode(head_);
+    }
+  }
+
+  // Elements reclaimed (dropped by memory pressure) over the lifetime.
+  size_t reclaimed() const { return reclaimed_; }
+  // Elements that failed to insert because soft memory was unavailable.
+  size_t insert_failures() const { return insert_failures_; }
+
+  ContextId context() const { return ctx_; }
+
+  // Minimal forward iteration (list order, head to tail).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (Node* n = head_; n != nullptr; n = n->next) {
+      fn(n->value);
+    }
+  }
+
+ private:
+  struct Node {
+    Node* prev;
+    Node* next;
+    Node* age_prev;  // insertion-order links: age_head_ is the oldest
+    Node* age_next;
+    T value;
+  };
+
+  template <typename U>
+  bool Emplace(bool front, U&& value) {
+    void* p = sma_->SoftMalloc(ctx_, sizeof(Node));
+    if (p == nullptr) {
+      ++insert_failures_;
+      return false;
+    }
+    Node* n = static_cast<Node*>(p);
+    new (&n->value) T(std::forward<U>(value));
+    // List links.
+    if (front) {
+      n->prev = nullptr;
+      n->next = head_;
+      if (head_ != nullptr) {
+        head_->prev = n;
+      } else {
+        tail_ = n;
+      }
+      head_ = n;
+    } else {
+      n->next = nullptr;
+      n->prev = tail_;
+      if (tail_ != nullptr) {
+        tail_->next = n;
+      } else {
+        head_ = n;
+      }
+      tail_ = n;
+    }
+    // Age links: always appended as newest.
+    n->age_next = nullptr;
+    n->age_prev = age_tail_;
+    if (age_tail_ != nullptr) {
+      age_tail_->age_next = n;
+    } else {
+      age_head_ = n;
+    }
+    age_tail_ = n;
+    ++size_;
+    return true;
+  }
+
+  void Unlink(Node* n) {
+    if (n->prev != nullptr) {
+      n->prev->next = n->next;
+    } else {
+      head_ = n->next;
+    }
+    if (n->next != nullptr) {
+      n->next->prev = n->prev;
+    } else {
+      tail_ = n->prev;
+    }
+    if (n->age_prev != nullptr) {
+      n->age_prev->age_next = n->age_next;
+    } else {
+      age_head_ = n->age_next;
+    }
+    if (n->age_next != nullptr) {
+      n->age_next->age_prev = n->age_prev;
+    } else {
+      age_tail_ = n->age_prev;
+    }
+    --size_;
+  }
+
+  void DestroyNode(Node* n) {
+    Unlink(n);
+    n->value.~T();
+    sma_->SoftFree(n);
+  }
+
+  // Reclaim protocol: drop oldest-inserted nodes until `target_bytes` of
+  // node memory has been freed or the list is empty.
+  size_t ReclaimOldest(size_t target_bytes) {
+    size_t freed = 0;
+    while (freed < target_bytes && age_head_ != nullptr) {
+      Node* victim = age_head_;
+      if (options_.on_reclaim) {
+        options_.on_reclaim(victim->value);
+      }
+      freed += sma_->AllocationSize(victim);
+      DestroyNode(victim);
+      ++reclaimed_;
+    }
+    return freed;
+  }
+
+  SoftMemoryAllocator* sma_;
+  Options options_;
+  ContextId ctx_ = 0;
+  bool has_ctx_ = false;
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  Node* age_head_ = nullptr;
+  Node* age_tail_ = nullptr;
+  size_t size_ = 0;
+  size_t reclaimed_ = 0;
+  size_t insert_failures_ = 0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SDS_SOFT_LINKED_LIST_H_

@@ -1,0 +1,230 @@
+// SoftLruCache — an LRU cache whose entries live in soft memory.
+//
+// This is the §2 use case ("ML training cache", "database cache entries"):
+// the index (an unordered_map) stays in traditional memory — it is data
+// structure metadata, exactly what the paper says should remain traditional —
+// while the (key, value) entry nodes are soft allocations. A reclamation
+// demand evicts least-recently-used entries; the application sees them as
+// ordinary cache misses afterwards and can re-fetch/re-compute.
+//
+// Put() additionally self-evicts when soft memory is unavailable, so a cache
+// under a shrunken budget degrades to a smaller working set instead of
+// failing (the paper's "scale the cache back" behaviour).
+
+#ifndef SOFTMEM_SRC_SDS_SOFT_LRU_CACHE_H_
+#define SOFTMEM_SRC_SDS_SOFT_LRU_CACHE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <new>
+#include <unordered_map>
+#include <utility>
+
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class SoftLruCache {
+ public:
+  struct Options {
+    size_t priority = 0;
+    // Hard cap on entries (0 = unlimited; the soft budget is the real cap).
+    size_t max_entries = 0;
+    // Invoked on each entry evicted *by memory pressure* (not by capacity
+    // eviction or Remove).
+    std::function<void(const K&, const V&)> on_reclaim;
+  };
+
+  explicit SoftLruCache(SoftMemoryAllocator* sma, Options options = {})
+      : sma_(sma), options_(std::move(options)) {
+    ContextOptions co;
+    co.name = "SoftLruCache";
+    co.priority = options_.priority;
+    co.mode = ReclaimMode::kCustom;
+    auto ctx = sma_->CreateContext(co);
+    if (ctx.ok()) {
+      ctx_ = *ctx;
+      has_ctx_ = true;
+      sma_->SetCustomReclaim(
+          ctx_, [this](size_t target) { return ReclaimLru(target); });
+    }
+  }
+
+  ~SoftLruCache() {
+    Clear();
+    if (has_ctx_) {
+      sma_->DestroyContext(ctx_);
+    }
+  }
+
+  SoftLruCache(const SoftLruCache&) = delete;
+  SoftLruCache& operator=(const SoftLruCache&) = delete;
+
+  size_t size() const { return index_.size(); }
+  bool empty() const { return index_.empty(); }
+
+  // Looks up `key`, bumping recency. Returns nullptr on miss. The pointer is
+  // valid until the next mutation or reclamation.
+  V* Get(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    Touch(it->second);
+    return &it->second->value;
+  }
+
+  // Inserts or overwrites. When soft memory is unavailable, evicts LRU
+  // entries and retries; returns false only if even an empty cache cannot
+  // hold the entry.
+  bool Put(const K& key, V value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->value = std::move(value);
+      Touch(it->second);
+      return true;
+    }
+    if (options_.max_entries != 0 && index_.size() >= options_.max_entries) {
+      EvictLru(/*reclaim=*/false);
+    }
+    void* p = sma_->SoftMalloc(ctx_, sizeof(Node));
+    while (p == nullptr && !index_.empty()) {
+      // Degrade: shrink the working set instead of failing the insert.
+      EvictLru(/*reclaim=*/false);
+      ++pressure_evictions_;
+      p = sma_->SoftMalloc(ctx_, sizeof(Node));
+    }
+    if (p == nullptr) {
+      return false;
+    }
+    Node* n = static_cast<Node*>(p);
+    new (&n->key) K(key);
+    new (&n->value) V(std::move(value));
+    n->lru_prev = nullptr;
+    n->lru_next = lru_head_;
+    if (lru_head_ != nullptr) {
+      lru_head_->lru_prev = n;
+    } else {
+      lru_tail_ = n;
+    }
+    lru_head_ = n;
+    index_.emplace(key, n);
+    return true;
+  }
+
+  bool Remove(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return false;
+    }
+    Node* n = it->second;
+    index_.erase(it);
+    UnlinkLru(n);
+    DestroyNode(n);
+    return true;
+  }
+
+  void Clear() {
+    for (auto& [key, node] : index_) {
+      DestroyNode(node);
+    }
+    index_.clear();
+    lru_head_ = lru_tail_ = nullptr;
+  }
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  // Entries dropped by daemon-driven reclamation.
+  size_t reclaimed() const { return reclaimed_; }
+  // Entries evicted because soft memory ran out during Put.
+  size_t pressure_evictions() const { return pressure_evictions_; }
+  ContextId context() const { return ctx_; }
+
+ private:
+  struct Node {
+    Node* lru_prev;  // lru_head_ = most recent
+    Node* lru_next;
+    K key;
+    V value;
+  };
+
+  void Touch(Node* n) {
+    if (n == lru_head_) {
+      return;
+    }
+    UnlinkLru(n);
+    n->lru_prev = nullptr;
+    n->lru_next = lru_head_;
+    if (lru_head_ != nullptr) {
+      lru_head_->lru_prev = n;
+    } else {
+      lru_tail_ = n;
+    }
+    lru_head_ = n;
+  }
+
+  void UnlinkLru(Node* n) {
+    if (n->lru_prev != nullptr) {
+      n->lru_prev->lru_next = n->lru_next;
+    } else {
+      lru_head_ = n->lru_next;
+    }
+    if (n->lru_next != nullptr) {
+      n->lru_next->lru_prev = n->lru_prev;
+    } else {
+      lru_tail_ = n->lru_prev;
+    }
+  }
+
+  void DestroyNode(Node* n) {
+    n->key.~K();
+    n->value.~V();
+    sma_->SoftFree(n);
+  }
+
+  // Evicts the least-recently-used entry. Returns bytes freed.
+  size_t EvictLru(bool reclaim) {
+    Node* victim = lru_tail_;
+    if (victim == nullptr) {
+      return 0;
+    }
+    if (reclaim && options_.on_reclaim) {
+      options_.on_reclaim(victim->key, victim->value);
+    }
+    const size_t bytes = sma_->AllocationSize(victim);
+    index_.erase(victim->key);
+    UnlinkLru(victim);
+    DestroyNode(victim);
+    return bytes;
+  }
+
+  size_t ReclaimLru(size_t target_bytes) {
+    size_t freed = 0;
+    while (freed < target_bytes && lru_tail_ != nullptr) {
+      freed += EvictLru(/*reclaim=*/true);
+      ++reclaimed_;
+    }
+    return freed;
+  }
+
+  SoftMemoryAllocator* sma_;
+  Options options_;
+  ContextId ctx_ = 0;
+  bool has_ctx_ = false;
+  // Traditional-memory index: data structure metadata per the paper.
+  std::unordered_map<K, Node*, Hash> index_;
+  Node* lru_head_ = nullptr;
+  Node* lru_tail_ = nullptr;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  size_t reclaimed_ = 0;
+  size_t pressure_evictions_ = 0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SDS_SOFT_LRU_CACHE_H_

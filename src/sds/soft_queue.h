@@ -1,0 +1,165 @@
+// SoftQueue — a FIFO request queue in soft memory (§3.1 names "temporary
+// request queues" as a natural soft memory use).
+//
+// Implemented as a list of fixed-size segments so that reclamation can drop
+// whole segments (oldest requests first) and popping naturally returns whole
+// pages as segments drain. Dropped requests are reported through the
+// on_reclaim hook so the application can, e.g., signal retry to callers.
+
+#ifndef SOFTMEM_SRC_SDS_SOFT_QUEUE_H_
+#define SOFTMEM_SRC_SDS_SOFT_QUEUE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <new>
+#include <utility>
+
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+
+template <typename T, size_t kSegmentEntries = 64>
+class SoftQueue {
+ public:
+  struct Options {
+    size_t priority = 0;
+    std::function<void(const T&)> on_reclaim;
+  };
+
+  explicit SoftQueue(SoftMemoryAllocator* sma, Options options = {})
+      : sma_(sma), options_(std::move(options)) {
+    ContextOptions co;
+    co.name = "SoftQueue";
+    co.priority = options_.priority;
+    co.mode = ReclaimMode::kCustom;
+    auto ctx = sma_->CreateContext(co);
+    if (ctx.ok()) {
+      ctx_ = *ctx;
+      has_ctx_ = true;
+      sma_->SetCustomReclaim(
+          ctx_, [this](size_t target) { return ReclaimOldest(target); });
+    }
+  }
+
+  ~SoftQueue() {
+    clear();
+    if (has_ctx_) {
+      sma_->DestroyContext(ctx_);
+    }
+  }
+
+  SoftQueue(const SoftQueue&) = delete;
+  SoftQueue& operator=(const SoftQueue&) = delete;
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  // Enqueues a copy; false if soft memory is unavailable.
+  bool push(const T& value) { return Emplace(value); }
+  bool push(T&& value) { return Emplace(std::move(value)); }
+
+  T& front() {
+    assert(size_ > 0);
+    return *head_->slot(head_pos_);
+  }
+
+  void pop() {
+    assert(size_ > 0);
+    head_->slot(head_pos_)->~T();
+    ++head_pos_;
+    --size_;
+    if (head_pos_ == head_->count) {
+      PopSegment();
+    }
+  }
+
+  void clear() {
+    while (size_ > 0) {
+      pop();
+    }
+  }
+
+  // Requests dropped by memory pressure.
+  size_t reclaimed() const { return reclaimed_; }
+  size_t push_failures() const { return push_failures_; }
+  ContextId context() const { return ctx_; }
+
+ private:
+  struct Segment {
+    Segment* next;
+    size_t count;  // filled entries
+    alignas(T) unsigned char storage[kSegmentEntries * sizeof(T)];
+
+    T* slot(size_t i) { return reinterpret_cast<T*>(storage) + i; }
+  };
+
+  template <typename U>
+  bool Emplace(U&& value) {
+    if (tail_ == nullptr || tail_->count == kSegmentEntries) {
+      void* p = sma_->SoftMalloc(ctx_, sizeof(Segment));
+      if (p == nullptr) {
+        ++push_failures_;
+        return false;
+      }
+      auto* seg = static_cast<Segment*>(p);
+      seg->next = nullptr;
+      seg->count = 0;
+      if (tail_ != nullptr) {
+        tail_->next = seg;
+      } else {
+        head_ = seg;
+        head_pos_ = 0;
+      }
+      tail_ = seg;
+    }
+    new (tail_->slot(tail_->count)) T(std::forward<U>(value));
+    ++tail_->count;
+    ++size_;
+    return true;
+  }
+
+  void PopSegment() {
+    Segment* old = head_;
+    head_ = head_->next;
+    head_pos_ = 0;
+    if (head_ == nullptr) {
+      tail_ = nullptr;
+    }
+    sma_->SoftFree(old);
+  }
+
+  // Drops oldest requests, whole segments at a time, until target_bytes of
+  // segment memory is freed or the queue is empty.
+  size_t ReclaimOldest(size_t target_bytes) {
+    size_t freed = 0;
+    while (freed < target_bytes && head_ != nullptr) {
+      for (size_t i = head_pos_; i < head_->count; ++i) {
+        if (options_.on_reclaim) {
+          options_.on_reclaim(*head_->slot(i));
+        }
+        head_->slot(i)->~T();
+        --size_;
+        ++reclaimed_;
+      }
+      freed += sma_->AllocationSize(head_);
+      PopSegment();
+    }
+    return freed;
+  }
+
+  SoftMemoryAllocator* sma_;
+  Options options_;
+  ContextId ctx_ = 0;
+  bool has_ctx_ = false;
+  Segment* head_ = nullptr;
+  Segment* tail_ = nullptr;
+  size_t head_pos_ = 0;
+  size_t size_ = 0;
+  size_t reclaimed_ = 0;
+  size_t push_failures_ = 0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SDS_SOFT_QUEUE_H_

@@ -1,0 +1,273 @@
+// SoftSkipList — an ordered map in soft memory (a Redis ZSET-style
+// substrate). Nodes live in soft memory; reclamation drops entries
+// oldest-inserted-first, like the other SDSs, preserving order structure.
+//
+// A probabilistic skip list: expected O(log n) Insert/Find/Erase, ordered
+// iteration, and range queries — functionality a sorted-index cache needs
+// that the hash-based SDSs cannot provide.
+
+#ifndef SOFTMEM_SRC_SDS_SOFT_SKIP_LIST_H_
+#define SOFTMEM_SRC_SDS_SOFT_SKIP_LIST_H_
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <new>
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+
+template <typename K, typename V, typename Compare = std::less<K>>
+class SoftSkipList {
+ public:
+  struct Options {
+    size_t priority = 0;
+    uint64_t seed = 0x5eed;  // deterministic tower heights
+    std::function<void(const K&, const V&)> on_reclaim;
+  };
+
+  explicit SoftSkipList(SoftMemoryAllocator* sma, Options options = {})
+      : sma_(sma), options_(std::move(options)), rng_(options_.seed) {
+    ContextOptions co;
+    co.name = "SoftSkipList";
+    co.priority = options_.priority;
+    co.mode = ReclaimMode::kCustom;
+    auto ctx = sma_->CreateContext(co);
+    if (ctx.ok()) {
+      ctx_ = *ctx;
+      has_ctx_ = true;
+      sma_->SetCustomReclaim(
+          ctx_, [this](size_t target) { return ReclaimOldest(target); });
+    }
+    for (auto& h : head_) {
+      h = nullptr;
+    }
+  }
+
+  ~SoftSkipList() {
+    Clear();
+    if (has_ctx_) {
+      sma_->DestroyContext(ctx_);
+    }
+  }
+
+  SoftSkipList(const SoftSkipList&) = delete;
+  SoftSkipList& operator=(const SoftSkipList&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Inserts or overwrites. False if soft memory is unavailable.
+  bool Insert(const K& key, V value) {
+    Node* found = FindNode(key);
+    if (found != nullptr) {
+      found->value = std::move(value);
+      return true;
+    }
+    const int height = RandomHeight();
+    // Node towers are allocated with inline next-pointer arrays sized to
+    // their height, so short towers stay small.
+    const size_t bytes =
+        sizeof(Node) + static_cast<size_t>(height) * sizeof(Node*);
+    void* p = sma_->SoftMalloc(ctx_, bytes);
+    if (p == nullptr) {
+      ++insert_failures_;
+      return false;
+    }
+    Node* n = static_cast<Node*>(p);
+    new (&n->key) K(key);
+    new (&n->value) V(std::move(value));
+    n->height = height;
+
+    Node* preds[kMaxHeight];
+    FindPredecessors(key, preds);
+    for (int level = 0; level < height; ++level) {
+      Node* pred = preds[level];
+      Node** next_slot = pred != nullptr ? &pred->next(level) : &head_[level];
+      n->next(level) = *next_slot;
+      *next_slot = n;
+    }
+    // Age links.
+    n->age_next = nullptr;
+    n->age_prev = age_tail_;
+    if (age_tail_ != nullptr) {
+      age_tail_->age_next = n;
+    } else {
+      age_head_ = n;
+    }
+    age_tail_ = n;
+    ++size_;
+    return true;
+  }
+
+  // Returns the value or nullptr (valid until the next mutation).
+  V* Find(const K& key) {
+    Node* n = FindNode(key);
+    return n != nullptr ? &n->value : nullptr;
+  }
+
+  bool Contains(const K& key) { return FindNode(key) != nullptr; }
+
+  bool Erase(const K& key) {
+    Node* n = FindNode(key);
+    if (n == nullptr) {
+      return false;
+    }
+    RemoveNode(n);
+    DestroyNode(n);
+    return true;
+  }
+
+  void Clear() {
+    Node* n = head_[0];
+    while (n != nullptr) {
+      Node* next = n->next(0);
+      DestroyNode(n);
+      n = next;
+    }
+    for (auto& h : head_) {
+      h = nullptr;
+    }
+    age_head_ = age_tail_ = nullptr;
+    size_ = 0;
+  }
+
+  // Visits entries with lo <= key < hi, in key order.
+  template <typename Fn>
+  void Range(const K& lo, const K& hi, Fn&& fn) {
+    Compare less;
+    Node* n = LowerBound(lo);
+    while (n != nullptr && less(n->key, hi)) {
+      fn(n->key, n->value);
+      n = n->next(0);
+    }
+  }
+
+  // Visits all entries in key order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (Node* n = head_[0]; n != nullptr; n = n->next(0)) {
+      fn(n->key, n->value);
+    }
+  }
+
+  size_t reclaimed() const { return reclaimed_; }
+  size_t insert_failures() const { return insert_failures_; }
+  ContextId context() const { return ctx_; }
+
+ private:
+  static constexpr int kMaxHeight = 16;
+
+  struct Node {
+    K key;
+    V value;
+    Node* age_prev;
+    Node* age_next;
+    int height;
+    // Tower of next pointers, allocated inline after the struct.
+    Node*& next(int level) {
+      return reinterpret_cast<Node**>(this + 1)[level];
+    }
+  };
+
+  int RandomHeight() {
+    int h = 1;
+    while (h < kMaxHeight && rng_.NextBool(0.25)) {
+      ++h;
+    }
+    return h;
+  }
+
+  // preds[level] = last node at `level` with key < target (nullptr = head).
+  void FindPredecessors(const K& key, Node* preds[kMaxHeight]) {
+    Compare less;
+    Node* pred = nullptr;
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      Node* n = pred != nullptr ? pred->next(level) : head_[level];
+      while (n != nullptr && less(n->key, key)) {
+        pred = n;
+        n = n->next(level);
+      }
+      preds[level] = pred;
+    }
+  }
+
+  Node* LowerBound(const K& key) {
+    Node* preds[kMaxHeight];
+    FindPredecessors(key, preds);
+    return preds[0] != nullptr ? preds[0]->next(0) : head_[0];
+  }
+
+  Node* FindNode(const K& key) {
+    Compare less;
+    Node* n = LowerBound(key);
+    if (n != nullptr && !less(key, n->key)) {
+      return n;
+    }
+    return nullptr;
+  }
+
+  void RemoveNode(Node* n) {
+    Node* preds[kMaxHeight];
+    FindPredecessors(n->key, preds);
+    for (int level = 0; level < n->height; ++level) {
+      Node** slot = preds[level] != nullptr ? &preds[level]->next(level)
+                                            : &head_[level];
+      if (*slot == n) {
+        *slot = n->next(level);
+      }
+    }
+    // Age unlink.
+    if (n->age_prev != nullptr) {
+      n->age_prev->age_next = n->age_next;
+    } else {
+      age_head_ = n->age_next;
+    }
+    if (n->age_next != nullptr) {
+      n->age_next->age_prev = n->age_prev;
+    } else {
+      age_tail_ = n->age_prev;
+    }
+    --size_;
+  }
+
+  void DestroyNode(Node* n) {
+    n->key.~K();
+    n->value.~V();
+    sma_->SoftFree(n);
+  }
+
+  size_t ReclaimOldest(size_t target_bytes) {
+    size_t freed = 0;
+    while (freed < target_bytes && age_head_ != nullptr) {
+      Node* victim = age_head_;
+      if (options_.on_reclaim) {
+        options_.on_reclaim(victim->key, victim->value);
+      }
+      freed += sma_->AllocationSize(victim);
+      RemoveNode(victim);
+      DestroyNode(victim);
+      ++reclaimed_;
+    }
+    return freed;
+  }
+
+  SoftMemoryAllocator* sma_;
+  Options options_;
+  Rng rng_;
+  ContextId ctx_ = 0;
+  bool has_ctx_ = false;
+  Node* head_[kMaxHeight];
+  Node* age_head_ = nullptr;
+  Node* age_tail_ = nullptr;
+  size_t size_ = 0;
+  size_t reclaimed_ = 0;
+  size_t insert_failures_ = 0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SDS_SOFT_SKIP_LIST_H_

@@ -1,0 +1,164 @@
+// SoftVector — a growable array in soft memory.
+//
+// Like SoftArray, the storage is one contiguous soft block, so a reclamation
+// demand revokes the whole thing (after the optional last-chance hook).
+// Unlike SoftArray it grows geometrically and supports push_back.
+
+#ifndef SOFTMEM_SRC_SDS_SOFT_VECTOR_H_
+#define SOFTMEM_SRC_SDS_SOFT_VECTOR_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+
+template <typename T>
+class SoftVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SoftVector elements must be trivially copyable: growth "
+                "memmoves and reclamation drops the block");
+
+ public:
+  struct Options {
+    size_t priority = 0;
+    std::function<void(T* data, size_t count)> on_reclaim;
+  };
+
+  explicit SoftVector(SoftMemoryAllocator* sma, Options options = {})
+      : sma_(sma), options_(std::move(options)) {
+    ContextOptions co;
+    co.name = "SoftVector";
+    co.priority = options_.priority;
+    co.mode = ReclaimMode::kCustom;
+    auto ctx = sma_->CreateContext(co);
+    if (ctx.ok()) {
+      ctx_ = *ctx;
+      has_ctx_ = true;
+      sma_->SetCustomReclaim(
+          ctx_, [this](size_t target) { return ReclaimAll(target); });
+    }
+  }
+
+  ~SoftVector() {
+    if (has_ctx_) {
+      sma_->DestroyContext(ctx_);
+    }
+  }
+
+  SoftVector(const SoftVector&) = delete;
+  SoftVector& operator=(const SoftVector&) = delete;
+
+  // True while the backing block exists. A reclaimed vector reads as empty
+  // and push_back starts over from a fresh block.
+  bool valid() const { return data_ != nullptr; }
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+
+  // Appends `value`; false if soft memory is unavailable.
+  bool push_back(const T& value) {
+    if (size_ == capacity_ && !Grow()) {
+      ++insert_failures_;
+      return false;
+    }
+    data_[size_++] = value;
+    return true;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  T& operator[](size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  void clear() { size_ = 0; }
+
+  // Reallocates the block to fit exactly size() elements (returns excess
+  // pages towards the heap's pool). No-op on failure.
+  void shrink_to_fit() {
+    if (!valid() || size_ == capacity_) {
+      return;
+    }
+    if (size_ == 0) {
+      sma_->SoftFree(data_);
+      data_ = nullptr;
+      capacity_ = 0;
+      return;
+    }
+    void* p = sma_->SoftMalloc(ctx_, size_ * sizeof(T));
+    if (p == nullptr) {
+      return;
+    }
+    std::memcpy(p, data_, size_ * sizeof(T));
+    sma_->SoftFree(data_);
+    data_ = static_cast<T*>(p);
+    capacity_ = size_;
+  }
+
+  size_t reclaim_count() const { return reclaim_count_; }
+  size_t insert_failures() const { return insert_failures_; }
+  ContextId context() const { return ctx_; }
+
+ private:
+  bool Grow() {
+    const size_t new_cap = capacity_ == 0 ? 16 : capacity_ * 2;
+    void* p = sma_->SoftMalloc(ctx_, new_cap * sizeof(T));
+    if (p == nullptr) {
+      return false;
+    }
+    if (data_ != nullptr) {
+      std::memcpy(p, data_, size_ * sizeof(T));
+      sma_->SoftFree(data_);
+    }
+    data_ = static_cast<T*>(p);
+    capacity_ = new_cap;
+    return true;
+  }
+
+  size_t ReclaimAll(size_t /*target_bytes*/) {
+    if (!valid()) {
+      return 0;
+    }
+    if (options_.on_reclaim) {
+      options_.on_reclaim(data_, size_);
+    }
+    const size_t freed = sma_->AllocationSize(data_);
+    sma_->SoftFree(data_);
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+    ++reclaim_count_;
+    return freed;
+  }
+
+  SoftMemoryAllocator* sma_;
+  Options options_;
+  ContextId ctx_ = 0;
+  bool has_ctx_ = false;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+  size_t reclaim_count_ = 0;
+  size_t insert_failures_ = 0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SDS_SOFT_VECTOR_H_

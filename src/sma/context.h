@@ -1,0 +1,67 @@
+// Soft data structure contexts (§3.1).
+//
+// "The Soft Memory Allocator provides each SDS with its own heap and set of
+// memory pages. Each SDS has a context in charge of tracking the SDS's heap
+// and a user-defined priority."
+
+#ifndef SOFTMEM_SRC_SMA_CONTEXT_H_
+#define SOFTMEM_SRC_SMA_CONTEXT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace softmem {
+
+// Identifies a context within one SoftMemoryAllocator.
+using ContextId = uint16_t;
+
+// Last-chance hook invoked on an allocation immediately before the SMA drops
+// it during reclamation (§3.1 Non-Disruptiveness): "This is a last-chance for
+// the developer to interact with the memory before it is given up, e.g., to
+// tag the data for future re-computation or store the data elsewhere."
+// Matches the paper's `reclaim_callback_t` with an added size parameter.
+using ReclaimCallback = std::function<void(void* ptr, size_t size)>;
+
+// Custom per-SDS reclaim protocol: free at least `target_bytes` of this
+// context's allocations if possible; return the bytes actually freed
+// (0 = nothing left to give). Registered by SDS implementations.
+using CustomReclaimFn = std::function<size_t(size_t target_bytes)>;
+
+// How a context's live allocations may be reclaimed.
+enum class ReclaimMode : uint8_t {
+  // Live allocations are never revoked; only the context's empty pages can
+  // be harvested. For soft memory used as scratch the app frees itself.
+  kNone = 0,
+  // The SMA tracks allocation order and drops oldest allocations first,
+  // invoking the callback on each (the paper's default list policy).
+  kOldestFirst = 1,
+  // The owning SDS implements `reclaim` itself (SoftArray, SoftLinkedList,
+  // SoftHashTable, ... register a CustomReclaimFn).
+  kCustom = 2,
+};
+
+struct ContextOptions {
+  std::string name;
+  // Reclamation order key: contexts with *lower* priority are asked to give
+  // up memory first ("it begins with the lowest priority soft linked list").
+  size_t priority = 0;
+  ReclaimMode mode = ReclaimMode::kOldestFirst;
+  ReclaimCallback callback;  // may be empty
+};
+
+// Per-context accounting snapshot.
+struct ContextStats {
+  std::string name;
+  size_t priority = 0;
+  size_t owned_pages = 0;      // pages currently assigned to the heap
+  size_t allocated_bytes = 0;  // sum of slot sizes of live allocations
+  size_t live_allocations = 0;
+  size_t reclaimed_allocations = 0;  // dropped by reclamation so far
+  size_t reclaimed_bytes = 0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SMA_CONTEXT_H_

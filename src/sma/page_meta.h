@@ -1,0 +1,44 @@
+// Side metadata for every page in the SMA's region.
+//
+// Metadata lives outside the pages themselves so that a page handed to the
+// application is fully usable and so that reclaimed (decommitted) pages
+// carry no in-band state. One PageMeta per page, indexed by page index.
+
+#ifndef SOFTMEM_SRC_SMA_PAGE_META_H_
+#define SOFTMEM_SRC_SMA_PAGE_META_H_
+
+#include <cstdint>
+
+namespace softmem {
+
+// Sentinel for "no page" in the intrusive page lists.
+inline constexpr uint32_t kNoPage = 0xFFFFFFFFu;
+// Sentinel for "no slot" in the in-slot free lists.
+inline constexpr uint16_t kNoSlot = 0xFFFFu;
+
+enum class PageState : uint8_t {
+  kUnowned = 0,   // not assigned to any heap
+  kSlab = 1,      // holds small-class slots
+  kLargeHead = 2, // first page of a multi-page (large) allocation
+  kLargeTail = 3, // continuation page of a large allocation
+};
+
+struct PageMeta {
+  PageState state = PageState::kUnowned;
+  uint8_t size_class = 0;   // kSlab: index into kSizeClasses
+  uint16_t context = 0;     // owning SdsContext id
+  uint16_t used_slots = 0;  // kSlab: live allocations on this page
+  uint16_t free_head = kNoSlot;  // kSlab: in-slot free list head
+  uint16_t uninit_slots = 0;     // kSlab: trailing never-touched slots
+  // Intrusive doubly-linked list (by page index). Every slab page is on
+  // exactly one of its heap's partial/full/empty lists; large heads are on
+  // the heap's large list; kLargeTail reuses `next` to point at its head.
+  uint32_t prev = kNoPage;
+  uint32_t next = kNoPage;
+};
+
+static_assert(sizeof(PageMeta) <= 24, "PageMeta should stay compact");
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SMA_PAGE_META_H_

@@ -1,0 +1,57 @@
+// ReclaimPin — RAII dereference scope (§7 "Concurrency").
+//
+// "AIFM's smart pointers ... require developers to wrap their accesses to
+//  the data pointed to into dereference scopes, custom syntactic constructs
+//  that notify a runtime that a thread is currently accessing an
+//  allocation."
+//
+// ReclaimPin is that construct at context granularity: while one is alive,
+// the SMA's reclamation engine will not revoke the context's live
+// allocations, so raw pointers into it are stable for the scope's duration.
+// Coarser than AIFM's per-object scopes, but free on the access path — the
+// cost is paid by the (rare) reclamation instead of every dereference,
+// which fits soft memory's drop-don't-swap model.
+
+#ifndef SOFTMEM_SRC_SMA_RECLAIM_PIN_H_
+#define SOFTMEM_SRC_SMA_RECLAIM_PIN_H_
+
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+
+class ReclaimPin {
+ public:
+  ReclaimPin(SoftMemoryAllocator* sma, ContextId ctx) : sma_(sma), ctx_(ctx) {
+    engaged_ = sma_->PinContext(ctx_).ok();
+  }
+
+  ~ReclaimPin() { release(); }
+
+  ReclaimPin(const ReclaimPin&) = delete;
+  ReclaimPin& operator=(const ReclaimPin&) = delete;
+
+  ReclaimPin(ReclaimPin&& other) noexcept
+      : sma_(other.sma_), ctx_(other.ctx_), engaged_(other.engaged_) {
+    other.engaged_ = false;
+  }
+
+  // True if the pin actually took hold (the context exists and is alive).
+  bool engaged() const { return engaged_; }
+
+  // Ends the scope early.
+  void release() {
+    if (engaged_) {
+      sma_->UnpinContext(ctx_);
+      engaged_ = false;
+    }
+  }
+
+ private:
+  SoftMemoryAllocator* sma_;
+  ContextId ctx_;
+  bool engaged_ = false;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SMA_RECLAIM_PIN_H_

@@ -1,0 +1,35 @@
+#include "src/sma/size_classes.h"
+
+#include <cassert>
+
+namespace softmem {
+
+namespace {
+
+// Lookup table: ceil(size/16) -> class index, covering sizes 1..kMaxSmallSize.
+struct ClassTable {
+  static constexpr size_t kEntries = kMaxSmallSize / 16 + 1;
+  std::array<int8_t, kEntries> index;
+
+  constexpr ClassTable() : index() {
+    size_t cls = 0;
+    for (size_t e = 0; e < kEntries; ++e) {
+      const size_t size = e * 16;
+      while (kSizeClasses[cls] < size) {
+        ++cls;
+      }
+      index[e] = static_cast<int8_t>(cls);
+    }
+  }
+};
+
+constexpr ClassTable kTable{};
+
+}  // namespace
+
+int SizeClassFor(size_t size) {
+  assert(size >= 1 && size <= kMaxSmallSize);
+  return kTable.index[(size + 15) / 16];
+}
+
+}  // namespace softmem

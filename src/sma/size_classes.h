@@ -1,0 +1,43 @@
+// Size classes for the SMA's slab heaps.
+//
+// Small allocations (<= kMaxSmallSize) are rounded up to a size class and
+// carved out of single pages; larger allocations get dedicated page runs.
+// The class list is chosen so that common sizes waste little page space —
+// notably 1024 B (the paper's stress-test allocation size) packs exactly
+// four slots per 4 KiB page.
+
+#ifndef SOFTMEM_SRC_SMA_SIZE_CLASSES_H_
+#define SOFTMEM_SRC_SMA_SIZE_CLASSES_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/units.h"
+
+namespace softmem {
+
+inline constexpr std::array<uint16_t, 21> kSizeClasses = {
+    16,  32,  48,  64,  80,  96,   112,  128,  160,  192, 224,
+    256, 320, 384, 448, 512, 640,  768,  1024, 1360, 2048,
+};
+
+inline constexpr size_t kNumSizeClasses = kSizeClasses.size();
+inline constexpr size_t kMaxSmallSize = kSizeClasses.back();
+
+// Index of the smallest class that fits `size` (1 <= size <= kMaxSmallSize).
+int SizeClassFor(size_t size);
+
+// Slot size of class `index`.
+inline size_t SizeClassBytes(int index) {
+  return kSizeClasses[static_cast<size_t>(index)];
+}
+
+// Slots that fit in one page for class `index`.
+inline size_t SlotsPerPage(int index) {
+  return kPageSize / SizeClassBytes(index);
+}
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SMA_SIZE_CLASSES_H_

@@ -1,0 +1,52 @@
+// Channel from a process's SMA to the machine-wide Soft Memory Daemon.
+//
+// The SMA asks for budget through this interface; implementations are
+//  * NullSmdChannel        — no daemon; the SMA lives on a fixed budget,
+//  * runtime::SimMachine   — in-process daemon, synchronous calls,
+//  * ipc::DaemonClient     — real daemon over a Unix socket.
+//
+// Reclaim demands flow the *other* way (daemon -> process); transports
+// deliver them by invoking SoftMemoryAllocator::HandleReclaimDemand.
+
+#ifndef SOFTMEM_SRC_SMA_SMD_CHANNEL_H_
+#define SOFTMEM_SRC_SMA_SMD_CHANNEL_H_
+
+#include <cstddef>
+
+#include "src/common/status.h"
+
+namespace softmem {
+
+class SmdChannel {
+ public:
+  virtual ~SmdChannel() = default;
+
+  // Asks the daemon to raise this process's soft budget by `pages`.
+  // Returns the pages actually granted (the daemon may reclaim from other
+  // processes to satisfy this). An error of kDenied means the daemon could
+  // not free enough memory and refused the request (§3.3).
+  virtual Result<size_t> RequestBudget(size_t pages) = 0;
+
+  // Returns `pages` of unused budget to the daemon (e.g. after the SMA gave
+  // up memory voluntarily). Best effort.
+  virtual void ReleaseBudget(size_t pages) = 0;
+
+  // Reports current usage so the daemon's reclamation-weight policy sees
+  // fresh numbers. `soft_pages`: committed soft pages. `traditional_bytes`:
+  // the process's ordinary heap footprint.
+  virtual void ReportUsage(size_t soft_pages, size_t traditional_bytes) = 0;
+};
+
+// Stand-alone mode: whatever budget the SMA was created with is all it gets.
+class NullSmdChannel : public SmdChannel {
+ public:
+  Result<size_t> RequestBudget(size_t) override {
+    return DeniedError("no soft memory daemon connected");
+  }
+  void ReleaseBudget(size_t) override {}
+  void ReportUsage(size_t, size_t) override {}
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SMA_SMD_CHANNEL_H_

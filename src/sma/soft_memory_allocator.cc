@@ -1,0 +1,796 @@
+#include "src/sma/soft_memory_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace softmem {
+
+Result<std::unique_ptr<SoftMemoryAllocator>> SoftMemoryAllocator::Create(
+    const SmaOptions& options, SmdChannel* channel) {
+  std::unique_ptr<PageSource> source;
+  if (options.use_mmap) {
+    SOFTMEM_ASSIGN_OR_RETURN(MmapPageSource * raw,
+                             MmapPageSource::Create(options.region_pages));
+    source.reset(raw);
+  } else {
+    source = std::make_unique<SimPageSource>(options.region_pages);
+  }
+  return CreateWithSource(options, channel, std::move(source));
+}
+
+Result<std::unique_ptr<SoftMemoryAllocator>>
+SoftMemoryAllocator::CreateWithSource(const SmaOptions& options,
+                                      SmdChannel* channel,
+                                      std::unique_ptr<PageSource> source) {
+  if (source == nullptr || source->page_count() == 0) {
+    return InvalidArgumentError("page source must be non-empty");
+  }
+  auto sma = std::unique_ptr<SoftMemoryAllocator>(
+      new SoftMemoryAllocator(options, channel, std::move(source)));
+  // The implicit default context (id 0) backs the bare soft_malloc API.
+  ContextOptions default_opts;
+  default_opts.name = "default";
+  default_opts.priority = 0;
+  default_opts.mode = ReclaimMode::kOldestFirst;
+  auto ctx = sma->CreateContext(default_opts);
+  if (!ctx.ok()) {
+    return ctx.status();
+  }
+  assert(*ctx == kDefaultContext);
+  return sma;
+}
+
+SoftMemoryAllocator::SoftMemoryAllocator(const SmaOptions& options,
+                                         SmdChannel* channel,
+                                         std::unique_ptr<PageSource> source)
+    : options_(options),
+      channel_(channel != nullptr ? channel : &null_channel_),
+      pool_(std::move(source)),
+      metas_(pool_.total_pages()),
+      budget_pages_(options.initial_budget_pages) {}
+
+SoftMemoryAllocator::~SoftMemoryAllocator() = default;
+
+// ---- Contexts --------------------------------------------------------------
+
+Result<ContextId> SoftMemoryAllocator::CreateContext(
+    const ContextOptions& options) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (contexts_.size() >= 0xFFFF) {
+    return ResourceExhaustedError("too many contexts");
+  }
+  auto ctx = std::make_unique<Context>();
+  ctx->options = options;
+  ctx->alive = true;
+  contexts_.push_back(std::move(ctx));
+  return static_cast<ContextId>(contexts_.size() - 1);
+}
+
+Status SoftMemoryAllocator::DestroyContext(ContextId id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (id == kDefaultContext) {
+    return InvalidArgumentError("the default context cannot be destroyed");
+  }
+  if (id >= contexts_.size() || !contexts_[id]->alive) {
+    return NotFoundError("no such context");
+  }
+  Context* c = contexts_[id].get();
+  Heap& h = c->heap;
+
+  // Tracked pointers into this context's allocations become null, not
+  // dangling (§7).
+  for (auto it = tracked_ptrs_.begin(); it != tracked_ptrs_.end();) {
+    if (metas_[pool_.PageIndexOf(it->first)].context == id) {
+      *static_cast<void**>(it->second) = nullptr;
+      it = tracked_ptrs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Return every owned page to the global pool. Slab pages live on exactly
+  // one of the partial/full/empty lists; large runs on the large list.
+  auto release_list = [&](uint32_t* head) {
+    while (*head != kNoPage) {
+      const uint32_t page = *head;
+      ListRemove(head, page);
+      metas_[page] = PageMeta{};
+      pool_.Release(PageRun{page, 1});
+    }
+  };
+  for (size_t cls = 0; cls < kNumSizeClasses; ++cls) {
+    release_list(&h.partial_head[cls]);
+  }
+  release_list(&h.full_head);
+  release_list(&h.empty_head);
+  while (h.large_head != kNoPage) {
+    const uint32_t page = h.large_head;
+    ListRemove(&h.large_head, page);
+    const LargeInfo info = large_info_.at(page);
+    for (uint32_t i = 0; i < info.run_pages; ++i) {
+      metas_[page + i] = PageMeta{};
+    }
+    large_info_.erase(page);
+    pool_.Release(PageRun{page, info.run_pages});
+  }
+
+  total_frees_ += h.live_allocations;
+  c->alive = false;
+  c->heap = Heap{};
+  c->order.clear();
+  c->live_seq.clear();
+  c->custom_reclaim = nullptr;
+  return Status::Ok();
+}
+
+Status SoftMemoryAllocator::SetCustomReclaim(ContextId id, CustomReclaimFn fn) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (id >= contexts_.size() || !contexts_[id]->alive) {
+    return NotFoundError("no such context");
+  }
+  contexts_[id]->custom_reclaim = std::move(fn);
+  contexts_[id]->options.mode = ReclaimMode::kCustom;
+  return Status::Ok();
+}
+
+Status SoftMemoryAllocator::PinContext(ContextId id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (id >= contexts_.size() || !contexts_[id]->alive) {
+    return NotFoundError("no such context");
+  }
+  ++contexts_[id]->pin_count;
+  return Status::Ok();
+}
+
+Status SoftMemoryAllocator::UnpinContext(ContextId id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (id >= contexts_.size() || !contexts_[id]->alive) {
+    return NotFoundError("no such context");
+  }
+  if (contexts_[id]->pin_count == 0) {
+    return FailedPreconditionError("context is not pinned");
+  }
+  --contexts_[id]->pin_count;
+  return Status::Ok();
+}
+
+Status SoftMemoryAllocator::SetPriority(ContextId id, size_t priority) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (id >= contexts_.size() || !contexts_[id]->alive) {
+    return NotFoundError("no such context");
+  }
+  contexts_[id]->options.priority = priority;
+  return Status::Ok();
+}
+
+// ---- Intrusive page lists ---------------------------------------------------
+
+void SoftMemoryAllocator::ListPush(uint32_t* head, uint32_t page) {
+  PageMeta& m = metas_[page];
+  m.prev = kNoPage;
+  m.next = *head;
+  if (*head != kNoPage) {
+    metas_[*head].prev = page;
+  }
+  *head = page;
+}
+
+void SoftMemoryAllocator::ListRemove(uint32_t* head, uint32_t page) {
+  PageMeta& m = metas_[page];
+  if (m.prev != kNoPage) {
+    metas_[m.prev].next = m.next;
+  } else {
+    *head = m.next;
+  }
+  if (m.next != kNoPage) {
+    metas_[m.next].prev = m.prev;
+  }
+  m.prev = kNoPage;
+  m.next = kNoPage;
+}
+
+void* SoftMemoryAllocator::SlotAddress(uint32_t page, int size_class,
+                                       uint16_t slot) const {
+  return static_cast<char*>(pool_.PageAddress(page)) +
+         static_cast<size_t>(slot) * SizeClassBytes(size_class);
+}
+
+// ---- Allocation -------------------------------------------------------------
+
+void* SoftMemoryAllocator::SoftMalloc(ContextId ctx_id, size_t size) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (ctx_id >= contexts_.size() || !contexts_[ctx_id]->alive) {
+    return nullptr;
+  }
+  if (size == 0) {
+    size = 1;
+  }
+  void* ptr = nullptr;
+  if (size <= kMaxSmallSize) {
+    ptr = AllocSmallLocked(ctx_id, SizeClassFor(size));
+  } else {
+    ptr = AllocLargeLocked(ctx_id, size);
+  }
+  if (ptr == nullptr) {
+    return nullptr;
+  }
+  ++total_allocs_;
+  Context* c = contexts_[ctx_id].get();
+  if (c->options.mode == ReclaimMode::kOldestFirst) {
+    const uint64_t seq = c->next_seq++;
+    c->live_seq[ptr] = seq;
+    c->order.emplace_back(ptr, seq);
+    // Compact the order deque when it is mostly stale entries.
+    if (c->order.size() > 1024 && c->live_seq.size() * 2 < c->order.size()) {
+      std::deque<std::pair<void*, uint64_t>> fresh;
+      for (const auto& [p, s] : c->order) {
+        auto it = c->live_seq.find(p);
+        if (it != c->live_seq.end() && it->second == s) {
+          fresh.emplace_back(p, s);
+        }
+      }
+      c->order.swap(fresh);
+    }
+  }
+  return ptr;
+}
+
+void* SoftMemoryAllocator::AllocSmallLocked(ContextId ctx_id, int size_class) {
+  Context* c = contexts_[ctx_id].get();
+  Heap& h = c->heap;
+  const size_t cls_bytes = SizeClassBytes(size_class);
+  const auto slots_total = static_cast<uint16_t>(SlotsPerPage(size_class));
+
+  uint32_t page = h.partial_head[static_cast<size_t>(size_class)];
+  if (page == kNoPage) {
+    auto taken = TakeSlabPageLocked(ctx_id);
+    if (!taken.ok()) {
+      return nullptr;
+    }
+    page = *taken;
+    PageMeta& m = metas_[page];
+    m.state = PageState::kSlab;
+    m.size_class = static_cast<uint8_t>(size_class);
+    m.context = ctx_id;
+    m.used_slots = 0;
+    m.free_head = kNoSlot;
+    m.uninit_slots = slots_total;
+    ListPush(&h.partial_head[static_cast<size_t>(size_class)], page);
+  }
+
+  PageMeta& m = metas_[page];
+  char* base = static_cast<char*>(pool_.PageAddress(page));
+  uint16_t slot;
+  if (m.free_head != kNoSlot) {
+    slot = m.free_head;
+    uint16_t next;
+    std::memcpy(&next, base + static_cast<size_t>(slot) * cls_bytes,
+                sizeof(next));
+    m.free_head = next;
+  } else {
+    assert(m.uninit_slots > 0);
+    slot = static_cast<uint16_t>(slots_total - m.uninit_slots);
+    --m.uninit_slots;
+  }
+  ++m.used_slots;
+  if (m.used_slots == slots_total) {
+    ListRemove(&h.partial_head[static_cast<size_t>(size_class)], page);
+    ListPush(&h.full_head, page);
+  }
+  h.allocated_bytes += cls_bytes;
+  ++h.live_allocations;
+  return base + static_cast<size_t>(slot) * cls_bytes;
+}
+
+void* SoftMemoryAllocator::AllocLargeLocked(ContextId ctx_id, size_t size) {
+  Context* c = contexts_[ctx_id].get();
+  Heap& h = c->heap;
+  const size_t pages = PagesForBytes(size);
+  auto run = AcquirePagesLocked(ctx_id, pages);
+  if (!run.ok()) {
+    return nullptr;
+  }
+  const auto head = static_cast<uint32_t>(run->start);
+  PageMeta& hm = metas_[head];
+  hm.state = PageState::kLargeHead;
+  hm.context = ctx_id;
+  for (size_t i = 1; i < pages; ++i) {
+    PageMeta& tm = metas_[head + i];
+    tm.state = PageState::kLargeTail;
+    tm.context = ctx_id;
+    tm.next = head;  // tails point at their head
+  }
+  ListPush(&h.large_head, head);
+  large_info_[head] = LargeInfo{static_cast<uint32_t>(pages), size};
+  h.owned_pages += pages;
+  h.allocated_bytes += size;
+  ++h.live_allocations;
+  return pool_.PageAddress(head);
+}
+
+void* SoftMemoryAllocator::SoftCalloc(ContextId ctx, size_t n, size_t size) {
+  if (n != 0 && size > SIZE_MAX / n) {
+    return nullptr;  // overflow
+  }
+  void* p = SoftMalloc(ctx, n * size);
+  if (p != nullptr) {
+    std::memset(p, 0, n * size);
+  }
+  return p;
+}
+
+void* SoftMemoryAllocator::SoftRealloc(void* ptr, size_t new_size) {
+  if (ptr == nullptr) {
+    return SoftMalloc(kDefaultContext, new_size);
+  }
+  if (new_size == 0) {
+    SoftFree(ptr);
+    return nullptr;
+  }
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const size_t page = pool_.PageIndexOf(ptr);
+  const PageMeta& m = metas_[page];
+  if (m.state != PageState::kSlab && m.state != PageState::kLargeHead) {
+    SOFTMEM_LOG(Error) << "SoftRealloc of non-live pointer " << ptr;
+    return nullptr;
+  }
+  const ContextId ctx = m.context;
+  // Current usable capacity of the slot/run.
+  const size_t usable =
+      m.state == PageState::kSlab
+          ? SizeClassBytes(m.size_class)
+          : large_info_.at(static_cast<uint32_t>(page)).run_pages * kPageSize;
+  // Grow/shrink in place when the backing slot already fits: for small
+  // allocations this also avoids churning the reclamation registry.
+  if (new_size <= usable &&
+      (m.state != PageState::kSlab ||
+       new_size > (m.size_class > 0
+                       ? SizeClassBytes(m.size_class - 1)
+                       : 0))) {
+    return ptr;
+  }
+  void* fresh = SoftMalloc(ctx, new_size);
+  if (fresh == nullptr) {
+    return nullptr;  // original stays valid
+  }
+  const size_t old_payload = m.state == PageState::kSlab
+                                 ? SizeClassBytes(m.size_class)
+                                 : large_info_.at(static_cast<uint32_t>(page))
+                                       .bytes;
+  std::memcpy(fresh, ptr, std::min(old_payload, new_size));
+  FreeLocked(ptr);
+  return fresh;
+}
+
+void SoftMemoryAllocator::SoftFree(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  FreeLocked(ptr);
+}
+
+void SoftMemoryAllocator::TrackPointer(void* alloc, void* holder) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  tracked_ptrs_.emplace(alloc, holder);
+}
+
+void SoftMemoryAllocator::UntrackPointer(void* alloc, void* holder) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto [begin, end] = tracked_ptrs_.equal_range(alloc);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == holder) {
+      tracked_ptrs_.erase(it);
+      return;
+    }
+  }
+}
+
+void SoftMemoryAllocator::InvalidateTrackedLocked(void* alloc) {
+  auto [begin, end] = tracked_ptrs_.equal_range(alloc);
+  for (auto it = begin; it != end; ++it) {
+    *static_cast<void**>(it->second) = nullptr;
+  }
+  tracked_ptrs_.erase(begin, end);
+}
+
+void SoftMemoryAllocator::FreeLocked(void* ptr) {
+  const size_t page = pool_.PageIndexOf(ptr);
+  PageMeta& m = metas_[page];
+  if (m.state != PageState::kSlab && m.state != PageState::kLargeHead) {
+    // Double free or use of a pointer whose allocation was reclaimed (§7:
+    // pointers into reclaimed memory become invalid). Unlike free(3) this
+    // is detectable with the side metadata, so fail loudly but safely.
+    SOFTMEM_LOG(Error) << "SoftFree of non-live pointer " << ptr
+                       << " (reclaimed or double-freed?) — ignored";
+    assert(false && "SoftFree of non-live pointer");
+    return;
+  }
+  if (!tracked_ptrs_.empty()) {
+    InvalidateTrackedLocked(ptr);
+  }
+  Context* c = contexts_[m.context].get();
+  Heap& h = c->heap;
+
+  if (m.state == PageState::kSlab) {
+    const int cls = m.size_class;
+    const size_t cls_bytes = SizeClassBytes(cls);
+    const auto slots_total = static_cast<uint16_t>(SlotsPerPage(cls));
+    char* base = static_cast<char*>(pool_.PageAddress(page));
+    const auto offset =
+        static_cast<size_t>(static_cast<char*>(ptr) - base);
+    assert(offset % cls_bytes == 0 && "pointer does not start an allocation");
+    const auto slot = static_cast<uint16_t>(offset / cls_bytes);
+
+    uint16_t next = m.free_head;
+    std::memcpy(ptr, &next, sizeof(next));
+    m.free_head = slot;
+    const bool was_full = (m.used_slots == slots_total);
+    --m.used_slots;
+    if (was_full) {
+      ListRemove(&h.full_head, static_cast<uint32_t>(page));
+      ListPush(&h.partial_head[static_cast<size_t>(cls)],
+               static_cast<uint32_t>(page));
+    }
+    if (m.used_slots == 0) {
+      ListRemove(&h.partial_head[static_cast<size_t>(cls)],
+                 static_cast<uint32_t>(page));
+      if (h.empty_count < options_.heap_retain_empty_pages) {
+        ListPush(&h.empty_head, static_cast<uint32_t>(page));
+        ++h.empty_count;
+      } else {
+        metas_[page] = PageMeta{};
+        --h.owned_pages;
+        pool_.Release(PageRun{page, 1});
+      }
+    }
+    h.allocated_bytes -= cls_bytes;
+    --h.live_allocations;
+  } else {
+    const LargeInfo info = large_info_.at(static_cast<uint32_t>(page));
+    ListRemove(&h.large_head, static_cast<uint32_t>(page));
+    for (uint32_t i = 0; i < info.run_pages; ++i) {
+      metas_[page + i] = PageMeta{};
+    }
+    large_info_.erase(static_cast<uint32_t>(page));
+    h.owned_pages -= info.run_pages;
+    h.allocated_bytes -= info.bytes;
+    --h.live_allocations;
+    pool_.Release(PageRun{page, info.run_pages});
+  }
+
+  if (c->options.mode == ReclaimMode::kOldestFirst) {
+    c->live_seq.erase(ptr);
+  }
+  ++total_frees_;
+}
+
+size_t SoftMemoryAllocator::AllocationSize(const void* ptr) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const size_t page = pool_.PageIndexOf(ptr);
+  const PageMeta& m = metas_[page];
+  if (m.state == PageState::kSlab) {
+    return SizeClassBytes(m.size_class);
+  }
+  if (m.state == PageState::kLargeHead) {
+    return large_info_.at(static_cast<uint32_t>(page)).bytes;
+  }
+  return 0;
+}
+
+bool SoftMemoryAllocator::Owns(const void* ptr) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const char* base = static_cast<const char*>(pool_.PageAddress(0));
+  const char* p = static_cast<const char*>(ptr);
+  if (p < base || p >= base + pool_.total_pages() * kPageSize) {
+    return false;
+  }
+  const PageMeta& m = metas_[pool_.PageIndexOf(ptr)];
+  return m.state == PageState::kSlab || m.state == PageState::kLargeHead ||
+         m.state == PageState::kLargeTail;
+}
+
+// ---- Page acquisition -------------------------------------------------------
+
+Result<uint32_t> SoftMemoryAllocator::TakeSlabPageLocked(ContextId ctx_id) {
+  Context* c = contexts_[ctx_id].get();
+  Heap& h = c->heap;
+  if (h.empty_head != kNoPage) {
+    const uint32_t page = h.empty_head;
+    ListRemove(&h.empty_head, page);
+    --h.empty_count;
+    return page;
+  }
+  SOFTMEM_ASSIGN_OR_RETURN(PageRun run, AcquirePagesLocked(ctx_id, 1));
+  ++h.owned_pages;
+  return static_cast<uint32_t>(run.start);
+}
+
+Result<PageRun> SoftMemoryAllocator::AcquirePagesLocked(ContextId ctx_id,
+                                                        size_t count) {
+  // 1) Pool hit: committed pages we already own — no budget movement.
+  if (auto pooled = pool_.AcquirePooled(count); pooled.ok()) {
+    return pooled;
+  }
+  // 2) Fresh commit requires budget headroom.
+  if (pool_.committed_pages() + count > budget_pages_) {
+    const size_t want = std::max(count, options_.budget_chunk_pages);
+    ++budget_requests_;
+    // Drop our lock across the daemon round-trip: the daemon may
+    // concurrently be demanding reclamation *from us* on behalf of another
+    // process, and holding mu_ here while the daemon holds its own lock
+    // would deadlock (ABBA). Correctness is restored by re-checking all
+    // conditions after relocking. (If a reclaim callback allocates — a
+    // discouraged pattern — the lock is held recursively and stays held;
+    // that path is only reachable single-threaded.)
+    mu_.unlock();
+    auto granted = channel_->RequestBudget(want);
+    mu_.lock();
+    if (granted.ok()) {
+      budget_pages_ += *granted;
+    } else {
+      ++budget_request_failures_;
+    }
+    // Re-check after the unlocked window: another thread may have used or
+    // freed pages meanwhile.
+    if (auto pooled = pool_.AcquirePooled(count); pooled.ok()) {
+      return pooled;
+    }
+    if (pool_.committed_pages() + count > budget_pages_ &&
+        options_.allow_self_reclaim) {
+      // Make room under the existing budget by revoking this process's own
+      // lower-priority soft memory (never the allocating context's).
+      ++self_reclaims_;
+      std::vector<ContextId> order;
+      for (ContextId id = 0; id < contexts_.size(); ++id) {
+        if (contexts_[id]->alive && id != ctx_id) {
+          order.push_back(id);
+        }
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [this](ContextId a, ContextId b) {
+                         return contexts_[a]->options.priority <
+                                contexts_[b]->options.priority;
+                       });
+      for (ContextId id : order) {
+        if (pool_.pooled_pages() >= count) {
+          break;
+        }
+        if (contexts_[id]->pin_count > 0) {
+          continue;
+        }
+        ReclaimFromContextLocked(contexts_[id].get(),
+                                 count - pool_.pooled_pages());
+      }
+      if (auto pooled = pool_.AcquirePooled(count); pooled.ok()) {
+        return pooled;
+      }
+    }
+    if (pool_.committed_pages() + count > budget_pages_) {
+      return DeniedError("soft budget exhausted and daemon denied more");
+    }
+  }
+  return pool_.AcquireFresh(count);
+}
+
+// ---- Reclamation ------------------------------------------------------------
+
+void SoftMemoryAllocator::HarvestEmptyPagesLocked(Context* c) {
+  Heap& h = c->heap;
+  while (h.empty_head != kNoPage) {
+    const uint32_t page = h.empty_head;
+    ListRemove(&h.empty_head, page);
+    --h.empty_count;
+    metas_[page] = PageMeta{};
+    --h.owned_pages;
+    pool_.Release(PageRun{page, 1});
+  }
+}
+
+size_t SoftMemoryAllocator::ReclaimOldestFirstLocked(Context* c,
+                                                     size_t target_bytes) {
+  size_t freed = 0;
+  while (freed < target_bytes && !c->order.empty()) {
+    auto [ptr, seq] = c->order.front();
+    c->order.pop_front();
+    auto it = c->live_seq.find(ptr);
+    if (it == c->live_seq.end() || it->second != seq) {
+      continue;  // stale entry: the allocation was freed (and maybe reused)
+    }
+    const size_t page_idx = pool_.PageIndexOf(ptr);
+    const PageState st = metas_[page_idx].state;
+    assert(st == PageState::kSlab || st == PageState::kLargeHead);
+    const size_t size = st == PageState::kSlab
+                            ? SizeClassBytes(metas_[page_idx].size_class)
+                            : large_info_.at(static_cast<uint32_t>(page_idx)).bytes;
+    if (c->options.callback) {
+      ++reclaim_callbacks_;
+      c->options.callback(ptr, size);
+    }
+    FreeLocked(ptr);
+    ++c->reclaimed_allocations;
+    c->reclaimed_bytes += size;
+    freed += size;
+  }
+  return freed;
+}
+
+// Frees allocations of `c` until the global pool gained `want_pool_pages`
+// pages or the context has nothing left to give. Returns pages gained.
+size_t SoftMemoryAllocator::ReclaimFromContextLocked(Context* c,
+                                                     size_t want_pool_pages) {
+  const size_t start_pool = pool_.pooled_pages();
+  auto gained = [&]() {
+    const size_t now = pool_.pooled_pages();
+    return now > start_pool ? now - start_pool : 0;
+  };
+  for (;;) {
+    HarvestEmptyPagesLocked(c);
+    if (gained() >= want_pool_pages) {
+      break;
+    }
+    const size_t target_bytes = (want_pool_pages - gained()) * kPageSize;
+    size_t freed = 0;
+    if (c->custom_reclaim) {
+      freed = c->custom_reclaim(target_bytes);
+    } else if (c->options.mode == ReclaimMode::kOldestFirst) {
+      freed = ReclaimOldestFirstLocked(c, target_bytes);
+    }
+    if (freed == 0) {
+      HarvestEmptyPagesLocked(c);
+      break;  // context exhausted (or mode kNone / kCustom without fn)
+    }
+  }
+  return gained();
+}
+
+size_t SoftMemoryAllocator::HandleReclaimDemand(size_t pages) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ++reclaim_demands_;
+  size_t produced = 0;
+
+  // Tier 0a: budget slack — budget we hold but have not committed. Giving it
+  // up costs nothing physically.
+  const size_t committed = pool_.committed_pages();
+  const size_t slack = budget_pages_ > committed ? budget_pages_ - committed : 0;
+  const size_t slack_take = std::min(slack, pages);
+  budget_pages_ -= slack_take;
+  produced += slack_take;
+
+  // Tier 0b: pooled free pages — decommit without disturbing any SDS.
+  if (produced < pages) {
+    const size_t d = pool_.DecommitPooled(pages - produced);
+    budget_pages_ -= d;
+    produced += d;
+  }
+
+  // Tiers 1+2: SDS contexts in ascending priority; each frees its own
+  // allocations (callback per drop) until whole pages come free.
+  if (produced < pages) {
+    std::vector<ContextId> order;
+    for (ContextId id = 0; id < contexts_.size(); ++id) {
+      if (contexts_[id]->alive) {
+        order.push_back(id);
+      }
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [this](ContextId a, ContextId b) {
+                       return contexts_[a]->options.priority <
+                              contexts_[b]->options.priority;
+                     });
+    for (ContextId id : order) {
+      if (produced >= pages) {
+        break;
+      }
+      if (contexts_[id]->pin_count > 0) {
+        continue;  // a thread is actively accessing this context (§7)
+      }
+      ReclaimFromContextLocked(contexts_[id].get(), pages - produced);
+      const size_t d = pool_.DecommitPooled(pages - produced);
+      budget_pages_ -= d;
+      produced += d;
+    }
+  }
+
+  reclaimed_pages_ += produced;
+  ReportUsageLocked();
+  return produced;
+}
+
+size_t SoftMemoryAllocator::TrimAndReleaseBudget() {
+  size_t slack = 0;
+  size_t soft_pages = 0;
+  size_t traditional = 0;
+  {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    // Decommit is physical only; the budget released is the resulting slack
+    // (decommitted pages become slack, so counting both would double-count).
+    pool_.DecommitPooled(pool_.pooled_pages());
+    const size_t committed = pool_.committed_pages();
+    slack = budget_pages_ > committed ? budget_pages_ - committed : 0;
+    budget_pages_ -= slack;
+    soft_pages = committed;
+    traditional = traditional_bytes_;
+  }
+  // Daemon calls happen without mu_ held (lock-order: never SMA -> daemon).
+  if (slack > 0) {
+    channel_->ReleaseBudget(slack);
+  }
+  channel_->ReportUsage(soft_pages, traditional);
+  return slack;
+}
+
+void SoftMemoryAllocator::ReportUsageLocked() {
+  channel_->ReportUsage(pool_.committed_pages(), traditional_bytes_);
+}
+
+void SoftMemoryAllocator::ReportTraditionalUsage(size_t bytes) {
+  size_t soft_pages = 0;
+  {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    traditional_bytes_ = bytes;
+    soft_pages = pool_.committed_pages();
+  }
+  channel_->ReportUsage(soft_pages, bytes);
+}
+
+// ---- Introspection ----------------------------------------------------------
+
+SmaStats SoftMemoryAllocator::GetStats() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  SmaStats s;
+  s.region_pages = pool_.total_pages();
+  s.budget_pages = budget_pages_;
+  s.committed_pages = pool_.committed_pages();
+  s.pooled_pages = pool_.pooled_pages();
+  s.in_use_pages = pool_.in_use_pages();
+  for (const auto& c : contexts_) {
+    if (c->alive) {
+      ++s.context_count;
+      s.live_allocations += c->heap.live_allocations;
+      s.allocated_bytes += c->heap.allocated_bytes;
+    }
+  }
+  s.total_allocs = total_allocs_;
+  s.total_frees = total_frees_;
+  s.budget_requests = budget_requests_;
+  s.budget_request_failures = budget_request_failures_;
+  s.reclaim_demands = reclaim_demands_;
+  s.reclaimed_pages = reclaimed_pages_;
+  s.reclaim_callbacks = reclaim_callbacks_;
+  s.self_reclaims = self_reclaims_;
+  return s;
+}
+
+Result<ContextStats> SoftMemoryAllocator::GetContextStats(ContextId id) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (id >= contexts_.size() || !contexts_[id]->alive) {
+    return NotFoundError("no such context");
+  }
+  const Context* c = contexts_[id].get();
+  ContextStats s;
+  s.name = c->options.name;
+  s.priority = c->options.priority;
+  s.owned_pages = c->heap.owned_pages;
+  s.allocated_bytes = c->heap.allocated_bytes;
+  s.live_allocations = c->heap.live_allocations;
+  s.reclaimed_allocations = c->reclaimed_allocations;
+  s.reclaimed_bytes = c->reclaimed_bytes;
+  return s;
+}
+
+size_t SoftMemoryAllocator::budget_pages() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return budget_pages_;
+}
+
+size_t SoftMemoryAllocator::committed_pages() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return pool_.committed_pages();
+}
+
+}  // namespace softmem

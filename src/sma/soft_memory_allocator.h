@@ -1,0 +1,296 @@
+// The Soft Memory Allocator (SMA) — the paper's primary contribution (§3.1).
+//
+// One SoftMemoryAllocator instance manages all soft memory of one process:
+//
+//  * It owns a virtual page region (PagePool over a PageSource) and a soft
+//    *budget* measured in pages. Committed pages never exceed the budget;
+//    when more are needed the SMA asks the Soft Memory Daemon for budget
+//    through an SmdChannel, which may trigger reclamation in other processes.
+//  * Each Soft Data Structure registers a *context* — its own heap (set of
+//    pages with slab sub-allocation), a user-defined priority, a reclaim
+//    callback and optionally a custom reclaim protocol.
+//  * `SoftMalloc`/`SoftFree` are the paper's soft_malloc/soft_free.
+//  * `HandleReclaimDemand` executes the two-tier reclamation protocol when
+//    the daemon needs pages back: budget slack first, then pooled free
+//    pages, then SDS contexts in ascending priority, each freeing its own
+//    allocations (callback per dropped allocation) until enough wholly-free
+//    pages exist; those pages are decommitted (returned to the OS) and the
+//    budget shrinks accordingly.
+//
+// Thread-safety: all public methods are safe to call concurrently; a single
+// recursive lock serializes them (reclaim callbacks run under the lock and
+// may call SoftFree). This mirrors the prototype's single-threaded-Redis
+// deployment; fine-grained concurrency is the paper's §7 open question.
+
+#ifndef SOFTMEM_SRC_SMA_SOFT_MEMORY_ALLOCATOR_H_
+#define SOFTMEM_SRC_SMA_SOFT_MEMORY_ALLOCATOR_H_
+
+#include <array>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/pagealloc/page_pool.h"
+#include "src/sma/context.h"
+#include "src/sma/page_meta.h"
+#include "src/sma/size_classes.h"
+#include "src/sma/smd_channel.h"
+
+namespace softmem {
+
+struct SmaOptions {
+  // Virtual region size. Committed memory is bounded by the budget, not by
+  // this; it only caps the address space (and the side-metadata table).
+  size_t region_pages = 512 * 1024;  // 2 GiB
+
+  // Budget the SMA starts with (granted out-of-band, e.g. by the scheduler).
+  size_t initial_budget_pages = 256;  // 1 MiB
+
+  // When budget runs out, ask the SMD for at least this many pages at once
+  // so daemon round-trips amortize over many allocations (§5 case (2)).
+  size_t budget_chunk_pages = 256;  // 1 MiB
+
+  // A heap keeps up to this many empty pages for quick reuse before
+  // transferring them back to the process-global free pool.
+  size_t heap_retain_empty_pages = 4;
+
+  // If the SMD denies a budget request, reclaim this process's own
+  // lower-priority soft memory (excluding the allocating context) to make
+  // room under the existing budget instead of failing the allocation.
+  bool allow_self_reclaim = false;
+
+  // Use real mmap-backed pages (decommit returns memory to the OS). When
+  // false, a heap-backed SimPageSource is used (portable; tests).
+  bool use_mmap = true;
+};
+
+// Snapshot of allocator-wide accounting.
+struct SmaStats {
+  size_t region_pages = 0;
+  size_t budget_pages = 0;
+  size_t committed_pages = 0;  // physical pages currently held
+  size_t pooled_pages = 0;     // committed but unassigned (global free pool)
+  size_t in_use_pages = 0;     // committed and assigned to heaps
+  size_t context_count = 0;
+  size_t live_allocations = 0;
+  size_t allocated_bytes = 0;  // sum of live slot sizes
+  // Cumulative counters.
+  size_t total_allocs = 0;
+  size_t total_frees = 0;
+  size_t budget_requests = 0;        // round-trips to the SMD
+  size_t budget_request_failures = 0;
+  size_t reclaim_demands = 0;        // HandleReclaimDemand calls
+  size_t reclaimed_pages = 0;        // pages relinquished to the daemon
+  size_t reclaim_callbacks = 0;      // allocations dropped via callback
+  size_t self_reclaims = 0;
+};
+
+class SoftMemoryAllocator {
+ public:
+  // Creates an allocator. `channel` may be null (stand-alone: fixed budget).
+  // The channel must outlive the allocator.
+  static Result<std::unique_ptr<SoftMemoryAllocator>> Create(
+      const SmaOptions& options, SmdChannel* channel = nullptr);
+
+  // As above with an explicit page source (tests inject SimPageSource with
+  // failure limits). `source->page_count()` overrides options.region_pages.
+  static Result<std::unique_ptr<SoftMemoryAllocator>> CreateWithSource(
+      const SmaOptions& options, SmdChannel* channel,
+      std::unique_ptr<PageSource> source);
+
+  ~SoftMemoryAllocator();
+
+  SoftMemoryAllocator(const SoftMemoryAllocator&) = delete;
+  SoftMemoryAllocator& operator=(const SoftMemoryAllocator&) = delete;
+
+  // ---- Contexts -----------------------------------------------------------
+
+  // Registers a new SDS context. The returned id is valid until destroyed.
+  Result<ContextId> CreateContext(const ContextOptions& options);
+
+  // Frees every live allocation of the context (without invoking the reclaim
+  // callback — destruction is an application decision, not a revocation) and
+  // returns its pages to the global pool.
+  Status DestroyContext(ContextId id);
+
+  // Installs/replaces the custom reclaim protocol of a kCustom context.
+  Status SetCustomReclaim(ContextId id, CustomReclaimFn fn);
+
+  // Adjusts a context's reclamation priority at runtime.
+  Status SetPriority(ContextId id, size_t priority);
+
+  // The implicit context backing the two-argument-free SoftMalloc overload
+  // (mode kOldestFirst, priority 0, no callback).
+  ContextId default_context() const { return kDefaultContext; }
+
+  // ---- Access pinning (§7 "Concurrency") ----------------------------------
+  // While a context's pin count is nonzero, reclamation skips its live
+  // allocations (budget slack and pooled pages are still fair game). This is
+  // the coarse-grained analogue of AIFM's dereference scopes: a thread that
+  // is actively reading soft memory pins the owning context so the data
+  // cannot vanish mid-access. Use the RAII ReclaimPin wrapper.
+  Status PinContext(ContextId id);
+  Status UnpinContext(ContextId id);
+
+  // ---- Allocation (the paper's soft_malloc / soft_free) -------------------
+
+  // Allocates `size` bytes of soft memory in `ctx`'s heap. Returns nullptr
+  // when the allocation cannot be satisfied: budget exhausted and the daemon
+  // denied more (after optional self-reclamation). Never throws.
+  void* SoftMalloc(ContextId ctx, size_t size);
+  void* SoftMalloc(size_t size) { return SoftMalloc(kDefaultContext, size); }
+
+  // Frees a pointer returned by SoftMalloc. nullptr is a no-op.
+  void SoftFree(void* ptr);
+
+  // Zero-initialized allocation (calloc semantics; checks n*size overflow).
+  void* SoftCalloc(ContextId ctx, size_t n, size_t size);
+
+  // Resizes `ptr` within its original context (realloc semantics): may
+  // return the same pointer (same size class), a new pointer with the
+  // contents copied, or nullptr on failure — in which case `ptr` is still
+  // valid and untouched. SoftRealloc(nullptr, n) allocates in the default
+  // context; SoftRealloc(ptr, 0) frees and returns nullptr.
+  void* SoftRealloc(void* ptr, size_t new_size);
+
+  // Size of the slot backing `ptr` (>= requested size).
+  size_t AllocationSize(const void* ptr) const;
+
+  // True if `ptr` is a currently-live soft allocation of this SMA.
+  bool Owns(const void* ptr) const;
+
+  // ---- Reclamation --------------------------------------------------------
+
+  // Executes a daemon reclamation demand for `pages` pages. Returns the
+  // number of pages actually relinquished (decommitted or released as budget
+  // slack); the budget shrinks by the same amount.
+  size_t HandleReclaimDemand(size_t pages);
+
+  // Voluntarily decommits all pooled pages and returns the resulting budget
+  // slack to the daemon. Returns pages given up.
+  size_t TrimAndReleaseBudget();
+
+  // ---- Introspection ------------------------------------------------------
+
+  SmaStats GetStats() const;
+  Result<ContextStats> GetContextStats(ContextId id) const;
+  size_t budget_pages() const;
+  size_t committed_pages() const;
+
+  // Sets the "traditional memory" figure reported to the daemon alongside
+  // soft usage (feeds the reclamation-weight policy).
+  void ReportTraditionalUsage(size_t bytes);
+
+  // ---- Tracked pointers (used by SoftPtr, §7) -----------------------------
+
+  // Registers `holder` (the address of a pointer variable currently holding
+  // `alloc`) to be rewritten to nullptr when `alloc` is freed or reclaimed.
+  void TrackPointer(void* alloc, void* holder);
+  void UntrackPointer(void* alloc, void* holder);
+
+ private:
+  static constexpr ContextId kDefaultContext = 0;
+
+  struct Heap {
+    std::array<uint32_t, kNumSizeClasses> partial_head;
+    uint32_t full_head = kNoPage;
+    uint32_t empty_head = kNoPage;
+    uint32_t large_head = kNoPage;
+    size_t empty_count = 0;
+    size_t owned_pages = 0;
+    size_t allocated_bytes = 0;
+    size_t live_allocations = 0;
+
+    Heap() { partial_head.fill(kNoPage); }
+  };
+
+  struct Context {
+    ContextOptions options;
+    CustomReclaimFn custom_reclaim;
+    Heap heap;
+    bool alive = false;
+    // Oldest-first registry (kOldestFirst mode only). Sequence numbers make
+    // stale deque entries (freed-then-reused pointers) detectable.
+    std::deque<std::pair<void*, uint64_t>> order;
+    std::unordered_map<void*, uint64_t> live_seq;
+    uint64_t next_seq = 0;
+    size_t pin_count = 0;  // reclamation skips this context while > 0
+    size_t reclaimed_allocations = 0;
+    size_t reclaimed_bytes = 0;
+  };
+
+  struct LargeInfo {
+    uint32_t run_pages;
+    size_t bytes;
+  };
+
+  SoftMemoryAllocator(const SmaOptions& options, SmdChannel* channel,
+                      std::unique_ptr<PageSource> source);
+
+  // Intrusive page-list helpers over metas_.
+  void ListPush(uint32_t* head, uint32_t page);
+  void ListRemove(uint32_t* head, uint32_t page);
+
+  void* SlotAddress(uint32_t page, int size_class, uint16_t slot) const;
+
+  void* AllocSmallLocked(ContextId ctx, int size_class);
+  void* AllocLargeLocked(ContextId ctx, size_t size);
+  void FreeLocked(void* ptr);
+
+  // Gets `count` contiguous pages for `ctx`, requesting budget / performing
+  // self-reclamation as configured. On success the pages are committed and
+  // counted against the budget.
+  Result<PageRun> AcquirePagesLocked(ContextId ctx, size_t count);
+
+  // Takes one page for a slab: heap empty list first, then AcquirePages.
+  Result<uint32_t> TakeSlabPageLocked(ContextId ctx);
+
+  // Moves all empty pages of `ctx` to the global pool.
+  void HarvestEmptyPagesLocked(Context* ctx);
+
+  // Frees allocations of `ctx` until the global pool has gained
+  // `want_pool_pages` pages or the context is exhausted. Returns pages gained.
+  size_t ReclaimFromContextLocked(Context* ctx, size_t want_pool_pages);
+
+  // Drops oldest allocations of `ctx` until ~target_bytes are freed.
+  size_t ReclaimOldestFirstLocked(Context* ctx, size_t target_bytes);
+
+  void ReportUsageLocked();
+
+  const SmaOptions options_;
+  SmdChannel* channel_;  // not owned; may be null
+  NullSmdChannel null_channel_;
+
+  // Nulls all tracked holders of `alloc` (called before the memory goes).
+  void InvalidateTrackedLocked(void* alloc);
+
+  mutable std::recursive_mutex mu_;
+  PagePool pool_;
+  std::vector<PageMeta> metas_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+  std::unordered_map<uint32_t, LargeInfo> large_info_;
+  // alloc base -> addresses of pointer variables to null on revocation.
+  std::unordered_multimap<void*, void*> tracked_ptrs_;
+  size_t budget_pages_;
+  size_t traditional_bytes_ = 0;
+
+  // Cumulative counters (see SmaStats).
+  size_t total_allocs_ = 0;
+  size_t total_frees_ = 0;
+  size_t budget_requests_ = 0;
+  size_t budget_request_failures_ = 0;
+  size_t reclaim_demands_ = 0;
+  size_t reclaimed_pages_ = 0;
+  size_t reclaim_callbacks_ = 0;
+  size_t self_reclaims_ = 0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SMA_SOFT_MEMORY_ALLOCATOR_H_

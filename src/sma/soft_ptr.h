@@ -1,0 +1,97 @@
+// SoftPtr — tracked pointers into soft memory (§7 "Handling Reclamation").
+//
+// "When a soft allocation gets reclaimed, all pointers into it become
+//  invalid. ... This could be solved by requiring pointers into soft memory
+//  to be created via a runtime that keeps track of these pointers."
+//
+// SoftPtr<T> is that runtime hook: it registers itself with the owning
+// SoftMemoryAllocator, and when the allocation it points to is freed or
+// revoked — by a reclamation demand, a self-reclaim, or an explicit
+// SoftFree elsewhere — the SMA rewrites it to null. Reading a SoftPtr after
+// revocation therefore yields nullptr instead of a dangling pointer.
+//
+// Cost: one hash-map operation at creation/destruction and per free of a
+// *tracked* allocation; untracked allocations pay a single branch. This is
+// the trade-off AIFM makes with smart far pointers, minus the per-deref
+// cost (we pay at reclaim time, not access time), which fits soft memory's
+// drop-don't-swap semantics.
+
+#ifndef SOFTMEM_SRC_SMA_SOFT_PTR_H_
+#define SOFTMEM_SRC_SMA_SOFT_PTR_H_
+
+#include <cstddef>
+
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+
+template <typename T>
+class SoftPtr {
+ public:
+  SoftPtr() = default;
+
+  // Tracks `ptr`, which must be a live allocation of `sma` (its base
+  // address, as returned by SoftMalloc) or null.
+  SoftPtr(SoftMemoryAllocator* sma, T* ptr) : sma_(sma) { Set(ptr); }
+
+  ~SoftPtr() { Set(nullptr); }
+
+  SoftPtr(const SoftPtr& other) : sma_(other.sma_) { Set(other.get()); }
+
+  SoftPtr& operator=(const SoftPtr& other) {
+    if (this != &other) {
+      Set(nullptr);
+      sma_ = other.sma_;
+      Set(other.get());
+    }
+    return *this;
+  }
+
+  SoftPtr(SoftPtr&& other) noexcept : sma_(other.sma_) {
+    // Moves must re-register at the new address.
+    Set(other.get());
+    other.Set(nullptr);
+  }
+
+  SoftPtr& operator=(SoftPtr&& other) noexcept {
+    if (this != &other) {
+      Set(nullptr);
+      sma_ = other.sma_;
+      Set(other.get());
+      other.Set(nullptr);
+    }
+    return *this;
+  }
+
+  // nullptr if the target was reclaimed (or never set).
+  T* get() const { return static_cast<T*>(target_); }
+  T* operator->() const { return get(); }
+  T& operator*() const { return *get(); }
+  explicit operator bool() const { return target_ != nullptr; }
+
+  // True if the pointer was set but has since been revoked.
+  bool revoked() const { return was_set_ && target_ == nullptr; }
+
+  // Re-points at another allocation (or null).
+  void reset(T* ptr = nullptr) { Set(ptr); }
+
+ private:
+  void Set(T* ptr) {
+    if (target_ != nullptr && sma_ != nullptr) {
+      sma_->UntrackPointer(target_, &target_);
+    }
+    target_ = ptr;
+    if (target_ != nullptr && sma_ != nullptr) {
+      sma_->TrackPointer(target_, &target_);
+      was_set_ = true;
+    }
+  }
+
+  SoftMemoryAllocator* sma_ = nullptr;
+  void* target_ = nullptr;
+  bool was_set_ = false;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SMA_SOFT_PTR_H_

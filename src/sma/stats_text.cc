@@ -1,0 +1,38 @@
+#include "src/sma/stats_text.h"
+
+#include <sstream>
+
+#include "src/common/units.h"
+
+namespace softmem {
+
+std::string FormatSmaStats(const SmaStats& s) {
+  std::ostringstream os;
+  os << "sma: budget " << FormatBytes(s.budget_pages * kPageSize)
+     << ", committed " << FormatBytes(s.committed_pages * kPageSize)
+     << " (" << FormatBytes(s.in_use_pages * kPageSize) << " in use, "
+     << FormatBytes(s.pooled_pages * kPageSize) << " pooled)\n"
+     << "  contexts: " << s.context_count << ", live allocations: "
+     << s.live_allocations << " (" << FormatBytes(s.allocated_bytes) << ")\n"
+     << "  ops: " << s.total_allocs << " allocs, " << s.total_frees
+     << " frees\n"
+     << "  daemon: " << s.budget_requests << " budget requests ("
+     << s.budget_request_failures << " failed)\n"
+     << "  reclamation: " << s.reclaim_demands << " demands, "
+     << FormatBytes(s.reclaimed_pages * kPageSize) << " relinquished, "
+     << s.reclaim_callbacks << " callbacks, " << s.self_reclaims
+     << " self-reclaims\n";
+  return os.str();
+}
+
+std::string FormatContextStats(const ContextStats& s) {
+  std::ostringstream os;
+  os << "context '" << s.name << "' prio=" << s.priority << ": "
+     << s.owned_pages << " pages, " << s.live_allocations << " live ("
+     << FormatBytes(s.allocated_bytes) << "), reclaimed "
+     << s.reclaimed_allocations << " allocs ("
+     << FormatBytes(s.reclaimed_bytes) << ")";
+  return os.str();
+}
+
+}  // namespace softmem

@@ -1,0 +1,21 @@
+// Human-readable rendering of allocator statistics (for INFO commands,
+// daemon dumps, and debugging).
+
+#ifndef SOFTMEM_SRC_SMA_STATS_TEXT_H_
+#define SOFTMEM_SRC_SMA_STATS_TEXT_H_
+
+#include <string>
+
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+
+// Multi-line summary of an allocator's state.
+std::string FormatSmaStats(const SmaStats& stats);
+
+// One line per context: name, priority, pages, live allocations, reclaims.
+std::string FormatContextStats(const ContextStats& stats);
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SMA_STATS_TEXT_H_

@@ -1,0 +1,268 @@
+#include "src/smd/soft_memory_daemon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace softmem {
+
+SoftMemoryDaemon::SoftMemoryDaemon(
+    const SmdOptions& options, std::unique_ptr<ReclamationWeightPolicy> policy)
+    : options_(options),
+      policy_(policy != nullptr ? std::move(policy)
+                                : std::make_unique<PaperWeightPolicy>()) {}
+
+Result<ProcessId> SoftMemoryDaemon::RegisterProcess(std::string name,
+                                                    ReclaimSink* sink) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const ProcessId id = next_id_++;
+  Process p;
+  p.name = std::move(name);
+  p.sink = sink;
+  p.cap_pages = options_.default_process_cap_pages;
+  const size_t grant =
+      std::min(options_.initial_grant_pages, FreePagesLocked());
+  p.budget_pages = grant;
+  assigned_pages_ += grant;
+  processes_.emplace(id, std::move(p));
+  SOFTMEM_LOG(Info) << "smd: registered process " << id << " ('"
+                    << processes_[id].name << "'), initial grant " << grant
+                    << " pages";
+  return id;
+}
+
+Status SoftMemoryDaemon::DeregisterProcess(ProcessId id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = processes_.find(id);
+  if (it == processes_.end()) {
+    return NotFoundError("unknown process");
+  }
+  assigned_pages_ -= it->second.budget_pages;
+  processes_.erase(it);
+  SOFTMEM_LOG(Info) << "smd: deregistered process " << id;
+  return Status::Ok();
+}
+
+double SoftMemoryDaemon::WeightLocked(const Process& p) const {
+  ProcessUsage usage;
+  usage.soft_pages = p.used_soft_pages;
+  usage.budget_pages = p.budget_pages;
+  usage.traditional_pages = p.traditional_pages;
+  return policy_->Weight(usage);
+}
+
+Result<size_t> SoftMemoryDaemon::HandleBudgetRequest(ProcessId id,
+                                                     size_t pages) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = processes_.find(id);
+  if (it == processes_.end()) {
+    return NotFoundError("unknown process");
+  }
+  if (pages == 0) {
+    return InvalidArgumentError("zero-page request");
+  }
+  ++total_requests_;
+  if (it->second.cap_pages != 0 &&
+      it->second.budget_pages + pages > it->second.cap_pages) {
+    // Above the scheduler-imposed ceiling: deny without disturbing anyone.
+    ++denied_requests_;
+    ++it->second.requests_denied;
+    return DeniedError("request exceeds this process's soft budget cap");
+  }
+
+  if (FreePagesLocked() < pages) {
+    // Memory pressure: run a reclamation pass before deciding.
+    const size_t need = pages - FreePagesLocked();
+    ReclaimLocked(need, id);
+  }
+  if (FreePagesLocked() < pages) {
+    // §3.3: if the page quota cannot be reached, the triggering request is
+    // denied (never partially granted) — this caps the number of processes
+    // disturbed per request.
+    ++denied_requests_;
+    ++it->second.requests_denied;
+    SOFTMEM_LOG(Info) << "smd: denied " << pages << "-page request from "
+                      << id;
+    return DeniedError("machine soft memory exhausted");
+  }
+  assigned_pages_ += pages;
+  it->second.budget_pages += pages;
+  ++granted_requests_;
+  ++it->second.requests_granted;
+  return pages;
+}
+
+Status SoftMemoryDaemon::HandleBudgetRelease(ProcessId id, size_t pages) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = processes_.find(id);
+  if (it == processes_.end()) {
+    return NotFoundError("unknown process");
+  }
+  const size_t give = std::min(pages, it->second.budget_pages);
+  it->second.budget_pages -= give;
+  assigned_pages_ -= give;
+  return Status::Ok();
+}
+
+Status SoftMemoryDaemon::HandleUsageReport(ProcessId id, size_t soft_pages,
+                                           size_t traditional_bytes) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = processes_.find(id);
+  if (it == processes_.end()) {
+    return NotFoundError("unknown process");
+  }
+  it->second.used_soft_pages = soft_pages;
+  it->second.traditional_pages = PagesForBytes(traditional_bytes);
+  return Status::Ok();
+}
+
+size_t SoftMemoryDaemon::ReclaimLocked(size_t need, ProcessId requester) {
+  // Over-reclaim to amortize the cost of a pass over future requests (§4).
+  const size_t quota =
+      need + static_cast<size_t>(
+                 std::ceil(options_.over_reclaim_factor *
+                           static_cast<double>(need)));
+
+  // Rank candidates by descending reclamation weight and keep the top K —
+  // the cap on how many processes one request may disturb.
+  std::vector<std::pair<double, ProcessId>> ranked;
+  for (const auto& [pid, p] : processes_) {
+    if (pid == requester || p.budget_pages == 0) {
+      continue;
+    }
+    ranked.emplace_back(WeightLocked(p), pid);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(), [](const auto& a,
+                                                    const auto& b) {
+    return a.first > b.first;
+  });
+  if (ranked.size() > options_.max_reclaim_targets) {
+    ranked.resize(options_.max_reclaim_targets);
+  }
+
+  // Bias towards flexible targets: a process whose budget exceeds its
+  // reported soft usage can give pages back with little or no disturbance
+  // (§4: "only when the SMD cannot find a better option, it will return to
+  // the first target and trigger reclamation"). Visit flexible targets
+  // first, then the rest, preserving weight order within each group.
+  std::vector<ProcessId> order;
+  order.reserve(ranked.size());
+  for (const auto& [w, pid] : ranked) {
+    const Process& p = processes_.at(pid);
+    if (p.budget_pages > p.used_soft_pages) {
+      order.push_back(pid);
+    }
+  }
+  for (const auto& [w, pid] : ranked) {
+    const Process& p = processes_.at(pid);
+    if (p.budget_pages <= p.used_soft_pages) {
+      order.push_back(pid);
+    }
+  }
+
+  size_t recovered = 0;
+  bool disturbed = false;
+  for (ProcessId pid : order) {
+    if (recovered >= quota) {
+      break;
+    }
+    Process& p = processes_.at(pid);
+    const size_t demand = std::min(quota - recovered, p.budget_pages);
+    if (demand == 0) {
+      continue;
+    }
+    size_t got = 0;
+    if (p.sink != nullptr) {
+      got = p.sink->DemandReclaim(demand);
+    }
+    got = std::min(got, p.budget_pages);  // a sink cannot give up more than
+                                          // the ledger says it holds
+    if (got > 0) {
+      p.budget_pages -= got;
+      assigned_pages_ -= got;
+      p.times_targeted += 1;
+      p.pages_reclaimed += got;
+      recovered += got;
+      disturbed = true;
+      SOFTMEM_LOG(Info) << "smd: reclaimed " << got << " pages from process "
+                        << pid << " ('" << p.name << "')";
+    }
+  }
+  if (disturbed) {
+    ++reclamations_;
+    reclaimed_pages_ += recovered;
+  }
+  return recovered;
+}
+
+Status SoftMemoryDaemon::SetProcessCap(ProcessId id, size_t cap_pages) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = processes_.find(id);
+  if (it == processes_.end()) {
+    return NotFoundError("unknown process");
+  }
+  it->second.cap_pages = cap_pages;
+  return Status::Ok();
+}
+
+size_t SoftMemoryDaemon::ProactiveReclaimTick() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (options_.low_watermark_pages == 0 ||
+      FreePagesLocked() >= options_.low_watermark_pages) {
+    return 0;
+  }
+  const size_t need = options_.low_watermark_pages - FreePagesLocked();
+  // Exclude nobody: there is no requester; the watermark speaks for future
+  // ones. ProcessId 0 is never assigned (ids start at 1).
+  const size_t got = ReclaimLocked(need, /*requester=*/0);
+  if (got > 0) {
+    ++proactive_reclaims_;
+  }
+  return got;
+}
+
+SmdStats SoftMemoryDaemon::GetStats() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  SmdStats s;
+  s.capacity_pages = options_.capacity_pages;
+  s.assigned_pages = assigned_pages_;
+  s.free_pages = FreePagesLocked();
+  s.total_requests = total_requests_;
+  s.granted_requests = granted_requests_;
+  s.denied_requests = denied_requests_;
+  s.reclamations = reclamations_;
+  s.reclaimed_pages = reclaimed_pages_;
+  s.proactive_reclaims = proactive_reclaims_;
+  for (const auto& [pid, p] : processes_) {
+    SmdProcessStats ps;
+    ps.id = pid;
+    ps.name = p.name;
+    ps.budget_pages = p.budget_pages;
+    ps.used_soft_pages = p.used_soft_pages;
+    ps.traditional_pages = p.traditional_pages;
+    ps.weight = WeightLocked(p);
+    ps.times_targeted = p.times_targeted;
+    ps.pages_reclaimed = p.pages_reclaimed;
+    ps.requests_granted = p.requests_granted;
+    ps.requests_denied = p.requests_denied;
+    s.processes.push_back(std::move(ps));
+  }
+  return s;
+}
+
+Result<size_t> SoftMemoryDaemon::GetBudget(ProcessId id) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = processes_.find(id);
+  if (it == processes_.end()) {
+    return NotFoundError("unknown process");
+  }
+  return it->second.budget_pages;
+}
+
+size_t SoftMemoryDaemon::free_pages() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return FreePagesLocked();
+}
+
+}  // namespace softmem

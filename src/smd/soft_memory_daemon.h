@@ -1,0 +1,194 @@
+// The Soft Memory Daemon (SMD, §3.3) — machine-wide arbiter of soft memory.
+//
+// The daemon tracks each process's soft budget and usage. It grants budget
+// requests from spare capacity when possible; under pressure it selects a
+// *capped* number of reclamation targets in descending reclamation weight —
+// biased towards processes in a flexible state (unused budget), which can
+// give memory back without disturbance — demands pages back from them, and
+// denies the triggering request if the quota cannot be met. It over-reclaims
+// by a configurable factor so one reclamation pass amortizes over several
+// future requests (§4).
+//
+// The class is transport-agnostic: each registered process supplies a
+// ReclaimSink through which the daemon issues reclamation demands. The
+// in-process runtime wires sinks directly to SoftMemoryAllocator instances;
+// the Unix-socket server wires them to client connections.
+//
+// Thread-safe; one lock serializes daemon state. Reclaim demands are issued
+// while holding the lock, which serializes reclamation machine-wide exactly
+// like the paper's single daemon process.
+
+#ifndef SOFTMEM_SRC_SMD_SOFT_MEMORY_DAEMON_H_
+#define SOFTMEM_SRC_SMD_SOFT_MEMORY_DAEMON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/smd/weight_policy.h"
+
+namespace softmem {
+
+using ProcessId = uint64_t;
+
+// How the daemon reaches into a process to take memory back.
+class ReclaimSink {
+ public:
+  virtual ~ReclaimSink() = default;
+  // Demand that the process relinquish `pages` pages of soft memory.
+  // Returns the pages actually given up (0 if the process cannot comply).
+  virtual size_t DemandReclaim(size_t pages) = 0;
+};
+
+struct SmdOptions {
+  // Machine-wide soft memory capacity.
+  size_t capacity_pages = 256 * 1024;  // 1 GiB
+
+  // Cap on the number of processes disturbed per reclamation (§3.3: "selects
+  // a capped number of processes ... or hits the cap").
+  size_t max_reclaim_targets = 3;
+
+  // Demand this fraction *extra* beyond the immediate need, "which may
+  // exceed the immediate soft memory request, in order to amortize
+  // reclamation costs" (§4). 0.25 = reclaim 25% more than needed.
+  double over_reclaim_factor = 0.25;
+
+  // Budget handed to a process at registration, before any request.
+  size_t initial_grant_pages = 0;
+
+  // Per-process ceiling on granted budget (0 = uncapped). This is the
+  // scheduler-style "soft memory budget on top of the traditional memory
+  // limit" (§1); SetProcessCap overrides it per process.
+  size_t default_process_cap_pages = 0;
+
+  // Proactive mode: when ProactiveReclaimTick() finds fewer than this many
+  // free pages, it reclaims ahead of demand so the next burst is served
+  // without a synchronous pass. 0 disables. (The paper's design is purely
+  // reactive — §3.3 "soft memory is a reactive abstraction" — this is the
+  // obvious extension; the amortization bench quantifies the benefit.)
+  size_t low_watermark_pages = 0;
+};
+
+// Per-process view for introspection.
+struct SmdProcessStats {
+  ProcessId id = 0;
+  std::string name;
+  size_t budget_pages = 0;
+  size_t used_soft_pages = 0;
+  size_t traditional_pages = 0;
+  double weight = 0.0;
+  size_t times_targeted = 0;      // how often picked as a reclamation target
+  size_t pages_reclaimed = 0;     // total pages taken from this process
+  size_t requests_granted = 0;
+  size_t requests_denied = 0;
+};
+
+struct SmdStats {
+  size_t capacity_pages = 0;
+  size_t assigned_pages = 0;  // sum of budgets
+  size_t free_pages = 0;
+  size_t total_requests = 0;
+  size_t granted_requests = 0;
+  size_t denied_requests = 0;
+  size_t reclamations = 0;        // passes that disturbed at least one process
+  size_t reclaimed_pages = 0;
+  size_t proactive_reclaims = 0;  // watermark-triggered passes
+  std::vector<SmdProcessStats> processes;
+};
+
+class SoftMemoryDaemon {
+ public:
+  // `policy` may be null (defaults to PaperWeightPolicy).
+  explicit SoftMemoryDaemon(const SmdOptions& options,
+                            std::unique_ptr<ReclamationWeightPolicy> policy =
+                                nullptr);
+
+  SoftMemoryDaemon(const SoftMemoryDaemon&) = delete;
+  SoftMemoryDaemon& operator=(const SoftMemoryDaemon&) = delete;
+
+  // Registers a process. `sink` must stay valid until deregistration; it may
+  // be null for processes that never hold reclaimable memory (pure
+  // requesters). Returns the new process id and grants
+  // options.initial_grant_pages if capacity allows.
+  Result<ProcessId> RegisterProcess(std::string name, ReclaimSink* sink);
+
+  // Removes the process and returns its budget to the free pool. Used both
+  // for orderly exits and when a transport detects a dead peer — the paper's
+  // point is precisely that the *memory* outlives the requests.
+  Status DeregisterProcess(ProcessId id);
+
+  // A process asks for `pages` more budget. Returns pages granted (the full
+  // request) or kDenied if reclamation could not free enough (§3.3: partial
+  // grants are not made; the request is denied).
+  Result<size_t> HandleBudgetRequest(ProcessId id, size_t pages);
+
+  // A process voluntarily returns unused budget.
+  Status HandleBudgetRelease(ProcessId id, size_t pages);
+
+  // Fresh usage numbers for the weight policy.
+  Status HandleUsageReport(ProcessId id, size_t soft_pages,
+                           size_t traditional_bytes);
+
+  // Sets this process's budget ceiling (0 = uncapped). Requests that would
+  // push the budget past the cap are denied without disturbing anyone.
+  Status SetProcessCap(ProcessId id, size_t cap_pages);
+
+  // Proactive reclamation: if free capacity has fallen below the configured
+  // low watermark, reclaim enough to restore it. Returns pages recovered.
+  // Call periodically (the softmemd main loop does).
+  size_t ProactiveReclaimTick();
+
+  SmdStats GetStats() const;
+  size_t free_pages() const;
+
+  // Budget currently granted to `id`.
+  Result<size_t> GetBudget(ProcessId id) const;
+
+ private:
+  struct Process {
+    std::string name;
+    ReclaimSink* sink = nullptr;
+    size_t cap_pages = 0;  // 0 = uncapped
+    size_t budget_pages = 0;
+    size_t used_soft_pages = 0;
+    size_t traditional_pages = 0;
+    size_t times_targeted = 0;
+    size_t pages_reclaimed = 0;
+    size_t requests_granted = 0;
+    size_t requests_denied = 0;
+  };
+
+  size_t FreePagesLocked() const {
+    return options_.capacity_pages - assigned_pages_;
+  }
+
+  double WeightLocked(const Process& p) const;
+
+  // Runs one reclamation pass trying to free `need` pages of budget
+  // (plus the over-reclamation margin), never touching `requester`.
+  // Returns pages recovered into the free pool.
+  size_t ReclaimLocked(size_t need, ProcessId requester);
+
+  const SmdOptions options_;
+  std::unique_ptr<ReclamationWeightPolicy> policy_;
+
+  mutable std::recursive_mutex mu_;
+  std::map<ProcessId, Process> processes_;
+  ProcessId next_id_ = 1;
+  size_t assigned_pages_ = 0;
+  size_t total_requests_ = 0;
+  size_t granted_requests_ = 0;
+  size_t denied_requests_ = 0;
+  size_t reclamations_ = 0;
+  size_t reclaimed_pages_ = 0;
+  size_t proactive_reclaims_ = 0;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SMD_SOFT_MEMORY_DAEMON_H_

@@ -1,0 +1,33 @@
+#include "src/smd/stats_text.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "src/common/units.h"
+
+namespace softmem {
+
+std::string FormatSmdStats(const SmdStats& s) {
+  std::ostringstream os;
+  os << "smd: capacity " << FormatBytes(s.capacity_pages * kPageSize)
+     << ", assigned " << FormatBytes(s.assigned_pages * kPageSize)
+     << ", free " << FormatBytes(s.free_pages * kPageSize) << "\n"
+     << "  requests: " << s.total_requests << " (" << s.granted_requests
+     << " granted, " << s.denied_requests << " denied)\n"
+     << "  reclamations: " << s.reclamations << " passes ("
+     << s.proactive_reclaims << " proactive), "
+     << FormatBytes(s.reclaimed_pages * kPageSize) << " moved\n";
+  for (const auto& p : s.processes) {
+    os << "  [" << p.id << "] " << std::left << std::setw(16) << p.name
+       << " budget " << std::setw(10)
+       << FormatBytes(p.budget_pages * kPageSize) << " soft "
+       << std::setw(10) << FormatBytes(p.used_soft_pages * kPageSize)
+       << " traditional " << std::setw(10)
+       << FormatBytes(p.traditional_pages * kPageSize) << " weight "
+       << std::fixed << std::setprecision(1) << p.weight << " targeted "
+       << p.times_targeted << "x\n";
+  }
+  return os.str();
+}
+
+}  // namespace softmem

@@ -1,0 +1,17 @@
+// Human-readable rendering of daemon statistics.
+
+#ifndef SOFTMEM_SRC_SMD_STATS_TEXT_H_
+#define SOFTMEM_SRC_SMD_STATS_TEXT_H_
+
+#include <string>
+
+#include "src/smd/soft_memory_daemon.h"
+
+namespace softmem {
+
+// Multi-line machine summary plus one line per registered process.
+std::string FormatSmdStats(const SmdStats& stats);
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SMD_STATS_TEXT_H_

@@ -1,0 +1,22 @@
+#include "src/smd/weight_policy.h"
+
+namespace softmem {
+
+double PaperWeightPolicy::Weight(const ProcessUsage& usage) const {
+  const auto s = static_cast<double>(usage.soft_pages);
+  const auto t = static_cast<double>(usage.traditional_pages);
+  if (s + t == 0.0) {
+    return 0.0;
+  }
+  return t + s * t / (s + t);
+}
+
+double FootprintWeightPolicy::Weight(const ProcessUsage& usage) const {
+  return static_cast<double>(usage.soft_pages + usage.traditional_pages);
+}
+
+double SoftOnlyWeightPolicy::Weight(const ProcessUsage& usage) const {
+  return static_cast<double>(usage.soft_pages);
+}
+
+}  // namespace softmem

@@ -1,0 +1,68 @@
+// Reclamation-weight policies (§3.3).
+//
+// The daemon ranks processes by a *reclamation weight*; higher weight means
+// more likely to be asked to give memory back. The paper prescribes two
+// criteria for the default policy:
+//   (i)  the larger the (soft and traditional) memory footprint of the
+//        process, the higher its reclamation weight;
+//   (ii) soft memory usage should increase the reclamation weight
+//        proportional to the traditional memory usage, so processes with a
+//        high soft:traditional ratio are not punished for opting in.
+//
+// §7 leaves the "right" policy open, so the interface is pluggable and the
+// ablation bench compares alternatives (footprint-only, soft-only).
+
+#ifndef SOFTMEM_SRC_SMD_WEIGHT_POLICY_H_
+#define SOFTMEM_SRC_SMD_WEIGHT_POLICY_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace softmem {
+
+// What the daemon knows about one process when ranking it.
+struct ProcessUsage {
+  size_t soft_pages = 0;         // committed soft pages (reported by SMA)
+  size_t budget_pages = 0;       // budget currently granted
+  size_t traditional_pages = 0;  // ordinary heap footprint, in pages
+};
+
+class ReclamationWeightPolicy {
+ public:
+  virtual ~ReclamationWeightPolicy() = default;
+  virtual double Weight(const ProcessUsage& usage) const = 0;
+  virtual std::string_view name() const = 0;
+};
+
+// The paper's policy:  w = T + S * T / (S + T)   (T, S in pages).
+//
+//  * Monotonically increasing in both S and T (criterion i).
+//  * The soft term scales each soft page by T/(S+T): two processes with the
+//    same soft footprint but different traditional footprints rank the
+//    bigger traditional user higher, so a high soft:traditional ratio
+//    *lowers* relative weight (criterion ii, the paper's A-vs-B example).
+class PaperWeightPolicy : public ReclamationWeightPolicy {
+ public:
+  double Weight(const ProcessUsage& usage) const override;
+  std::string_view name() const override { return "paper-ratio"; }
+};
+
+// Ablation: rank purely by total footprint, w = S + T. Punishes processes
+// for having opted lots of memory into soft mode.
+class FootprintWeightPolicy : public ReclamationWeightPolicy {
+ public:
+  double Weight(const ProcessUsage& usage) const override;
+  std::string_view name() const override { return "footprint"; }
+};
+
+// Ablation: rank purely by soft usage, w = S. The strongest disincentive to
+// adopting soft memory — whoever opted in the most pays every time.
+class SoftOnlyWeightPolicy : public ReclamationWeightPolicy {
+ public:
+  double Weight(const ProcessUsage& usage) const override;
+  std::string_view name() const override { return "soft-only"; }
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SMD_WEIGHT_POLICY_H_

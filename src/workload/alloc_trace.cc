@@ -1,0 +1,40 @@
+#include "src/workload/alloc_trace.h"
+
+#include <deque>
+
+namespace softmem {
+
+std::vector<AllocOp> GenerateAllocTrace(const AllocTraceOptions& options) {
+  std::vector<AllocOp> trace;
+  trace.reserve(options.operations * 2);
+  Rng rng(options.seed);
+  std::deque<uint32_t> live;  // slot ids, oldest first
+  uint32_t next_slot = 0;
+
+  for (size_t i = 0; i < options.operations; ++i) {
+    const bool do_alloc = live.empty() || rng.NextBool(options.alloc_fraction);
+    if (do_alloc) {
+      const auto size = static_cast<uint32_t>(
+          rng.NextInRange(options.min_size, options.max_size));
+      trace.push_back(AllocOp{AllocOp::Kind::kAlloc, next_slot, size});
+      live.push_back(next_slot);
+      ++next_slot;
+    } else if (options.fifo_lifetimes) {
+      trace.push_back(AllocOp{AllocOp::Kind::kFree, live.front(), 0});
+      live.pop_front();
+    } else {
+      const size_t pick = rng.NextBounded(live.size());
+      trace.push_back(AllocOp{AllocOp::Kind::kFree, live[pick], 0});
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  // Drain: the trace leaves no live allocations.
+  while (!live.empty()) {
+    trace.push_back(AllocOp{AllocOp::Kind::kFree, live.front(), 0});
+    live.pop_front();
+  }
+  return trace;
+}
+
+}  // namespace softmem

@@ -1,0 +1,44 @@
+// Allocation-trace generation: reproducible sequences of alloc/free
+// operations with configurable size distribution and lifetime skew, used by
+// the allocator stress benches and the heap-layout ablation.
+
+#ifndef SOFTMEM_SRC_WORKLOAD_ALLOC_TRACE_H_
+#define SOFTMEM_SRC_WORKLOAD_ALLOC_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace softmem {
+
+struct AllocOp {
+  // kAlloc: `size` bytes; the allocation gets index `slot`.
+  // kFree: frees the allocation at index `slot`.
+  enum class Kind : uint8_t { kAlloc, kFree };
+  Kind kind;
+  uint32_t slot;
+  uint32_t size;
+};
+
+struct AllocTraceOptions {
+  size_t operations = 100000;
+  size_t min_size = 16;
+  size_t max_size = 2048;
+  // Probability that a step allocates (vs frees a random live allocation);
+  // the trace ends by freeing everything, so total allocs == total frees.
+  double alloc_fraction = 0.6;
+  // When true, frees target the oldest live allocation (FIFO lifetimes,
+  // like a cache); when false, frees pick uniformly (random lifetimes).
+  bool fifo_lifetimes = false;
+  uint64_t seed = 1;
+};
+
+// Generates a well-formed trace: every free refers to a live slot, and all
+// live slots are freed at the end.
+std::vector<AllocOp> GenerateAllocTrace(const AllocTraceOptions& options);
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_WORKLOAD_ALLOC_TRACE_H_

@@ -1,0 +1,85 @@
+#include "src/workload/generators.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace softmem {
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  // Cap the exact zeta computation; for larger n use the standard
+  // incremental approximation (good to a fraction of a percent).
+  if (n_ <= 1000000) {
+    zetan_ = Zeta(n_, theta_);
+  } else {
+    const double zeta1m = Zeta(1000000, theta_);
+    zetan_ = zeta1m;
+    for (uint64_t i = 1000001; i <= n_; i += 1 + i / 1000) {
+      zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+    }
+  }
+  alpha_ = 1.0 / (1.0 - theta_);
+  const double zeta2 = Zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const auto rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+double ZipfianGenerator::ItemProbability(uint64_t rank) const {
+  return 1.0 / (std::pow(static_cast<double>(rank + 1), theta_) * zetan_);
+}
+
+size_t ValueSizeGenerator::Next() {
+  switch (kind_) {
+    case Kind::kFixed:
+      return a_;
+    case Kind::kUniform:
+      return a_ + rng_.NextBounded(b_ - a_ + 1);
+    case Kind::kBimodal:
+      return rng_.NextBool(0.1) ? b_ : a_;
+  }
+  return a_;
+}
+
+std::string MakeKey(uint64_t id, size_t width) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "key:%0*llu", static_cast<int>(width),
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::string MakeValue(uint64_t id, size_t size) {
+  std::string v;
+  v.reserve(size);
+  uint64_t x = id * 0x9e3779b97f4a7c15ULL + 1;
+  while (v.size() < size) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    v.push_back(static_cast<char>('a' + (x % 26)));
+  }
+  return v;
+}
+
+}  // namespace softmem

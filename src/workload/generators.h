@@ -1,0 +1,81 @@
+// Workload generators for benchmarks and examples.
+//
+// Key popularity follows either a uniform or a zipfian distribution (the
+// standard YCSB-style skew for cache workloads); value sizes come from a
+// pluggable distribution. All generators are deterministic from their seed.
+
+#ifndef SOFTMEM_SRC_WORKLOAD_GENERATORS_H_
+#define SOFTMEM_SRC_WORKLOAD_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+
+namespace softmem {
+
+// Uniform over [0, n).
+class UniformGenerator {
+ public:
+  UniformGenerator(uint64_t n, uint64_t seed) : n_(n), rng_(seed) {}
+  uint64_t Next() { return rng_.NextBounded(n_); }
+
+ private:
+  uint64_t n_;
+  Rng rng_;
+};
+
+// Zipfian over [0, n) with parameter theta (YCSB default 0.99), using the
+// Gray et al. rejection-free method. Item 0 is the most popular.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  // Popularity skew check helper: expected probability of item `rank`.
+  double ItemProbability(uint64_t rank) const;
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  Rng rng_;
+};
+
+// Value-size distributions.
+class ValueSizeGenerator {
+ public:
+  enum class Kind {
+    kFixed,    // always `a`
+    kUniform,  // uniform in [a, b]
+    kBimodal,  // mostly `a`, occasionally `b` (10%)
+  };
+
+  ValueSizeGenerator(Kind kind, size_t a, size_t b, uint64_t seed)
+      : kind_(kind), a_(a), b_(b), rng_(seed) {}
+
+  size_t Next();
+
+ private:
+  Kind kind_;
+  size_t a_;
+  size_t b_;
+  Rng rng_;
+};
+
+// Deterministic key strings: "key:<id>" zero-padded for fixed width.
+std::string MakeKey(uint64_t id, size_t width = 12);
+
+// Deterministic printable value of exactly `size` bytes, seeded by `id` so
+// correctness checks can recompute the expected content.
+std::string MakeValue(uint64_t id, size_t size);
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_WORKLOAD_GENERATORS_H_

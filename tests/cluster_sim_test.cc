@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "src/runtime/cluster_sim.h"
+
+namespace softmem {
+namespace {
+
+ClusterSimOptions BaseOptions() {
+  ClusterSimOptions o;
+  o.machine_memory = 48 * 1024;
+  o.job_count = 100;
+  o.seed = 7;
+  return o;
+}
+
+TEST(ClusterSimTest, AllJobsEventuallyComplete) {
+  for (const auto policy :
+       {PressurePolicy::kKillBased, PressurePolicy::kSoftMemory}) {
+    ClusterSimOptions o = BaseOptions();
+    o.policy = policy;
+    const ClusterSimResult r = RunClusterSim(o);
+    EXPECT_EQ(r.jobs_completed, o.job_count);
+    EXPECT_GT(r.useful_cpu_seconds, 0.0);
+    EXPECT_GT(r.total_sim_seconds, 0.0);
+    EXPECT_GT(r.mean_memory_utilization, 0.0);
+    EXPECT_LE(r.mean_memory_utilization, 1.0);
+  }
+}
+
+TEST(ClusterSimTest, DeterministicFromSeed) {
+  ClusterSimOptions o = BaseOptions();
+  o.policy = PressurePolicy::kKillBased;
+  const ClusterSimResult a = RunClusterSim(o);
+  const ClusterSimResult b = RunClusterSim(o);
+  EXPECT_EQ(a.kills, b.kills);
+  EXPECT_DOUBLE_EQ(a.wasted_cpu_seconds, b.wasted_cpu_seconds);
+  EXPECT_DOUBLE_EQ(a.mean_completion_seconds, b.mean_completion_seconds);
+}
+
+TEST(ClusterSimTest, KillPolicyWastesWorkUnderPressure) {
+  ClusterSimOptions o = BaseOptions();
+  o.machine_memory = 32 * 1024;  // tight: heavy pressure
+  o.policy = PressurePolicy::kKillBased;
+  const ClusterSimResult r = RunClusterSim(o);
+  EXPECT_GT(r.kills, 0u) << "a tight machine must evict under this policy";
+  EXPECT_GT(r.wasted_cpu_seconds, 0.0);
+}
+
+TEST(ClusterSimTest, SoftPolicyAvoidsKillsUnderSamePressure) {
+  ClusterSimOptions kill_opt = BaseOptions();
+  kill_opt.machine_memory = 32 * 1024;
+  kill_opt.policy = PressurePolicy::kKillBased;
+  const ClusterSimResult kill = RunClusterSim(kill_opt);
+
+  ClusterSimOptions soft_opt = kill_opt;
+  soft_opt.policy = PressurePolicy::kSoftMemory;
+  const ClusterSimResult soft = RunClusterSim(soft_opt);
+
+  EXPECT_LT(soft.kills, kill.kills);
+  EXPECT_LT(soft.wasted_cpu_seconds, kill.wasted_cpu_seconds);
+  EXPECT_GT(soft.soft_reclamations, 0u);
+  EXPECT_GT(soft.reclaimed_memory_units, 0u);
+}
+
+TEST(ClusterSimTest, AmplePressureFreeMachineKillsNobody) {
+  ClusterSimOptions o = BaseOptions();
+  o.machine_memory = 1024 * 1024;  // effectively infinite
+  for (const auto policy :
+       {PressurePolicy::kKillBased, PressurePolicy::kSoftMemory}) {
+    o.policy = policy;
+    const ClusterSimResult r = RunClusterSim(o);
+    EXPECT_EQ(r.kills, 0u);
+    EXPECT_EQ(r.wasted_cpu_seconds, 0.0);
+  }
+}
+
+TEST(ClusterSimTest, SoftFractionZeroDegeneratesToKillPolicy) {
+  // With no revocable memory, the soft policy has nothing to reclaim and
+  // behaves like the kill policy.
+  ClusterSimOptions o = BaseOptions();
+  o.machine_memory = 32 * 1024;
+  o.soft_fraction = 0.0;
+  o.admission_headroom = 0.25;  // identical admission for both policies
+  o.policy = PressurePolicy::kSoftMemory;
+  const ClusterSimResult soft = RunClusterSim(o);
+  o.policy = PressurePolicy::kKillBased;
+  const ClusterSimResult kill = RunClusterSim(o);
+  EXPECT_EQ(soft.kills, kill.kills);
+  EXPECT_DOUBLE_EQ(soft.wasted_cpu_seconds, kill.wasted_cpu_seconds);
+}
+
+}  // namespace
+}  // namespace softmem

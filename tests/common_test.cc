@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/clock.h"
+#include "src/common/event_trace.h"
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace softmem {
+namespace {
+
+// ---- Status / Result --------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = DeniedError("no budget");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDenied);
+  EXPECT_EQ(s.message(), "no budget");
+  EXPECT_EQ(s.ToString(), "denied: no budget");
+}
+
+TEST(StatusTest, AllConstructorsMapToCodes) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(ResourceExhaustedError("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(FailedPreconditionError("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  SOFTMEM_ASSIGN_OR_RETURN(int h, Half(x));
+  *out = h;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UseAssignOrReturn(3, &out).code(), StatusCode::kInvalidArgument);
+}
+
+// ---- Units ------------------------------------------------------------------
+
+TEST(UnitsTest, PageMath) {
+  EXPECT_EQ(PagesForBytes(0), 0u);
+  EXPECT_EQ(PagesForBytes(1), 1u);
+  EXPECT_EQ(PagesForBytes(kPageSize), 1u);
+  EXPECT_EQ(PagesForBytes(kPageSize + 1), 2u);
+  EXPECT_EQ(RoundUpToPage(5000), 2 * kPageSize);
+}
+
+TEST(UnitsTest, AlignUp) {
+  EXPECT_EQ(AlignUp(0, 16), 0u);
+  EXPECT_EQ(AlignUp(1, 16), 16u);
+  EXPECT_EQ(AlignUp(16, 16), 16u);
+  EXPECT_EQ(AlignUp(17, 8), 24u);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(10 * kMiB), "10.0 MiB");
+  EXPECT_EQ(FormatBytes(3 * kGiB / 2), "1.5 GiB");
+}
+
+// ---- Rng --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const uint64_t v = rng.NextInRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBounded(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets / 5);
+  }
+}
+
+// ---- Clock ------------------------------------------------------------------
+
+TEST(ClockTest, MonotonicNeverDecreases) {
+  MonotonicClock* clock = MonotonicClock::Get();
+  Nanos last = clock->Now();
+  for (int i = 0; i < 1000; ++i) {
+    const Nanos now = clock->Now();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(ClockTest, SimClockAdvances) {
+  SimClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.Now(), 150);
+  clock.AdvanceSeconds(2.0);
+  EXPECT_EQ(clock.Now(), 150 + 2 * kNanosPerSecond);
+}
+
+TEST(ClockTest, StopwatchMeasuresSimTime) {
+  SimClock clock;
+  Stopwatch sw(&clock);
+  clock.Advance(kNanosPerMilli);
+  EXPECT_EQ(sw.ElapsedNanos(), kNanosPerMilli);
+  sw.Restart();
+  EXPECT_EQ(sw.ElapsedNanos(), 0);
+}
+
+// ---- RunningStats -------------------------------------------------------------
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombined) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 100;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+// ---- Histogram ----------------------------------------------------------------
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, ExactSmallValues) {
+  Histogram h;
+  for (uint64_t v = 0; v < 16; ++v) {
+    h.Add(v);
+  }
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 15u);
+  EXPECT_EQ(h.Percentile(100), 15u);
+}
+
+TEST(HistogramTest, PercentileWithinResolution) {
+  Histogram h;
+  Rng rng(5);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t v = rng.NextBounded(1000000);
+    values.push_back(v);
+    h.Add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {50.0, 90.0, 99.0}) {
+    const uint64_t exact = values[static_cast<size_t>(p / 100 * 49999)];
+    const uint64_t approx = h.Percentile(p);
+    // Log-bucketed: ~6% relative resolution.
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.10);
+  }
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a;
+  Histogram b;
+  a.Add(10);
+  b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+// ---- TraceRecorder -------------------------------------------------------------
+
+TEST(TraceRecorderTest, RecordsSeriesAndEvents) {
+  SimClock clock;
+  TraceRecorder trace(&clock);
+  trace.Sample("redis_mib", 10.0);
+  clock.AdvanceSeconds(1.0);
+  trace.Sample("redis_mib", 8.0);
+  trace.Event("reclaim start");
+  ASSERT_EQ(trace.Series("redis_mib").size(), 2u);
+  EXPECT_EQ(trace.Series("redis_mib")[1].value, 8.0);
+  ASSERT_EQ(trace.Events().size(), 1u);
+  EXPECT_EQ(trace.Events()[0].label, "reclaim start");
+  EXPECT_EQ(trace.Series("nonexistent").size(), 0u);
+}
+
+TEST(TraceRecorderTest, CsvStaircaseMergesSeries) {
+  SimClock clock;
+  TraceRecorder trace(&clock);
+  trace.Sample("a", 1.0);
+  clock.AdvanceSeconds(1.0);
+  trace.Sample("b", 5.0);
+  clock.AdvanceSeconds(1.0);
+  trace.Sample("a", 2.0);
+
+  std::ostringstream os;
+  trace.WriteCsv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("time_s,a,b"), std::string::npos);
+  // At t=1 series a repeats its previous value (staircase).
+  EXPECT_NE(csv.find("1.000,1.000,5.000"), std::string::npos);
+  EXPECT_NE(csv.find("2.000,2.000,5.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace softmem

@@ -1,0 +1,114 @@
+// Dict fuzzing with reclamation interleaved: random Set/Get/Del traffic
+// races (logically) with reclaim demands, and every observation is checked
+// against a reference map that is kept in sync through the reclaim hook.
+// This is the strongest single invariant in the repo: whatever the pressure
+// pattern, the soft dict is exactly "the reference minus the dropped keys".
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/kv/dict.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+namespace {
+
+struct FuzzParams {
+  uint64_t seed;
+  size_t budget_pages;
+  size_t key_space;
+  size_t value_size;
+};
+
+class DictFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
+
+TEST_P(DictFuzzTest, MatchesReferenceUnderPressure) {
+  const FuzzParams param = GetParam();
+  SmaOptions o;
+  o.region_pages = 8192;
+  o.initial_budget_pages = param.budget_pages;
+  o.heap_retain_empty_pages = 1;
+  o.use_mmap = false;
+  auto sma_r = SoftMemoryAllocator::Create(o);
+  ASSERT_TRUE(sma_r.ok());
+  auto sma = std::move(sma_r).value();
+
+  std::map<std::string, std::string> reference;
+  size_t hook_drops = 0;
+  DictOptions opts;
+  opts.on_reclaim = [&](std::string_view key, std::string_view value) {
+    auto it = reference.find(std::string(key));
+    ASSERT_NE(it, reference.end()) << "reclaimed a key the model lost";
+    ASSERT_EQ(it->second, value) << "reclaimed value does not match model";
+    reference.erase(it);
+    ++hook_drops;
+  };
+  Dict dict(sma.get(), opts);
+
+  Rng rng(param.seed);
+  auto make_key = [&](uint64_t id) { return "k" + std::to_string(id); };
+  for (int step = 0; step < 30000; ++step) {
+    const uint64_t op = rng.NextBounded(100);
+    const std::string key = make_key(rng.NextBounded(param.key_space));
+    if (op < 55) {
+      const std::string value =
+          std::string(param.value_size, static_cast<char>('a' + op % 26)) +
+          std::to_string(rng.NextU64() % 997);
+      if (dict.Set(key, value)) {
+        reference[key] = value;
+      }
+      // A failed Set (budget denied) must not have inserted anything.
+    } else if (op < 70) {
+      ASSERT_EQ(dict.Del(key), reference.erase(key) > 0) << key;
+    } else if (op < 92) {
+      auto got = dict.Get(key);
+      auto it = reference.find(key);
+      ASSERT_EQ(got.has_value(), it != reference.end()) << key;
+      if (got.has_value()) {
+        ASSERT_EQ(*got, it->second);
+      }
+    } else {
+      // Memory pressure. Any amount, any time.
+      sma->HandleReclaimDemand(1 + rng.NextBounded(10));
+    }
+    if (step % 5000 == 0) {
+      ASSERT_EQ(dict.Size(), reference.size());
+    }
+  }
+
+  // Full final audit: exact same contents.
+  ASSERT_EQ(dict.Size(), reference.size());
+  size_t seen = 0;
+  dict.ForEach([&](std::string_view k, std::string_view v) {
+    auto it = reference.find(std::string(k));
+    ASSERT_NE(it, reference.end());
+    ASSERT_EQ(it->second, v);
+    ++seen;
+  });
+  ASSERT_EQ(seen, reference.size());
+  ASSERT_EQ(dict.reclaimed(), hook_drops);
+  // Accounting stayed balanced throughout.
+  const SmaStats s = sma->GetStats();
+  ASSERT_LE(s.committed_pages, s.budget_pages);
+  ASSERT_EQ(s.committed_pages, s.pooled_pages + s.in_use_pages);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DictFuzzTest,
+    ::testing::Values(FuzzParams{11, 4096, 2000, 16},
+                      FuzzParams{22, 256, 2000, 16},
+                      FuzzParams{33, 64, 500, 8},
+                      FuzzParams{44, 1024, 10000, 64},
+                      FuzzParams{55, 128, 300, 128}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "budget" +
+             std::to_string(info.param.budget_pages);
+    });
+
+}  // namespace
+}  // namespace softmem

@@ -1,0 +1,281 @@
+// Full-stack integration tests: the Figure-2 scenario end to end, mixed SDS
+// workloads under daemon arbitration, and failure injection (commit failures,
+// dead sinks, uncooperative processes).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/kv/kv_store.h"
+#include "src/runtime/sim_machine.h"
+#include "src/sds/sds.h"
+#include "src/sma/soft_memory_allocator.h"
+#include "src/workload/generators.h"
+
+namespace softmem {
+namespace {
+
+SmaOptions ProcOptions(size_t region = 32 * 1024) {
+  SmaOptions o;
+  o.region_pages = region;
+  o.budget_chunk_pages = 128;
+  o.heap_retain_empty_pages = 0;
+  o.use_mmap = false;
+  return o;
+}
+
+// The paper's Figure-2 scenario at 1/10 scale, with exact assertions.
+TEST(Figure2ScenarioTest, MemoryMovesWithoutAnyCrash) {
+  SmdOptions smd;
+  smd.capacity_pages = 2 * kMiB / kPageSize;  // 2 MiB machine
+  smd.initial_grant_pages = 32;
+  smd.over_reclaim_factor = 0.0;
+  SimMachine machine(smd);
+
+  auto redis = machine.SpawnProcess("redis", ProcOptions());
+  SmaOptions other_opts = ProcOptions();
+  other_opts.budget_chunk_pages = 16;  // fine-grained requests near the edge
+  auto other = machine.SpawnProcess("other", other_opts);
+  ASSERT_TRUE(redis.ok() && other.ok());
+
+  KvStore store((*redis)->sma());
+  constexpr size_t kPairs = 13000;
+  for (size_t i = 0; i < kPairs; ++i) {
+    ASSERT_TRUE(store.Set(MakeKey(i), MakeValue(i, 16)));
+  }
+  const size_t redis_before = (*redis)->soft_bytes();
+  ASSERT_GT(redis_before, 512 * kKiB) << "cache should dominate the machine";
+
+  // The other process requests more than remains free.
+  const size_t free_pages = machine.daemon()->free_pages();
+  const size_t request = free_pages + 64;  // 256 KiB past what's free
+  std::vector<void*> blocks;
+  for (size_t p = 0; p < request; ++p) {
+    void* b = (*other)->SoftMalloc(kPageSize);
+    ASSERT_NE(b, nullptr) << "block " << p;
+    blocks.push_back(b);
+  }
+
+  EXPECT_LT((*redis)->soft_bytes(), redis_before);
+  EXPECT_GT(store.GetStats().reclaimed, 0u);
+  // Dropped keys miss; the server still serves and accepts writes.
+  EXPECT_FALSE(store.Get(MakeKey(0)).has_value());
+  EXPECT_TRUE(store.Get(MakeKey(kPairs - 1)).has_value());
+  EXPECT_TRUE(store.Set("fresh", "write"));
+  // Daemon ledger consistent.
+  const SmdStats s = machine.daemon()->GetStats();
+  EXPECT_LE(s.assigned_pages, s.capacity_pages);
+  EXPECT_GE(s.reclamations, 1u);
+}
+
+// Several SDS kinds behind one allocator, reclaimed strictly by priority.
+TEST(MixedSdsTest, PriorityOrderAcrossDifferentStructures) {
+  SmdOptions smd;
+  smd.capacity_pages = 1024;
+  smd.initial_grant_pages = 0;
+  smd.over_reclaim_factor = 0.0;
+  SimMachine machine(smd);
+  SmaOptions fine = ProcOptions();
+  fine.budget_chunk_pages = 8;  // small steps -> clean priority ordering
+  auto proc = machine.SpawnProcess("app", fine);
+  auto greedy = machine.SpawnProcess("greedy", fine);
+  ASSERT_TRUE(proc.ok() && greedy.ok());
+
+  typename SoftQueue<int>::Options qo;
+  qo.priority = 0;  // queue is most expendable
+  SoftQueue<int> queue((*proc)->sma(), qo);
+  typename SoftHashTable<int, int>::Options ho;
+  ho.priority = 5;
+  SoftHashTable<int, int> table((*proc)->sma(), ho);
+  typename SoftLruCache<int, int>::Options co;
+  co.priority = 9;  // cache is most precious
+  SoftLruCache<int, int> cache((*proc)->sma(), co);
+
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(queue.push(i));  // ~30 pages of queue segments
+  }
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(table.Put(i, i));
+    ASSERT_TRUE(cache.Put(i, i));
+  }
+  (*proc)->sma()->TrimAndReleaseBudget();
+  const size_t app_pages = (*proc)->sma()->committed_pages();
+
+  // Greedy grabs a bit more than is free: the queue pays first.
+  const size_t take_small = machine.daemon()->free_pages() + 8;
+  std::vector<void*> blocks;
+  for (size_t i = 0; i < take_small; ++i) {
+    void* b = (*greedy)->SoftMalloc(kPageSize);
+    if (b == nullptr) {
+      break;
+    }
+    blocks.push_back(b);
+  }
+  EXPECT_GT(queue.reclaimed(), 0u);
+  EXPECT_EQ(table.reclaimed(), 0u);
+  EXPECT_EQ(cache.reclaimed(), 0u);
+
+  // Greedy keeps going until the table has to pay too — cache stays whole.
+  for (size_t i = 0; i < app_pages / 2 && table.reclaimed() == 0; ++i) {
+    void* b = (*greedy)->SoftMalloc(kPageSize);
+    if (b == nullptr) {
+      break;
+    }
+  }
+  EXPECT_EQ(queue.size(), 0u) << "queue fully drained before the table pays";
+  EXPECT_EQ(cache.reclaimed(), 0u);
+}
+
+// Commit failure injection: physical memory runs out mid-workload; the SMA
+// reports failure cleanly instead of corrupting state.
+TEST(FailureInjectionTest, CommitFailureIsCleanlyReported) {
+  auto source = std::make_unique<SimPageSource>(1024);
+  source->set_commit_limit(64);  // physical memory "runs out" at 64 pages
+  SmaOptions o = ProcOptions(1024);
+  o.initial_budget_pages = 1024;  // budget says yes, hardware says no
+  auto sma_r = SoftMemoryAllocator::CreateWithSource(o, nullptr,
+                                                     std::move(source));
+  ASSERT_TRUE(sma_r.ok());
+  auto sma = std::move(sma_r).value();
+
+  std::vector<void*> ptrs;
+  void* p = nullptr;
+  while ((p = sma->SoftMalloc(1024)) != nullptr) {
+    ptrs.push_back(p);
+  }
+  EXPECT_EQ(ptrs.size(), 64 * (kPageSize / 1024));
+  // Everything allocated is intact and freeable; the allocator recovers.
+  for (void* q : ptrs) {
+    sma->SoftFree(q);
+  }
+  EXPECT_EQ(sma->GetStats().live_allocations, 0u);
+  EXPECT_NE(sma->SoftMalloc(1024), nullptr) << "usable again after frees";
+}
+
+// A process whose memory is pinned (kNone) plus one cooperative process:
+// the daemon takes everything it can from the cooperative one, then denies.
+TEST(FailureInjectionTest, UncooperativeProcessCausesDenialNotCrash) {
+  SmdOptions smd;
+  smd.capacity_pages = 512;
+  smd.initial_grant_pages = 0;
+  SimMachine machine(smd);
+  auto pinned = machine.SpawnProcess("pinned", ProcOptions());
+  auto coop = machine.SpawnProcess("coop", ProcOptions());
+  auto needy = machine.SpawnProcess("needy", ProcOptions());
+  ASSERT_TRUE(pinned.ok() && coop.ok() && needy.ok());
+
+  ContextOptions none;
+  none.name = "pinned";
+  none.mode = ReclaimMode::kNone;
+  auto pinned_ctx = (*pinned)->sma()->CreateContext(none);
+  ASSERT_TRUE(pinned_ctx.ok());
+  for (int i = 0; i < 1024; ++i) {  // 256 pages pinned
+    ASSERT_NE((*pinned)->sma()->SoftMalloc(*pinned_ctx, 1024), nullptr);
+  }
+  for (int i = 0; i < 512; ++i) {  // 128 pages reclaimable
+    ASSERT_NE((*coop)->SoftMalloc(1024), nullptr);
+  }
+
+  // Needy wants 300 pages; at most 128+free can materialize.
+  size_t got = 0;
+  for (int i = 0; i < 300; ++i) {
+    if ((*needy)->SoftMalloc(kPageSize) != nullptr) {
+      ++got;
+    }
+  }
+  EXPECT_LT(got, 300u);
+  EXPECT_GT(got, 100u) << "cooperative memory must have been harvested";
+  // Nothing crashed; the pinned data is fully intact.
+  EXPECT_EQ((*pinned)->sma()->GetStats().live_allocations, 1024u);
+  const SmdStats s = machine.daemon()->GetStats();
+  EXPECT_GE(s.denied_requests, 1u);
+  EXPECT_LE(s.assigned_pages, s.capacity_pages);
+}
+
+// Processes churn: spawn, fill, exit, repeat — budgets must never leak.
+TEST(ChurnTest, BudgetsNeverLeakAcrossProcessLifetimes) {
+  SmdOptions smd;
+  smd.capacity_pages = 256;
+  smd.initial_grant_pages = 16;
+  SimMachine machine(smd);
+  for (int round = 0; round < 20; ++round) {
+    auto p = machine.SpawnProcess("p" + std::to_string(round), ProcOptions());
+    ASSERT_TRUE(p.ok());
+    for (int i = 0; i < 300; ++i) {
+      (*p)->SoftMalloc(1024);  // may fail near capacity; fine
+    }
+    (*p)->Exit();
+    ASSERT_EQ(machine.daemon()->free_pages(), 256u)
+        << "round " << round << " leaked budget";
+  }
+}
+
+// Zipfian cache traffic under permanent pressure: hit rate degrades but the
+// system remains correct (every hit returns the right value).
+TEST(PressureWorkloadTest, CorrectUnderContinuousPressure) {
+  SmdOptions smd;
+  smd.capacity_pages = 600;
+  smd.initial_grant_pages = 64;
+  SimMachine machine(smd);
+  auto cache_proc = machine.SpawnProcess("cache", ProcOptions());
+  auto churner = machine.SpawnProcess("churner", ProcOptions());
+  ASSERT_TRUE(cache_proc.ok() && churner.ok());
+
+  KvStore store((*cache_proc)->sma());
+  ZipfianGenerator gen(20000, 0.99, 77);
+  // The churner's blocks are revocable (kOldestFirst), so it must learn
+  // about drops through the callback — §7's "all pointers into a reclaimed
+  // allocation become invalid" is the application's responsibility.
+  std::set<void*> dropped_blocks;
+  ContextOptions churn_ctx_opts;
+  churn_ctx_opts.name = "churn";
+  churn_ctx_opts.mode = ReclaimMode::kOldestFirst;
+  churn_ctx_opts.callback = [&dropped_blocks](void* p, size_t) {
+    dropped_blocks.insert(p);
+  };
+  auto churn_ctx = (*churner)->sma()->CreateContext(churn_ctx_opts);
+  ASSERT_TRUE(churn_ctx.ok());
+  std::vector<void*> churn_blocks;
+  size_t hits = 0;
+  size_t lookups = 0;
+  for (int step = 0; step < 80000; ++step) {
+    const uint64_t id = gen.Next();
+    const std::string key = MakeKey(id);
+    ++lookups;
+    auto v = store.Get(key);
+    if (v.has_value()) {
+      ++hits;
+      ASSERT_EQ(*v, MakeValue(id, 32)) << "hit returned wrong data";
+    } else {
+      store.Set(key, MakeValue(id, 32));  // may fail under pressure; fine
+    }
+    // Background churner repeatedly squeezes the cache.
+    if (step % 500 == 0) {
+      if (churn_blocks.size() > 32) {
+        for (void* b : churn_blocks) {
+          if (dropped_blocks.count(b) == 0) {
+            (*churner)->SoftFree(b);
+          }
+        }
+        churn_blocks.clear();
+        dropped_blocks.clear();
+        (*churner)->sma()->TrimAndReleaseBudget();
+      } else {
+        void* b = (*churner)->sma()->SoftMalloc(*churn_ctx, 16 * kPageSize);
+        if (b != nullptr) {
+          dropped_blocks.erase(b);  // address may be a reused dropped block
+          churn_blocks.push_back(b);
+        }
+      }
+    }
+  }
+  EXPECT_GT(hits, lookups / 5) << "zipfian head should still mostly hit";
+  EXPECT_GT(store.GetStats().reclaimed, 0u) << "pressure must have occurred";
+}
+
+}  // namespace
+}  // namespace softmem

@@ -1,0 +1,156 @@
+// Robustness of the daemon server: malformed input, protocol misuse, and
+// unresponsive clients must degrade one session, never the daemon.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <thread>
+
+#include "src/ipc/channel.h"
+#include "src/ipc/daemon_client.h"
+#include "src/ipc/daemon_server.h"
+#include "src/ipc/unix_socket.h"
+#include "src/smd/soft_memory_daemon.h"
+
+namespace softmem {
+namespace {
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SmdOptions o;
+    o.capacity_pages = 256;
+    o.initial_grant_pages = 32;
+    daemon_ = std::make_unique<SoftMemoryDaemon>(o);
+    DaemonServerOptions so;
+    so.demand_timeout_ms = 300;  // fast tests
+    server_ = std::make_unique<DaemonServer>(daemon_.get(), so);
+    auto listener = UnixSocketListener::Bind(
+        "/tmp/softmem_robust_" + std::to_string(::getpid()) + ".sock");
+    ASSERT_TRUE(listener.ok());
+    listener_ = std::move(listener).value();
+    server_->ServeListener(listener_.get());
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  std::unique_ptr<MessageChannel> Connect() {
+    auto c = ConnectUnixSocket(listener_->path());
+    EXPECT_TRUE(c.ok());
+    return std::move(c).value();
+  }
+
+  std::unique_ptr<SoftMemoryDaemon> daemon_;
+  std::unique_ptr<DaemonServer> server_;
+  std::unique_ptr<UnixSocketListener> listener_;
+};
+
+TEST_F(RobustnessTest, GarbageBytesKillOnlyThatSession) {
+  // Raw socket, raw garbage.
+  auto bad = Connect();
+  auto* uds = static_cast<UnixSocketChannel*>(bad.get());
+  const char junk[] = "\xde\xad\xbe\xefnot-a-message";
+  ASSERT_GT(::send(uds->fd(), junk, sizeof(junk), MSG_NOSIGNAL), 0);
+
+  // A well-behaved client on another connection is unaffected.
+  auto good = DaemonClient::Register(Connect(), "good");
+  ASSERT_TRUE(good.ok()) << good.status();
+  EXPECT_EQ((*good)->initial_budget_pages(), 32u);
+  auto granted = (*good)->RequestBudget(10);
+  ASSERT_TRUE(granted.ok()) << granted.status();
+  EXPECT_EQ(*granted, 10u);
+}
+
+TEST_F(RobustnessTest, DoubleRegisterRejected) {
+  auto channel = Connect();
+  Message reg;
+  reg.type = MsgType::kRegister;
+  reg.seq = 1;
+  reg.text = "first";
+  ASSERT_TRUE(channel->Send(reg).ok());
+  auto ack = channel->Recv(2000);
+  ASSERT_TRUE(ack.ok());
+  ASSERT_EQ(ack->type, MsgType::kRegisterAck);
+
+  reg.seq = 2;
+  reg.text = "second";
+  ASSERT_TRUE(channel->Send(reg).ok());
+  auto err = channel->Recv(2000);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->type, MsgType::kError);
+  EXPECT_EQ(err->status_code(), StatusCode::kFailedPrecondition);
+  // Only one process exists in the ledger.
+  EXPECT_EQ(daemon_->GetStats().processes.size(), 1u);
+}
+
+TEST_F(RobustnessTest, UnresponsiveVictimTimesOutAndRequestIsDenied) {
+  // Victim registers and hoards everything, but never services demands
+  // (raw channel, no DaemonClient pump).
+  auto victim = Connect();
+  Message reg;
+  reg.type = MsgType::kRegister;
+  reg.seq = 1;
+  reg.text = "hoarder";
+  ASSERT_TRUE(victim->Send(reg).ok());
+  ASSERT_TRUE(victim->Recv(2000).ok());
+  Message want;
+  want.type = MsgType::kRequestBudget;
+  want.seq = 2;
+  want.pages = 224;  // all remaining capacity
+  ASSERT_TRUE(victim->Send(want).ok());
+  auto grant = victim->Recv(2000);
+  ASSERT_TRUE(grant.ok());
+  ASSERT_EQ(grant->status_code(), StatusCode::kOk);
+
+  // Needy client's request forces a demand on the hoarder, which ignores
+  // it; after the 300 ms timeout the daemon must deny, not hang.
+  auto needy = DaemonClient::Register(Connect(), "needy");
+  ASSERT_TRUE(needy.ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = (*needy)->RequestBudget(100);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDenied);
+  EXPECT_GE(elapsed, 250);
+  EXPECT_LT(elapsed, 5000);
+  // Ledger still consistent.
+  const SmdStats s = daemon_->GetStats();
+  EXPECT_LE(s.assigned_pages, s.capacity_pages);
+}
+
+TEST_F(RobustnessTest, BudgetRequestBeforeRegisterFails) {
+  auto channel = Connect();
+  Message want;
+  want.type = MsgType::kRequestBudget;
+  want.seq = 9;
+  want.pages = 1;
+  ASSERT_TRUE(channel->Send(want).ok());
+  auto reply = channel->Recv(2000);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, MsgType::kBudgetReply);
+  EXPECT_EQ(reply->status_code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RobustnessTest, ManyChurningConnections) {
+  for (int round = 0; round < 20; ++round) {
+    auto client = DaemonClient::Register(Connect(), "churn");
+    ASSERT_TRUE(client.ok());
+    auto g = (*client)->RequestBudget(4);
+    ASSERT_TRUE(g.ok());
+    // client destructor sends goodbye + closes.
+  }
+  // All budgets reaped.
+  for (int i = 0; i < 100 && !daemon_->GetStats().processes.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(daemon_->GetStats().processes.empty());
+  EXPECT_EQ(daemon_->free_pages(), 256u);
+}
+
+}  // namespace
+}  // namespace softmem

@@ -1,0 +1,404 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/ipc/channel.h"
+#include "src/ipc/daemon_client.h"
+#include "src/ipc/daemon_server.h"
+#include "src/ipc/messages.h"
+#include "src/ipc/unix_socket.h"
+#include "src/ipc/wire.h"
+#include "src/sma/soft_memory_allocator.h"
+#include "src/smd/soft_memory_daemon.h"
+
+namespace softmem {
+namespace {
+
+// ---- Wire codec ------------------------------------------------------------------
+
+TEST(WireTest, RoundTripsScalars) {
+  WireWriter w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutString("hello");
+  WireReader r(w.bytes());
+  EXPECT_EQ(*r.ReadU8(), 0xAB);
+  EXPECT_EQ(*r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.ReadU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(*r.ReadString(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, TruncatedReadsFail) {
+  WireWriter w;
+  w.PutU32(42);
+  WireReader r(w.bytes());
+  EXPECT_TRUE(r.ReadU32().ok());
+  EXPECT_FALSE(r.ReadU8().ok());
+  EXPECT_FALSE(r.ReadU64().ok());
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+TEST(WireTest, StringLengthIsValidated) {
+  WireWriter w;
+  w.PutU32(1000);  // claims 1000 bytes follow; none do
+  WireReader r(w.bytes());
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+// ---- Message codec -----------------------------------------------------------------
+
+TEST(MessageTest, RoundTripsAllFields) {
+  Message m;
+  m.type = MsgType::kBudgetReply;
+  m.seq = 77;
+  m.pid = 12;
+  m.pages = 1 << 20;
+  m.bytes = 42 * kMiB;
+  m.status = static_cast<uint32_t>(StatusCode::kDenied);
+  m.text = "machine full";
+  auto decoded = DecodeMessage(EncodeMessage(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, m.type);
+  EXPECT_EQ(decoded->seq, m.seq);
+  EXPECT_EQ(decoded->pid, m.pid);
+  EXPECT_EQ(decoded->pages, m.pages);
+  EXPECT_EQ(decoded->bytes, m.bytes);
+  EXPECT_EQ(decoded->status_code(), StatusCode::kDenied);
+  EXPECT_EQ(decoded->text, m.text);
+}
+
+TEST(MessageTest, RejectsGarbage) {
+  std::vector<uint8_t> garbage = {1, 2, 3, 4, 5};
+  EXPECT_FALSE(DecodeMessage(garbage).ok());
+  EXPECT_FALSE(DecodeMessage(nullptr, 0).ok());
+}
+
+TEST(MessageTest, RejectsBadMagicAndType) {
+  Message m;
+  m.type = MsgType::kRegister;
+  auto bytes = EncodeMessage(m);
+  auto corrupted = bytes;
+  corrupted[0] ^= 0xFF;  // magic
+  EXPECT_FALSE(DecodeMessage(corrupted).ok());
+  corrupted = bytes;
+  corrupted[4] = 200;  // type out of range
+  EXPECT_FALSE(DecodeMessage(corrupted).ok());
+}
+
+TEST(MessageTest, RejectsTrailingBytes) {
+  Message m;
+  m.type = MsgType::kGoodbye;
+  auto bytes = EncodeMessage(m);
+  bytes.push_back(0);
+  EXPECT_FALSE(DecodeMessage(bytes).ok());
+}
+
+TEST(MessageTest, FuzzDecodeNeverCrashes) {
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<uint8_t> buf(rng.NextBounded(200));
+    for (auto& b : buf) {
+      b = static_cast<uint8_t>(rng.NextBounded(256));
+    }
+    DecodeMessage(buf);  // must not crash; result may be anything
+  }
+}
+
+// ---- Channels (parameterized over both transports) ----------------------------------
+
+enum class ChannelKind { kLocal, kUnix };
+
+struct ChannelPair {
+  std::unique_ptr<MessageChannel> a;
+  std::unique_ptr<MessageChannel> b;
+  std::unique_ptr<UnixSocketListener> listener;  // keeps socket alive
+};
+
+ChannelPair MakePair(ChannelKind kind) {
+  ChannelPair pair;
+  if (kind == ChannelKind::kLocal) {
+    auto [a, b] = CreateLocalChannelPair();
+    pair.a = std::move(a);
+    pair.b = std::move(b);
+    return pair;
+  }
+  const std::string path =
+      "/tmp/softmem_test_" + std::to_string(::getpid()) + "_" +
+      std::to_string(reinterpret_cast<uintptr_t>(&pair) & 0xFFFF) + ".sock";
+  auto listener = UnixSocketListener::Bind(path);
+  EXPECT_TRUE(listener.ok()) << listener.status();
+  pair.listener = std::move(listener).value();
+  auto client = ConnectUnixSocket(path);
+  EXPECT_TRUE(client.ok()) << client.status();
+  pair.a = std::move(client).value();
+  auto accepted = pair.listener->Accept(1000);
+  EXPECT_TRUE(accepted.ok()) << accepted.status();
+  pair.b = std::move(accepted).value();
+  return pair;
+}
+
+class ChannelTest : public ::testing::TestWithParam<ChannelKind> {};
+
+TEST_P(ChannelTest, SendRecvBothDirections) {
+  auto pair = MakePair(GetParam());
+  Message m;
+  m.type = MsgType::kRequestBudget;
+  m.pages = 7;
+  ASSERT_TRUE(pair.a->Send(m).ok());
+  auto got = pair.b->Recv(1000);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->pages, 7u);
+
+  m.type = MsgType::kBudgetReply;
+  m.pages = 9;
+  ASSERT_TRUE(pair.b->Send(m).ok());
+  got = pair.a->Recv(1000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->type, MsgType::kBudgetReply);
+  EXPECT_EQ(got->pages, 9u);
+}
+
+TEST_P(ChannelTest, PreservesMessageBoundariesAndOrder) {
+  auto pair = MakePair(GetParam());
+  for (uint64_t i = 0; i < 100; ++i) {
+    Message m;
+    m.type = MsgType::kUsageReport;
+    m.seq = i;
+    m.text = std::string(static_cast<size_t>(i % 50), 'x');
+    ASSERT_TRUE(pair.a->Send(m).ok());
+  }
+  for (uint64_t i = 0; i < 100; ++i) {
+    auto got = pair.b->Recv(1000);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->seq, i);
+    EXPECT_EQ(got->text.size(), static_cast<size_t>(i % 50));
+  }
+}
+
+TEST_P(ChannelTest, RecvTimesOut) {
+  auto pair = MakePair(GetParam());
+  auto got = pair.a->Recv(10);
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+}
+
+TEST_P(ChannelTest, CloseUnblocksPeer) {
+  auto pair = MakePair(GetParam());
+  std::atomic<bool> unblocked{false};
+  std::thread t([&] {
+    auto got = pair.b->Recv(-1);
+    EXPECT_FALSE(got.ok());
+    unblocked.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  pair.a->Close();
+  t.join();
+  EXPECT_TRUE(unblocked.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, ChannelTest,
+                         ::testing::Values(ChannelKind::kLocal,
+                                           ChannelKind::kUnix),
+                         [](const auto& info) {
+                           return info.param == ChannelKind::kLocal ? "Local"
+                                                                    : "Unix";
+                         });
+
+// ---- Client/server integration -------------------------------------------------------
+
+SmaOptions ClientSmaOptions(size_t budget) {
+  SmaOptions o;
+  o.region_pages = 16 * 1024;
+  o.initial_budget_pages = budget;
+  o.budget_chunk_pages = 64;
+  o.heap_retain_empty_pages = 0;
+  o.use_mmap = false;
+  return o;
+}
+
+struct ClientProcess {
+  std::unique_ptr<DaemonClient> client;
+  std::unique_ptr<SoftMemoryAllocator> sma;
+};
+
+// Registers one simulated "process" against the server over the transport.
+ClientProcess MakeProcess(DaemonServer* server, ChannelKind kind,
+                          UnixSocketListener* listener,
+                          const std::string& name) {
+  std::unique_ptr<MessageChannel> client_end;
+  if (kind == ChannelKind::kLocal) {
+    auto [a, b] = CreateLocalChannelPair();
+    client_end = std::move(a);
+    server->AddClient(std::move(b));
+  } else {
+    auto connected = ConnectUnixSocket(listener->path());
+    EXPECT_TRUE(connected.ok());
+    client_end = std::move(connected).value();
+  }
+  auto client = DaemonClient::Register(std::move(client_end), name);
+  EXPECT_TRUE(client.ok()) << client.status();
+  auto options = ClientSmaOptions((*client)->initial_budget_pages());
+  auto sma = SoftMemoryAllocator::Create(options, client->get());
+  EXPECT_TRUE(sma.ok());
+  (*client)->AttachAllocator(sma->get());
+  (*client)->StartPoller();
+  return ClientProcess{std::move(client).value(), std::move(sma).value()};
+}
+
+class EndToEndTest : public ::testing::TestWithParam<ChannelKind> {
+ protected:
+  void SetUp() override {
+    SmdOptions o;
+    o.capacity_pages = 512;  // 2 MiB machine-wide
+    o.initial_grant_pages = 64;
+    o.over_reclaim_factor = 0.0;
+    daemon_ = std::make_unique<SoftMemoryDaemon>(o);
+    server_ = std::make_unique<DaemonServer>(daemon_.get());
+    if (GetParam() == ChannelKind::kUnix) {
+      auto listener = UnixSocketListener::Bind(
+          "/tmp/softmem_e2e_" + std::to_string(::getpid()) + ".sock");
+      ASSERT_TRUE(listener.ok());
+      listener_ = std::move(listener).value();
+      server_->ServeListener(listener_.get());
+    }
+  }
+
+  void TearDown() override {
+    server_->Stop();
+  }
+
+  ClientProcess Spawn(const std::string& name) {
+    return MakeProcess(server_.get(), GetParam(), listener_.get(), name);
+  }
+
+  std::unique_ptr<SoftMemoryDaemon> daemon_;
+  std::unique_ptr<DaemonServer> server_;
+  std::unique_ptr<UnixSocketListener> listener_;
+};
+
+TEST_P(EndToEndTest, RegistrationGrantsInitialBudget) {
+  auto p = Spawn("proc-a");
+  EXPECT_GT(p.client->process_id(), 0u);
+  EXPECT_EQ(p.client->initial_budget_pages(), 64u);
+  EXPECT_EQ(p.sma->budget_pages(), 64u);
+}
+
+TEST_P(EndToEndTest, BudgetGrowsOnDemandThroughDaemon) {
+  auto p = Spawn("proc-a");
+  // 300 pages of 1 KiB allocations: needs several budget round-trips.
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 1200; ++i) {
+    void* ptr = p.sma->SoftMalloc(1024);
+    ASSERT_NE(ptr, nullptr) << "allocation " << i;
+    ptrs.push_back(ptr);
+  }
+  EXPECT_GE(p.sma->budget_pages(), 300u);
+  const SmdStats s = daemon_->GetStats();
+  EXPECT_GE(s.granted_requests, 1u);
+  for (void* ptr : ptrs) {
+    p.sma->SoftFree(ptr);
+  }
+}
+
+TEST_P(EndToEndTest, CrossProcessReclamationMovesMemory) {
+  auto victim = Spawn("victim");
+  auto needy = Spawn("needy");
+
+  // Victim allocates most of the machine's 512-page capacity.
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 1600; ++i) {  // 400 pages
+    void* ptr = victim.sma->SoftMalloc(1024);
+    ASSERT_NE(ptr, nullptr) << "victim allocation " << i;
+    ptrs.push_back(ptr);
+  }
+  const size_t victim_before = victim.sma->committed_pages();
+
+  // Needy's allocations force the daemon to reclaim from victim.
+  std::vector<void*> needy_ptrs;
+  for (int i = 0; i < 1200; ++i) {  // 300 pages demanded
+    void* ptr = needy.sma->SoftMalloc(1024);
+    ASSERT_NE(ptr, nullptr) << "needy allocation " << i;
+    needy_ptrs.push_back(ptr);
+  }
+
+  EXPECT_LT(victim.sma->committed_pages(), victim_before)
+      << "victim must have relinquished pages";
+  EXPECT_GT(victim.sma->GetStats().reclaim_demands, 0u);
+  EXPECT_GE(victim.client->demands_served(), 1u);
+  const SmdStats s = daemon_->GetStats();
+  EXPECT_GE(s.reclamations, 1u);
+  EXPECT_LE(s.assigned_pages, s.capacity_pages);
+
+  // Both processes remain fully functional (the paper's headline claim:
+  // nobody crashed).
+  for (void* ptr : needy_ptrs) {
+    needy.sma->SoftFree(ptr);
+  }
+  void* check = victim.sma->SoftMalloc(64);
+  EXPECT_NE(check, nullptr);
+}
+
+TEST_P(EndToEndTest, DenialWhenMachineExhaustedAndVictimUnreclaimable) {
+  auto pinned = Spawn("pinned");
+  auto needy = Spawn("needy");
+
+  // Pinned fills capacity with kNone-context memory (not revocable).
+  ContextOptions co;
+  co.name = "pinned-data";
+  co.mode = ReclaimMode::kNone;
+  auto ctx = pinned.sma->CreateContext(co);
+  ASSERT_TRUE(ctx.ok());
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 1790; ++i) {  // ~448 pages
+    void* ptr = pinned.sma->SoftMalloc(*ctx, 1024);
+    ASSERT_NE(ptr, nullptr) << i;
+    ptrs.push_back(ptr);
+  }
+  // Needy wants more than the leftover capacity; the daemon demands, pinned
+  // can't comply, the request is denied -> allocation returns nullptr
+  // instead of crashing anything.
+  void* big = needy.sma->SoftMalloc(100 * kPageSize);
+  EXPECT_EQ(big, nullptr);
+  const SmdStats s = daemon_->GetStats();
+  EXPECT_GE(s.denied_requests, 1u);
+}
+
+TEST_P(EndToEndTest, ClientDisconnectFreesItsBudget) {
+  auto a = Spawn("a");
+  {
+    auto transient = Spawn("transient");
+    std::vector<void*> ptrs;
+    for (int i = 0; i < 800; ++i) {  // 200 pages
+      void* ptr = transient.sma->SoftMalloc(1024);
+      ASSERT_NE(ptr, nullptr);
+      ptrs.push_back(ptr);
+    }
+    EXPECT_GE(daemon_->GetStats().assigned_pages, 200u);
+    // transient's client (and its goodbye) goes out of scope here.
+  }
+  // The daemon must reap the budget so others can use it.
+  for (int i = 0; i < 100 && daemon_->GetStats().processes.size() > 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const SmdStats s = daemon_->GetStats();
+  ASSERT_EQ(s.processes.size(), 1u);
+  EXPECT_LE(s.assigned_pages, 128u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, EndToEndTest,
+                         ::testing::Values(ChannelKind::kLocal,
+                                           ChannelKind::kUnix),
+                         [](const auto& info) {
+                           return info.param == ChannelKind::kLocal ? "Local"
+                                                                    : "Unix";
+                         });
+
+}  // namespace
+}  // namespace softmem

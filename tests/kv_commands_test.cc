@@ -1,0 +1,133 @@
+// Tests for the extended KV command surface: counters, string ops,
+// multi-key commands, and KEYS glob matching.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "src/kv/kv_store.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+namespace {
+
+class KvCommandsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SmaOptions o;
+    o.region_pages = 4096;
+    o.initial_budget_pages = 4096;
+    o.heap_retain_empty_pages = 0;
+    o.use_mmap = false;
+    auto r = SoftMemoryAllocator::Create(o);
+    ASSERT_TRUE(r.ok());
+    sma_ = std::move(r).value();
+    store_ = std::make_unique<KvStore>(sma_.get());
+  }
+
+  RespValue Run(const std::vector<std::string>& argv) {
+    return store_->Execute(argv);
+  }
+
+  std::unique_ptr<SoftMemoryAllocator> sma_;
+  std::unique_ptr<KvStore> store_;
+};
+
+TEST_F(KvCommandsTest, IncrFromAbsentStartsAtZero) {
+  EXPECT_EQ(Run({"INCR", "counter"}).integer, 1);
+  EXPECT_EQ(Run({"INCR", "counter"}).integer, 2);
+  EXPECT_EQ(Run({"DECR", "counter"}).integer, 1);
+  EXPECT_EQ(Run({"GET", "counter"}).str, "1");
+}
+
+TEST_F(KvCommandsTest, IncrByAndDecrBy) {
+  EXPECT_EQ(Run({"INCRBY", "c", "41"}).integer, 41);
+  EXPECT_EQ(Run({"INCRBY", "c", "1"}).integer, 42);
+  EXPECT_EQ(Run({"DECRBY", "c", "40"}).integer, 2);
+  EXPECT_EQ(Run({"INCRBY", "c", "-2"}).integer, 0);
+  EXPECT_EQ(Run({"INCRBY", "c", "junk"}).type, RespType::kError);
+}
+
+TEST_F(KvCommandsTest, IncrOnNonNumericValueErrors) {
+  Run({"SET", "s", "hello"});
+  EXPECT_EQ(Run({"INCR", "s"}).type, RespType::kError);
+  EXPECT_EQ(Run({"GET", "s"}).str, "hello") << "value must be untouched";
+}
+
+TEST_F(KvCommandsTest, AppendAndStrlen) {
+  EXPECT_EQ(Run({"APPEND", "s", "Hello"}).integer, 5);
+  EXPECT_EQ(Run({"APPEND", "s", ", world"}).integer, 12);
+  EXPECT_EQ(Run({"GET", "s"}).str, "Hello, world");
+  EXPECT_EQ(Run({"STRLEN", "s"}).integer, 12);
+  EXPECT_EQ(Run({"STRLEN", "missing"}).integer, 0);
+}
+
+TEST_F(KvCommandsTest, MgetMixesHitsAndNulls) {
+  Run({"SET", "a", "1"});
+  Run({"SET", "c", "3"});
+  const RespValue r = Run({"MGET", "a", "b", "c"});
+  ASSERT_EQ(r.type, RespType::kArray);
+  ASSERT_EQ(r.array.size(), 3u);
+  EXPECT_EQ(r.array[0].str, "1");
+  EXPECT_EQ(r.array[1].type, RespType::kNull);
+  EXPECT_EQ(r.array[2].str, "3");
+}
+
+TEST_F(KvCommandsTest, MsetSetsAllPairs) {
+  EXPECT_EQ(Run({"MSET", "a", "1", "b", "2", "c", "3"}).str, "OK");
+  EXPECT_EQ(store_->DbSize(), 3u);
+  EXPECT_EQ(Run({"GET", "b"}).str, "2");
+  EXPECT_EQ(Run({"MSET", "a", "1", "b"}).type, RespType::kError)
+      << "odd argument count";
+}
+
+TEST_F(KvCommandsTest, KeysGlobMatching) {
+  Run({"MSET", "user:1", "a", "user:2", "b", "session:9", "c", "u", "d"});
+  auto match = [&](const std::string& pattern) {
+    const RespValue r = Run({"KEYS", pattern});
+    std::vector<std::string> keys;
+    for (const auto& v : r.array) {
+      keys.push_back(v.str);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  EXPECT_EQ(match("user:*"), (std::vector<std::string>{"user:1", "user:2"}));
+  EXPECT_EQ(match("user:?"), (std::vector<std::string>{"user:1", "user:2"}));
+  EXPECT_EQ(match("*"),
+            (std::vector<std::string>{"session:9", "u", "user:1", "user:2"}));
+  EXPECT_EQ(match("u"), (std::vector<std::string>{"u"}));
+  EXPECT_EQ(match("nope*"), std::vector<std::string>{});
+  EXPECT_EQ(match("*:*"), (std::vector<std::string>{"session:9", "user:1",
+                                                    "user:2"}));
+}
+
+TEST_F(KvCommandsTest, DirectApiKeysLimit) {
+  for (int i = 0; i < 100; ++i) {
+    store_->Set("k" + std::to_string(i), "v");
+  }
+  EXPECT_EQ(store_->Keys("*", 10).size(), 10u);
+  EXPECT_EQ(store_->Keys("*").size(), 100u);
+}
+
+TEST_F(KvCommandsTest, CountersSurviveReclamationSemantics) {
+  // Counters are soft state too: after reclamation the counter restarts —
+  // the explicit trade the application opted into.
+  for (int i = 0; i < 42; ++i) {
+    Run({"INCR", "hits"});
+  }
+  for (int i = 0; i < 5000; ++i) {
+    Run({"SET", "filler:" + std::to_string(i), "x"});
+  }
+  const SmaStats s = sma_->GetStats();
+  const size_t slack = s.budget_pages - s.committed_pages;
+  sma_->HandleReclaimDemand(slack + s.pooled_pages + 4);
+  // "hits" was the oldest entry -> dropped; INCR restarts from zero.
+  EXPECT_EQ(Run({"GET", "hits"}).type, RespType::kNull);
+  EXPECT_EQ(Run({"INCR", "hits"}).integer, 1);
+}
+
+}  // namespace
+}  // namespace softmem

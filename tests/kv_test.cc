@@ -1,0 +1,426 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/kv/dict.h"
+#include "src/kv/kv_server.h"
+#include "src/kv/kv_store.h"
+#include "src/kv/resp.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+namespace {
+
+std::unique_ptr<SoftMemoryAllocator> MakeSma(size_t pages = 8192) {
+  SmaOptions o;
+  o.region_pages = pages;
+  o.initial_budget_pages = pages;
+  o.heap_retain_empty_pages = 0;
+  o.use_mmap = false;
+  auto r = SoftMemoryAllocator::Create(o);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+// Demand sized so SDS-tier reclamation definitely happens (see sds_test).
+size_t DemandFromSds(SoftMemoryAllocator* sma, size_t pages) {
+  const SmaStats s = sma->GetStats();
+  const size_t slack = s.budget_pages > s.committed_pages
+                           ? s.budget_pages - s.committed_pages
+                           : 0;
+  return sma->HandleReclaimDemand(slack + s.pooled_pages + pages);
+}
+
+// ---- Dict: both modes, parameterized ------------------------------------------
+
+class DictTest : public ::testing::TestWithParam<bool /*soft*/> {
+ protected:
+  void SetUp() override {
+    if (GetParam()) {
+      sma_ = MakeSma();
+    }
+  }
+  std::unique_ptr<SoftMemoryAllocator> sma_;
+};
+
+TEST_P(DictTest, SetGetDelRoundTrip) {
+  Dict dict(sma_.get());
+  EXPECT_TRUE(dict.Set("hello", "world"));
+  EXPECT_TRUE(dict.Set("foo", "bar"));
+  EXPECT_EQ(dict.Size(), 2u);
+  EXPECT_EQ(*dict.Get("hello"), "world");
+  EXPECT_EQ(*dict.Get("foo"), "bar");
+  EXPECT_FALSE(dict.Get("missing").has_value());
+  EXPECT_TRUE(dict.Del("hello"));
+  EXPECT_FALSE(dict.Del("hello"));
+  EXPECT_FALSE(dict.Get("hello").has_value());
+  EXPECT_EQ(dict.Size(), 1u);
+}
+
+TEST_P(DictTest, OverwriteReplacesValue) {
+  Dict dict(sma_.get());
+  EXPECT_TRUE(dict.Set("k", "v1"));
+  EXPECT_TRUE(dict.Set("k", "a-much-longer-replacement-value"));
+  EXPECT_EQ(dict.Size(), 1u);
+  EXPECT_EQ(*dict.Get("k"), "a-much-longer-replacement-value");
+}
+
+TEST_P(DictTest, EmptyKeyAndValueWork) {
+  Dict dict(sma_.get());
+  EXPECT_TRUE(dict.Set("", ""));
+  EXPECT_TRUE(dict.Exists(""));
+  EXPECT_EQ(dict.Get("")->size(), 0u);
+}
+
+TEST_P(DictTest, BinaryUnsafeData) {
+  Dict dict(sma_.get());
+  const std::string key("k\0ey", 4);
+  const std::string val("v\0al\xff", 5);
+  EXPECT_TRUE(dict.Set(key, val));
+  auto got = dict.Get(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, std::string_view(val));
+}
+
+TEST_P(DictTest, IncrementalRehashKeepsEverythingFindable) {
+  Dict dict(sma_.get());
+  constexpr int kN = 10000;  // forces many rehashes from 4 buckets
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(dict.Set("key:" + std::to_string(i), std::to_string(i * 3)));
+    // Spot-check during the rehash windows.
+    if (i % 997 == 0) {
+      for (int j = 0; j <= i; j += 991) {
+        auto v = dict.Get("key:" + std::to_string(j));
+        ASSERT_TRUE(v.has_value()) << "lost key " << j << " at i=" << i;
+        ASSERT_EQ(*v, std::to_string(j * 3));
+      }
+    }
+  }
+  EXPECT_EQ(dict.Size(), static_cast<size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(dict.Exists("key:" + std::to_string(i))) << i;
+  }
+}
+
+TEST_P(DictTest, DeleteDuringRehash) {
+  Dict dict(sma_.get());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(dict.Set("k" + std::to_string(i), "v"));
+  }
+  // Delete every other key while incremental rehash may be in flight.
+  for (int i = 0; i < 1000; i += 2) {
+    ASSERT_TRUE(dict.Del("k" + std::to_string(i))) << i;
+  }
+  EXPECT_EQ(dict.Size(), 500u);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(dict.Exists("k" + std::to_string(i)), i % 2 == 1);
+  }
+}
+
+TEST_P(DictTest, ClearEmptiesEverything) {
+  Dict dict(sma_.get());
+  for (int i = 0; i < 500; ++i) {
+    dict.Set("k" + std::to_string(i), "v");
+  }
+  dict.Clear();
+  EXPECT_EQ(dict.Size(), 0u);
+  EXPECT_EQ(dict.traditional_bytes(), 0u);
+  EXPECT_FALSE(dict.Get("k1").has_value());
+  // Reusable after clear.
+  EXPECT_TRUE(dict.Set("fresh", "start"));
+  EXPECT_EQ(*dict.Get("fresh"), "start");
+}
+
+TEST_P(DictTest, RandomOpsMatchReferenceMap) {
+  Dict dict(sma_.get());
+  std::map<std::string, std::string> reference;
+  Rng rng(7);
+  for (int step = 0; step < 20000; ++step) {
+    const std::string key = "k" + std::to_string(rng.NextBounded(500));
+    const uint64_t op = rng.NextBounded(10);
+    if (op < 6) {
+      const std::string value = "v" + std::to_string(rng.NextU64() % 100000);
+      ASSERT_TRUE(dict.Set(key, value));
+      reference[key] = value;
+    } else if (op < 8) {
+      ASSERT_EQ(dict.Del(key), reference.erase(key) > 0);
+    } else {
+      auto got = dict.Get(key);
+      auto it = reference.find(key);
+      ASSERT_EQ(got.has_value(), it != reference.end());
+      if (got.has_value()) {
+        ASSERT_EQ(*got, it->second);
+      }
+    }
+  }
+  ASSERT_EQ(dict.Size(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, DictTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "Soft" : "Traditional";
+                         });
+
+// ---- Dict soft-mode reclamation --------------------------------------------------
+
+TEST(DictReclaimTest, OldestEntriesDropAndReadAsNotFound) {
+  auto sma = MakeSma();
+  std::vector<std::string> dropped;
+  DictOptions opts;
+  opts.on_reclaim = [&](std::string_view k, std::string_view) {
+    dropped.emplace_back(k);
+  };
+  Dict dict(sma.get(), opts);
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(dict.Set("key:" + std::to_string(i), std::string(32, 'v')));
+  }
+  const size_t traditional_before = dict.traditional_bytes();
+
+  DemandFromSds(sma.get(), 4);
+  ASSERT_FALSE(dropped.empty());
+  // Oldest first.
+  for (size_t i = 0; i < dropped.size(); ++i) {
+    EXPECT_EQ(dropped[i], "key:" + std::to_string(i));
+  }
+  // Paper semantics: dropped keys miss, survivors hit.
+  for (int i = 0; i < kN; ++i) {
+    const bool survived = static_cast<size_t>(i) >= dropped.size();
+    ASSERT_EQ(dict.Exists("key:" + std::to_string(i)), survived) << i;
+  }
+  EXPECT_EQ(dict.Size(), kN - dropped.size());
+  EXPECT_EQ(dict.reclaimed(), dropped.size());
+  EXPECT_LT(dict.traditional_bytes(), traditional_before)
+      << "key/value traditional memory must be freed by the callback path";
+}
+
+TEST(DictReclaimTest, ReclaimDuringRehashIsSafe) {
+  auto sma = MakeSma();
+  Dict dict(sma.get());
+  // Insert exactly past a power-of-two boundary so a rehash is in flight,
+  // then reclaim immediately.
+  for (int i = 0; i < 1030; ++i) {
+    ASSERT_TRUE(dict.Set("k" + std::to_string(i), std::string(100, 'x')));
+  }
+  DemandFromSds(sma.get(), 2);
+  // The dict must still be consistent: every remaining key findable.
+  size_t found = 0;
+  for (int i = 0; i < 1030; ++i) {
+    if (dict.Exists("k" + std::to_string(i))) {
+      ++found;
+    }
+  }
+  EXPECT_EQ(found, dict.Size());
+  // And still writable.
+  ASSERT_TRUE(dict.Set("after", "reclaim"));
+  EXPECT_TRUE(dict.Exists("after"));
+}
+
+// ---- RESP ------------------------------------------------------------------------
+
+TEST(RespTest, EncodesAllTypes) {
+  EXPECT_EQ(RespEncodeToString(RespValue::Simple("OK")), "+OK\r\n");
+  EXPECT_EQ(RespEncodeToString(RespValue::Error("ERR x")), "-ERR x\r\n");
+  EXPECT_EQ(RespEncodeToString(RespValue::Integer(-7)), ":-7\r\n");
+  EXPECT_EQ(RespEncodeToString(RespValue::Bulk("ab")), "$2\r\nab\r\n");
+  EXPECT_EQ(RespEncodeToString(RespValue::Null()), "$-1\r\n");
+  EXPECT_EQ(RespEncodeToString(RespValue::Array(
+                {RespValue::Bulk("GET"), RespValue::Bulk("k")})),
+            "*2\r\n$3\r\nGET\r\n$1\r\nk\r\n");
+}
+
+TEST(RespTest, ParsesArrayCommand) {
+  RespParser p;
+  p.Feed("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nvalue\r\n");
+  auto cmd = p.Next();
+  ASSERT_TRUE(cmd.ok());
+  ASSERT_TRUE(cmd->has_value());
+  EXPECT_EQ((**cmd), (std::vector<std::string>{"SET", "k", "value"}));
+  auto none = p.Next();
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+}
+
+TEST(RespTest, ParsesInlineCommand) {
+  RespParser p;
+  p.Feed("GET  some-key \r\n");
+  auto cmd = p.Next();
+  ASSERT_TRUE(cmd.ok());
+  ASSERT_TRUE(cmd->has_value());
+  EXPECT_EQ(**cmd, (std::vector<std::string>{"GET", "some-key"}));
+}
+
+TEST(RespTest, HandlesPartialFeeds) {
+  RespParser p;
+  const std::string wire = "*2\r\n$4\r\nECHO\r\n$3\r\nhey\r\n";
+  for (size_t i = 0; i < wire.size(); ++i) {
+    p.Feed(std::string_view(&wire[i], 1));
+    auto cmd = p.Next();
+    ASSERT_TRUE(cmd.ok());
+    if (i + 1 < wire.size()) {
+      ASSERT_FALSE(cmd->has_value()) << "at byte " << i;
+    } else {
+      ASSERT_TRUE(cmd->has_value());
+      EXPECT_EQ(**cmd, (std::vector<std::string>{"ECHO", "hey"}));
+    }
+  }
+}
+
+TEST(RespTest, MultipleCommandsInOneFeed) {
+  RespParser p;
+  p.Feed("PING\r\n*1\r\n$6\r\nDBSIZE\r\n");
+  auto a = p.Next();
+  ASSERT_TRUE(a.ok() && a->has_value());
+  EXPECT_EQ((**a)[0], "PING");
+  auto b = p.Next();
+  ASSERT_TRUE(b.ok() && b->has_value());
+  EXPECT_EQ((**b)[0], "DBSIZE");
+}
+
+TEST(RespTest, BinaryPayloadWithEmbeddedCrlf) {
+  RespParser p;
+  p.Feed("*2\r\n$3\r\nSET\r\n$4\r\na\r\nb\r\n");
+  auto cmd = p.Next();
+  ASSERT_TRUE(cmd.ok() && cmd->has_value());
+  EXPECT_EQ((**cmd)[1], "a\r\nb");
+}
+
+TEST(RespTest, CorruptStreamReported) {
+  RespParser p;
+  p.Feed("*2\r\n$bad\r\n");
+  EXPECT_FALSE(p.Next().ok());
+  RespParser p2;
+  p2.Feed("*-5\r\n");
+  EXPECT_FALSE(p2.Next().ok());
+}
+
+// ---- KvStore command layer -----------------------------------------------------
+
+TEST(KvStoreTest, ExecuteBasicCommands) {
+  auto sma = MakeSma();
+  KvStore store(sma.get());
+  EXPECT_EQ(store.Execute({"PING"}).str, "PONG");
+  EXPECT_EQ(store.Execute({"SET", "k", "v"}).str, "OK");
+  EXPECT_EQ(store.Execute({"GET", "k"}).str, "v");
+  EXPECT_EQ(store.Execute({"GET", "nope"}).type, RespType::kNull);
+  EXPECT_EQ(store.Execute({"EXISTS", "k", "nope"}).integer, 1);
+  EXPECT_EQ(store.Execute({"DBSIZE"}).integer, 1);
+  EXPECT_EQ(store.Execute({"DEL", "k", "nope"}).integer, 1);
+  EXPECT_EQ(store.Execute({"DBSIZE"}).integer, 0);
+  EXPECT_EQ(store.Execute({"set", "lower", "case"}).str, "OK")
+      << "commands are case-insensitive";
+}
+
+TEST(KvStoreTest, ErrorsForBadCommands) {
+  auto sma = MakeSma();
+  KvStore store(sma.get());
+  EXPECT_EQ(store.Execute({"SET", "k"}).type, RespType::kError);
+  EXPECT_EQ(store.Execute({"NOSUCH"}).type, RespType::kError);
+  EXPECT_EQ(store.Execute({}).type, RespType::kError);
+}
+
+TEST(KvStoreTest, StatsTrackTraffic) {
+  auto sma = MakeSma();
+  KvStore store(sma.get());
+  store.Execute({"SET", "a", "1"});
+  store.Execute({"GET", "a"});
+  store.Execute({"GET", "b"});
+  const KvStoreStats s = store.GetStats();
+  EXPECT_EQ(s.sets, 1u);
+  EXPECT_EQ(s.gets, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.keys, 1u);
+  EXPECT_GT(s.traditional_bytes, 0u);
+  EXPECT_GT(s.soft_entry_bytes, 0u);
+}
+
+TEST(KvStoreTest, SurvivesReclamationLikeThePaper) {
+  auto sma = MakeSma();
+  KvStore store(sma.get());
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(store.Execute({"SET", "key:" + std::to_string(i), "value"}).type,
+              RespType::kSimpleString);
+  }
+  DemandFromSds(sma.get(), 8);
+  const KvStoreStats s = store.GetStats();
+  EXPECT_GT(s.reclaimed, 0u);
+  // Server is alive; dropped keys are misses (client would re-fetch).
+  EXPECT_EQ(store.Execute({"GET", "key:0"}).type, RespType::kNull);
+  EXPECT_EQ(store.Execute({"GET", "key:4999"}).str, "value");
+  EXPECT_EQ(store.Execute({"SET", "new", "key"}).str, "OK");
+}
+
+// ---- KvServer over TCP ------------------------------------------------------------
+
+TEST(KvServerTest, EndToEndOverTcp) {
+  auto sma = MakeSma();
+  KvStore store(sma.get());
+  auto server = KvServer::Listen(&store, 0);
+  ASSERT_TRUE(server.ok()) << server.status();
+  auto client = KvClient::Connect((*server)->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  ASSERT_TRUE((*client)->Set("alpha", "beta").ok());
+  auto got = (*client)->Get("alpha");
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ(**got, "beta");
+
+  auto missing = (*client)->Get("gamma");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing->has_value());
+
+  auto dbsize = (*client)->Command({"DBSIZE"});
+  ASSERT_TRUE(dbsize.ok());
+  EXPECT_EQ(dbsize->integer, 1);
+  (*server)->Stop();
+}
+
+TEST(KvServerTest, ManyClientsManyKeys) {
+  auto sma = MakeSma();
+  KvStore store(sma.get());
+  auto server = KvServer::Listen(&store, 0);
+  ASSERT_TRUE(server.ok());
+  constexpr int kClients = 4;
+  constexpr int kKeys = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = KvClient::Connect((*server)->port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kKeys; ++i) {
+        const std::string key = "c" + std::to_string(c) + ":" + std::to_string(i);
+        if (!(*client)->Set(key, "v" + std::to_string(i)).ok()) {
+          ++failures;
+        }
+      }
+      for (int i = 0; i < kKeys; ++i) {
+        const std::string key = "c" + std::to_string(c) + ":" + std::to_string(i);
+        auto got = (*client)->Get(key);
+        if (!got.ok() || !got->has_value() || **got != "v" + std::to_string(i)) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(store.DbSize(), static_cast<size_t>(kClients * kKeys));
+  (*server)->Stop();
+}
+
+}  // namespace
+}  // namespace softmem

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/kv/kv_store.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+namespace {
+
+class KvTtlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SmaOptions o;
+    o.region_pages = 2048;
+    o.initial_budget_pages = 2048;
+    o.heap_retain_empty_pages = 0;
+    o.use_mmap = false;
+    auto r = SoftMemoryAllocator::Create(o);
+    ASSERT_TRUE(r.ok());
+    sma_ = std::move(r).value();
+    store_ = std::make_unique<KvStore>(sma_.get(), DictOptions{}, &clock_);
+  }
+
+  SimClock clock_;
+  std::unique_ptr<SoftMemoryAllocator> sma_;
+  std::unique_ptr<KvStore> store_;
+};
+
+TEST_F(KvTtlTest, ExpireRemovesKeyAfterDeadline) {
+  ASSERT_TRUE(store_->Set("k", "v"));
+  ASSERT_TRUE(store_->Expire("k", 5.0));
+  clock_.AdvanceSeconds(4.9);
+  EXPECT_TRUE(store_->Get("k").has_value());
+  clock_.AdvanceSeconds(0.2);
+  EXPECT_FALSE(store_->Get("k").has_value());
+  EXPECT_EQ(store_->GetStats().expired, 1u);
+  EXPECT_EQ(store_->DbSize(), 0u);
+}
+
+TEST_F(KvTtlTest, ExpireOnMissingKeyFails) {
+  EXPECT_FALSE(store_->Expire("nope", 5.0));
+}
+
+TEST_F(KvTtlTest, TtlReportsRemainingTime) {
+  ASSERT_TRUE(store_->Set("k", "v"));
+  EXPECT_EQ(store_->Ttl("k"), -1) << "no expiry set";
+  EXPECT_EQ(store_->Ttl("missing"), -2);
+  store_->Expire("k", 10.0);
+  clock_.AdvanceSeconds(4.0);
+  EXPECT_NEAR(store_->Ttl("k"), 6.0, 0.01);
+}
+
+TEST_F(KvTtlTest, PersistCancelsExpiry) {
+  ASSERT_TRUE(store_->Set("k", "v"));
+  store_->Expire("k", 1.0);
+  ASSERT_TRUE(store_->Persist("k"));
+  EXPECT_FALSE(store_->Persist("k")) << "no expiry left to remove";
+  clock_.AdvanceSeconds(100.0);
+  EXPECT_TRUE(store_->Get("k").has_value());
+}
+
+TEST_F(KvTtlTest, SetClearsPreviousTtl) {
+  ASSERT_TRUE(store_->Set("k", "v1"));
+  store_->Expire("k", 1.0);
+  ASSERT_TRUE(store_->Set("k", "v2"));  // Redis SET semantics
+  clock_.AdvanceSeconds(100.0);
+  EXPECT_TRUE(store_->Get("k").has_value());
+}
+
+TEST_F(KvTtlTest, ExistsHonorsExpiry) {
+  ASSERT_TRUE(store_->Set("k", "v"));
+  store_->Expire("k", 1.0);
+  clock_.AdvanceSeconds(2.0);
+  EXPECT_FALSE(store_->Exists("k"));
+}
+
+TEST_F(KvTtlTest, RespCommandsDriveTtl) {
+  EXPECT_EQ(store_->Execute({"SETEX", "s", "5", "val"}).str, "OK");
+  EXPECT_EQ(store_->Execute({"TTL", "s"}).integer, 5);
+  EXPECT_EQ(store_->Execute({"EXPIRE", "s", "20"}).integer, 1);
+  EXPECT_EQ(store_->Execute({"EXPIRE", "ghost", "20"}).integer, 0);
+  clock_.AdvanceSeconds(10.0);
+  EXPECT_EQ(store_->Execute({"GET", "s"}).str, "val");
+  EXPECT_EQ(store_->Execute({"PERSIST", "s"}).integer, 1);
+  clock_.AdvanceSeconds(1000.0);
+  EXPECT_EQ(store_->Execute({"GET", "s"}).str, "val");
+  EXPECT_EQ(store_->Execute({"EXPIRE", "s", "bogus"}).type, RespType::kError);
+  EXPECT_EQ(store_->Execute({"SETEX", "s", "-1", "v"}).type, RespType::kError);
+}
+
+TEST_F(KvTtlTest, FlushAllDropsExpiries) {
+  ASSERT_TRUE(store_->Set("k", "v"));
+  store_->Expire("k", 5.0);
+  store_->FlushAll();
+  ASSERT_TRUE(store_->Set("k", "v"));
+  clock_.AdvanceSeconds(100.0);
+  EXPECT_TRUE(store_->Get("k").has_value()) << "old TTL must not survive flush";
+}
+
+TEST_F(KvTtlTest, ReclaimedKeyLeavesNoStaleTtl) {
+  // Fill enough that a reclaim demand drops the oldest keys, one of which
+  // has a TTL; re-inserting that key must not inherit the stale TTL.
+  ASSERT_TRUE(store_->Set("victim", "v"));
+  store_->Expire("victim", 1000.0);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(store_->Set("filler:" + std::to_string(i), "x"));
+  }
+  const SmaStats s = sma_->GetStats();
+  const size_t slack = s.budget_pages - s.committed_pages;
+  sma_->HandleReclaimDemand(slack + s.pooled_pages + 8);
+  ASSERT_FALSE(store_->Exists("victim")) << "oldest key should be reclaimed";
+
+  ASSERT_TRUE(store_->Set("victim", "v2"));
+  EXPECT_EQ(store_->Ttl("victim"), -1) << "stale TTL leaked through reclaim";
+}
+
+}  // namespace
+}  // namespace softmem

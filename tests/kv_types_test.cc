@@ -1,0 +1,164 @@
+// Tests for the typed KV values (LISTs and HASHes) and their composition
+// with soft-memory reclamation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kv/kv_store.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+namespace {
+
+class KvTypesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SmaOptions o;
+    o.region_pages = 8192;
+    o.initial_budget_pages = 8192;
+    o.heap_retain_empty_pages = 0;
+    o.use_mmap = false;
+    auto r = SoftMemoryAllocator::Create(o);
+    ASSERT_TRUE(r.ok());
+    sma_ = std::move(r).value();
+    store_ = std::make_unique<KvStore>(sma_.get());
+  }
+
+  RespValue Run(const std::vector<std::string>& argv) {
+    return store_->Execute(argv);
+  }
+
+  std::unique_ptr<SoftMemoryAllocator> sma_;
+  std::unique_ptr<KvStore> store_;
+};
+
+TEST_F(KvTypesTest, ListPushPopBothEnds) {
+  EXPECT_EQ(Run({"RPUSH", "l", "b"}).integer, 1);
+  EXPECT_EQ(Run({"RPUSH", "l", "c"}).integer, 2);
+  EXPECT_EQ(Run({"LPUSH", "l", "a"}).integer, 3);
+  EXPECT_EQ(Run({"LLEN", "l"}).integer, 3);
+  EXPECT_EQ(Run({"LPOP", "l"}).str, "a");
+  EXPECT_EQ(Run({"RPOP", "l"}).str, "c");
+  EXPECT_EQ(Run({"LPOP", "l"}).str, "b");
+  EXPECT_EQ(Run({"LPOP", "l"}).type, RespType::kNull);
+  EXPECT_EQ(Run({"LLEN", "l"}).integer, 0);
+  EXPECT_EQ(store_->Type("l"), "none") << "empty lists disappear";
+}
+
+TEST_F(KvTypesTest, MultiValuePush) {
+  EXPECT_EQ(Run({"RPUSH", "l", "1", "2", "3"}).integer, 3);
+  const RespValue r = Run({"LRANGE", "l", "0", "-1"});
+  ASSERT_EQ(r.array.size(), 3u);
+  EXPECT_EQ(r.array[0].str, "1");
+  EXPECT_EQ(r.array[2].str, "3");
+}
+
+TEST_F(KvTypesTest, LrangeIndexSemantics) {
+  Run({"RPUSH", "l", "a", "b", "c", "d", "e"});
+  auto range = [&](const std::string& s0, const std::string& s1) {
+    std::vector<std::string> out;
+    for (const auto& v : Run({"LRANGE", "l", s0, s1}).array) {
+      out.push_back(v.str);
+    }
+    return out;
+  };
+  EXPECT_EQ(range("0", "1"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(range("-2", "-1"), (std::vector<std::string>{"d", "e"}));
+  EXPECT_EQ(range("1", "100"), (std::vector<std::string>{"b", "c", "d", "e"}));
+  EXPECT_EQ(range("3", "1"), std::vector<std::string>{});
+  EXPECT_EQ(Run({"LRANGE", "missing", "0", "-1"}).array.size(), 0u);
+}
+
+TEST_F(KvTypesTest, HashSetGetDel) {
+  EXPECT_EQ(Run({"HSET", "h", "f1", "v1", "f2", "v2"}).integer, 2);
+  EXPECT_EQ(Run({"HSET", "h", "f1", "v1b"}).integer, 0) << "overwrite";
+  EXPECT_EQ(Run({"HGET", "h", "f1"}).str, "v1b");
+  EXPECT_EQ(Run({"HGET", "h", "nope"}).type, RespType::kNull);
+  EXPECT_EQ(Run({"HLEN", "h"}).integer, 2);
+  EXPECT_EQ(Run({"HDEL", "h", "f1", "nope"}).integer, 1);
+  EXPECT_EQ(Run({"HLEN", "h"}).integer, 1);
+  EXPECT_EQ(Run({"HDEL", "h", "f2"}).integer, 1);
+  EXPECT_EQ(store_->Type("h"), "none") << "empty hashes disappear";
+}
+
+TEST_F(KvTypesTest, HgetallPairsInInsertionOrder) {
+  Run({"HSET", "h", "a", "1", "b", "2"});
+  const RespValue r = Run({"HGETALL", "h"});
+  ASSERT_EQ(r.array.size(), 4u);
+  EXPECT_EQ(r.array[0].str, "a");
+  EXPECT_EQ(r.array[1].str, "1");
+  EXPECT_EQ(r.array[2].str, "b");
+  EXPECT_EQ(r.array[3].str, "2");
+}
+
+TEST_F(KvTypesTest, TypeCommandAndWrongtype) {
+  Run({"SET", "s", "x"});
+  Run({"RPUSH", "l", "x"});
+  Run({"HSET", "h", "f", "x"});
+  EXPECT_EQ(Run({"TYPE", "s"}).str, "string");
+  EXPECT_EQ(Run({"TYPE", "l"}).str, "list");
+  EXPECT_EQ(Run({"TYPE", "h"}).str, "hash");
+  EXPECT_EQ(Run({"TYPE", "none"}).str, "none");
+  EXPECT_EQ(Run({"LPUSH", "s", "x"}).type, RespType::kError);
+  EXPECT_EQ(Run({"HSET", "l", "f", "v"}).type, RespType::kError);
+}
+
+TEST_F(KvTypesTest, DelAndExistsSpanAllTypes) {
+  Run({"SET", "s", "x"});
+  Run({"RPUSH", "l", "x"});
+  Run({"HSET", "h", "f", "x"});
+  EXPECT_EQ(Run({"EXISTS", "s", "l", "h", "none"}).integer, 3);
+  EXPECT_EQ(store_->DbSize(), 3u);
+  EXPECT_EQ(Run({"DEL", "s", "l", "h"}).integer, 3);
+  EXPECT_EQ(store_->DbSize(), 0u);
+  EXPECT_EQ(Run({"FLUSHALL"}).str, "OK");
+}
+
+TEST_F(KvTypesTest, ReclamationShedsColdListsFirstByPriority) {
+  // Two lists; the allocator reclaims from whichever SDS context comes
+  // first (equal priority -> creation order). What matters here: the
+  // surviving structures stay consistent and the store keeps serving.
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(Run({"RPUSH", "cold", "value-" + std::to_string(i)}).type,
+              RespType::kInteger);
+    ASSERT_EQ(Run({"RPUSH", "hot", "value-" + std::to_string(i)}).type,
+              RespType::kInteger);
+  }
+  const SmaStats s = sma_->GetStats();
+  const size_t slack = s.budget_pages - s.committed_pages;
+  sma_->HandleReclaimDemand(slack + s.pooled_pages + 8);
+
+  const size_t dropped =
+      store_->lists()->reclaimed();
+  EXPECT_GT(dropped, 0u);
+  // Both lists still answer correctly (lengths consistent with drops).
+  const int64_t cold_len = Run({"LLEN", "cold"}).integer;
+  const int64_t hot_len = Run({"LLEN", "hot"}).integer;
+  EXPECT_EQ(static_cast<size_t>(4000 - cold_len - hot_len), dropped);
+  // Dropped elements were the oldest: the tail (newest) is intact.
+  EXPECT_EQ(Run({"RPOP", "hot"}).str, "value-1999");
+  EXPECT_EQ(Run({"RPOP", "cold"}).str, "value-1999");
+}
+
+TEST_F(KvTypesTest, HashReclamationDropsOldestFields) {
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_EQ(Run({"HSET", "big", "field-" + std::to_string(i), "v"}).integer,
+              1);
+  }
+  const SmaStats s = sma_->GetStats();
+  const size_t slack = s.budget_pages - s.committed_pages;
+  sma_->HandleReclaimDemand(slack + s.pooled_pages + 4);
+  const size_t dropped = store_->hashes()->reclaimed();
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(Run({"HLEN", "big"}).integer,
+            static_cast<int64_t>(3000 - dropped));
+  // Oldest fields gone, newest present.
+  EXPECT_EQ(Run({"HGET", "big", "field-0"}).type, RespType::kNull);
+  EXPECT_EQ(Run({"HGET", "big", "field-2999"}).str, "v");
+}
+
+}  // namespace
+}  // namespace softmem

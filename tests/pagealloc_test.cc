@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/pagealloc/page_pool.h"
+#include "src/pagealloc/page_source.h"
+
+namespace softmem {
+namespace {
+
+// ---- PageSource (both implementations, parameterized) -----------------------
+
+enum class SourceKind { kMmap, kSim };
+
+std::unique_ptr<PageSource> MakeSource(SourceKind kind, size_t pages) {
+  if (kind == SourceKind::kMmap) {
+    auto r = MmapPageSource::Create(pages);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return std::unique_ptr<PageSource>(*r);
+  }
+  return std::make_unique<SimPageSource>(pages);
+}
+
+class PageSourceTest : public ::testing::TestWithParam<SourceKind> {};
+
+TEST_P(PageSourceTest, StartsUncommitted) {
+  auto src = MakeSource(GetParam(), 16);
+  EXPECT_EQ(src->page_count(), 16u);
+  EXPECT_EQ(src->committed_pages(), 0u);
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_FALSE(src->IsCommitted(i));
+  }
+}
+
+TEST_P(PageSourceTest, CommitMakesPagesUsable) {
+  auto src = MakeSource(GetParam(), 16);
+  ASSERT_TRUE(src->Commit({2, 3}).ok());
+  EXPECT_EQ(src->committed_pages(), 3u);
+  EXPECT_TRUE(src->IsCommitted(2));
+  EXPECT_TRUE(src->IsCommitted(4));
+  EXPECT_FALSE(src->IsCommitted(5));
+  // Write/read through the committed pages.
+  char* p = static_cast<char*>(src->PageAddress(2));
+  std::memset(p, 0xAB, 3 * kPageSize);
+  EXPECT_EQ(static_cast<unsigned char>(p[3 * kPageSize - 1]), 0xAB);
+}
+
+TEST_P(PageSourceTest, DoubleCommitFails) {
+  auto src = MakeSource(GetParam(), 8);
+  ASSERT_TRUE(src->Commit({0, 2}).ok());
+  EXPECT_EQ(src->Commit({1, 2}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_P(PageSourceTest, DecommitRequiresCommitted) {
+  auto src = MakeSource(GetParam(), 8);
+  EXPECT_EQ(src->Decommit({0, 1}).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(src->Commit({0, 1}).ok());
+  EXPECT_TRUE(src->Decommit({0, 1}).ok());
+  EXPECT_EQ(src->committed_pages(), 0u);
+}
+
+TEST_P(PageSourceTest, RecommitAfterDecommit) {
+  auto src = MakeSource(GetParam(), 8);
+  ASSERT_TRUE(src->Commit({0, 4}).ok());
+  char* p = static_cast<char*>(src->PageAddress(0));
+  std::memset(p, 0x42, 4 * kPageSize);
+  ASSERT_TRUE(src->Decommit({0, 4}).ok());
+  ASSERT_TRUE(src->Commit({0, 4}).ok());
+  // Re-backed pages are usable again (content was dropped, not preserved).
+  std::memset(p, 0x17, 4 * kPageSize);
+  EXPECT_EQ(static_cast<unsigned char>(p[0]), 0x17);
+}
+
+TEST_P(PageSourceTest, OutOfRangeRunRejected) {
+  auto src = MakeSource(GetParam(), 8);
+  EXPECT_EQ(src->Commit({7, 2}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(src->Commit({0, 0}).code(), StatusCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSources, PageSourceTest,
+                         ::testing::Values(SourceKind::kMmap, SourceKind::kSim),
+                         [](const auto& info) {
+                           return info.param == SourceKind::kMmap ? "Mmap"
+                                                                  : "Sim";
+                         });
+
+TEST(MmapPageSourceTest, DroppedContentReadsAsZeroAfterRecommit) {
+  auto r = MmapPageSource::Create(4);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<PageSource> src(*r);
+  ASSERT_TRUE(src->Commit({0, 1}).ok());
+  char* p = static_cast<char*>(src->PageAddress(0));
+  p[100] = 55;
+  ASSERT_TRUE(src->Decommit({0, 1}).ok());
+  ASSERT_TRUE(src->Commit({0, 1}).ok());
+  EXPECT_EQ(p[100], 0) << "decommit must actually drop page content";
+}
+
+TEST(SimPageSourceTest, CommitLimitInjectsExhaustion) {
+  SimPageSource src(16);
+  src.set_commit_limit(4);
+  EXPECT_TRUE(src.Commit({0, 4}).ok());
+  EXPECT_EQ(src.Commit({4, 1}).code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(src.Decommit({0, 2}).ok());
+  EXPECT_TRUE(src.Commit({4, 2}).ok());
+}
+
+// ---- PagePool ----------------------------------------------------------------
+
+std::unique_ptr<PagePool> MakePool(size_t pages) {
+  return std::make_unique<PagePool>(std::make_unique<SimPageSource>(pages));
+}
+
+TEST(PagePoolTest, AcquireCommitsFresh) {
+  auto pool = MakePool(64);
+  auto run = pool->Acquire(4);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->count, 4u);
+  EXPECT_EQ(pool->committed_pages(), 4u);
+  EXPECT_EQ(pool->in_use_pages(), 4u);
+  EXPECT_EQ(pool->pooled_pages(), 0u);
+}
+
+TEST(PagePoolTest, ReleaseThenPooledReuse) {
+  auto pool = MakePool(64);
+  auto run = pool->Acquire(4);
+  ASSERT_TRUE(run.ok());
+  pool->Release(*run);
+  EXPECT_EQ(pool->pooled_pages(), 4u);
+
+  // AcquirePooled must reuse without committing anything new.
+  auto again = pool->AcquirePooled(2);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(pool->committed_pages(), 4u);
+  EXPECT_EQ(pool->pooled_pages(), 2u);
+}
+
+TEST(PagePoolTest, AcquirePooledFailsWhenEmpty) {
+  auto pool = MakePool(64);
+  EXPECT_EQ(pool->AcquirePooled(1).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(PagePoolTest, CoalescingAllowsLargeReuse) {
+  auto pool = MakePool(64);
+  auto a = pool->Acquire(2);
+  auto b = pool->Acquire(2);
+  auto c = pool->Acquire(2);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  // Release in a scrambled order; the three adjacent runs must coalesce.
+  pool->Release(*c);
+  pool->Release(*a);
+  pool->Release(*b);
+  auto big = pool->AcquirePooled(6);
+  ASSERT_TRUE(big.ok()) << big.status();
+  EXPECT_EQ(big->count, 6u);
+}
+
+TEST(PagePoolTest, DecommitPooledReturnsPagesToSource) {
+  auto pool = MakePool(64);
+  auto run = pool->Acquire(8);
+  ASSERT_TRUE(run.ok());
+  pool->Release(*run);
+  EXPECT_EQ(pool->DecommitPooled(5), 5u);
+  EXPECT_EQ(pool->pooled_pages(), 3u);
+  EXPECT_EQ(pool->committed_pages(), 3u);
+}
+
+TEST(PagePoolTest, DecommitPooledIsCappedByPoolContents) {
+  auto pool = MakePool(64);
+  auto run = pool->Acquire(4);
+  ASSERT_TRUE(run.ok());
+  pool->Release(*run);
+  EXPECT_EQ(pool->DecommitPooled(100), 4u);
+  EXPECT_EQ(pool->pooled_pages(), 0u);
+}
+
+TEST(PagePoolTest, ReacquiresDecommittedVirtualRange) {
+  auto pool = MakePool(16);
+  auto run = pool->Acquire(16);  // exhaust the region
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(pool->Acquire(1).status().code(), StatusCode::kResourceExhausted);
+  pool->Release(PageRun{run->start, 8});
+  EXPECT_EQ(pool->DecommitPooled(8), 8u);
+  // The released virtual range must be re-backable.
+  auto again = pool->Acquire(8);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->start, run->start);
+}
+
+TEST(PagePoolTest, ExhaustionWhenNoContiguousRun) {
+  auto pool = MakePool(8);
+  auto a = pool->Acquire(8);
+  ASSERT_TRUE(a.ok());
+  // Release two non-adjacent single pages: 4 pooled... only 1-page runs.
+  pool->Release(PageRun{0, 1});
+  pool->Release(PageRun{2, 1});
+  pool->Release(PageRun{4, 1});
+  pool->Release(PageRun{6, 1});
+  EXPECT_EQ(pool->pooled_pages(), 4u);
+  EXPECT_EQ(pool->Acquire(2).status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(pool->Acquire(1).ok());
+}
+
+TEST(PagePoolTest, PageIndexOfRoundTrips) {
+  auto pool = MakePool(16);
+  auto run = pool->Acquire(3);
+  ASSERT_TRUE(run.ok());
+  char* base = static_cast<char*>(pool->RunAddress(*run));
+  EXPECT_EQ(pool->PageIndexOf(base), run->start);
+  EXPECT_EQ(pool->PageIndexOf(base + kPageSize + 5), run->start + 1);
+  EXPECT_EQ(pool->PageIndexOf(base + 3 * kPageSize - 1), run->start + 2);
+}
+
+// Property test: random acquire/release/decommit sequences preserve the
+// accounting invariants and never hand out overlapping runs.
+TEST(PagePoolPropertyTest, RandomOpsPreserveInvariants) {
+  constexpr size_t kRegion = 256;
+  auto pool = MakePool(kRegion);
+  Rng rng(2026);
+  std::vector<PageRun> held;
+  size_t held_pages = 0;
+
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t op = rng.NextBounded(10);
+    if (op < 5) {  // acquire
+      const size_t want = 1 + rng.NextBounded(8);
+      auto run = pool->Acquire(want);
+      if (run.ok()) {
+        // No overlap with anything currently held.
+        for (const auto& h : held) {
+          const bool disjoint = run->start + run->count <= h.start ||
+                                h.start + h.count <= run->start;
+          ASSERT_TRUE(disjoint) << "overlapping runs handed out";
+        }
+        held.push_back(*run);
+        held_pages += run->count;
+      }
+    } else if (op < 9 && !held.empty()) {  // release
+      const size_t i = rng.NextBounded(held.size());
+      pool->Release(held[i]);
+      held_pages -= held[i].count;
+      held[i] = held.back();
+      held.pop_back();
+    } else {  // decommit some pooled pages
+      pool->DecommitPooled(rng.NextBounded(16));
+    }
+    ASSERT_EQ(pool->in_use_pages(), held_pages);
+    ASSERT_LE(pool->committed_pages(), kRegion);
+    ASSERT_EQ(pool->committed_pages(),
+              pool->pooled_pages() + pool->in_use_pages());
+  }
+}
+
+}  // namespace
+}  // namespace softmem

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/sma/reclaim_pin.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+namespace {
+
+std::unique_ptr<SoftMemoryAllocator> MakeSma(size_t pages = 1024) {
+  SmaOptions o;
+  o.region_pages = pages;
+  o.initial_budget_pages = pages;
+  o.heap_retain_empty_pages = 0;
+  o.use_mmap = false;
+  auto r = SoftMemoryAllocator::Create(o);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+size_t DemandFromSds(SoftMemoryAllocator* sma, size_t pages) {
+  const SmaStats s = sma->GetStats();
+  const size_t slack = s.budget_pages > s.committed_pages
+                           ? s.budget_pages - s.committed_pages
+                           : 0;
+  return sma->HandleReclaimDemand(slack + s.pooled_pages + pages);
+}
+
+ContextId MakeCtx(SoftMemoryAllocator* sma, const std::string& name,
+                  size_t priority) {
+  ContextOptions co;
+  co.name = name;
+  co.priority = priority;
+  co.mode = ReclaimMode::kOldestFirst;
+  auto ctx = sma->CreateContext(co);
+  EXPECT_TRUE(ctx.ok());
+  return *ctx;
+}
+
+TEST(ReclaimPinTest, PinnedContextIsSkipped) {
+  auto sma = MakeSma();
+  const ContextId low = MakeCtx(sma.get(), "low", 0);
+  const ContextId high = MakeCtx(sma.get(), "high", 9);
+  for (int i = 0; i < 64; ++i) {  // 16 pages each
+    ASSERT_NE(sma->SoftMalloc(low, 1024), nullptr);
+    ASSERT_NE(sma->SoftMalloc(high, 1024), nullptr);
+  }
+  {
+    ReclaimPin pin(sma.get(), low);
+    ASSERT_TRUE(pin.engaged());
+    // A thread is "reading" low: despite its lower priority, reclamation
+    // must take from high instead.
+    DemandFromSds(sma.get(), 4);
+    EXPECT_EQ(sma->GetContextStats(low)->reclaimed_allocations, 0u);
+    EXPECT_GT(sma->GetContextStats(high)->reclaimed_allocations, 0u);
+  }
+  // Scope ended: low is fair game again.
+  DemandFromSds(sma.get(), 4);
+  EXPECT_GT(sma->GetContextStats(low)->reclaimed_allocations, 0u);
+}
+
+TEST(ReclaimPinTest, AllPinnedMeansShortfall) {
+  auto sma = MakeSma();
+  const ContextId only = MakeCtx(sma.get(), "only", 0);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_NE(sma->SoftMalloc(only, 1024), nullptr);
+  }
+  ReclaimPin pin(sma.get(), only);
+  const SmaStats before = sma->GetStats();
+  const size_t slack = before.budget_pages - before.committed_pages;
+  const size_t got = DemandFromSds(sma.get(), 8);
+  // Only budget slack (and pooled pages: none here) can be given; the
+  // context's live pages are protected, so the demand falls 8 pages short.
+  EXPECT_EQ(got, slack + before.pooled_pages);
+  EXPECT_EQ(sma->GetContextStats(only)->reclaimed_allocations, 0u);
+}
+
+TEST(ReclaimPinTest, NestedPinsCount) {
+  auto sma = MakeSma();
+  const ContextId ctx = MakeCtx(sma.get(), "c", 0);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_NE(sma->SoftMalloc(ctx, 1024), nullptr);
+  }
+  {
+    ReclaimPin outer(sma.get(), ctx);
+    {
+      ReclaimPin inner(sma.get(), ctx);
+      DemandFromSds(sma.get(), 2);
+      EXPECT_EQ(sma->GetContextStats(ctx)->reclaimed_allocations, 0u);
+    }
+    // Still pinned by `outer`.
+    DemandFromSds(sma.get(), 2);
+    EXPECT_EQ(sma->GetContextStats(ctx)->reclaimed_allocations, 0u);
+  }
+  DemandFromSds(sma.get(), 2);
+  EXPECT_GT(sma->GetContextStats(ctx)->reclaimed_allocations, 0u);
+}
+
+TEST(ReclaimPinTest, ReleaseEndsScopeEarly) {
+  auto sma = MakeSma();
+  const ContextId ctx = MakeCtx(sma.get(), "c", 0);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_NE(sma->SoftMalloc(ctx, 1024), nullptr);
+  }
+  ReclaimPin pin(sma.get(), ctx);
+  pin.release();
+  EXPECT_FALSE(pin.engaged());
+  DemandFromSds(sma.get(), 2);
+  EXPECT_GT(sma->GetContextStats(ctx)->reclaimed_allocations, 0u);
+  pin.release();  // double release is harmless
+}
+
+TEST(ReclaimPinTest, PinUnknownContextFailsSoftly) {
+  auto sma = MakeSma();
+  ReclaimPin pin(sma.get(), 999);
+  EXPECT_FALSE(pin.engaged());
+  EXPECT_EQ(sma->UnpinContext(999).code(), StatusCode::kNotFound);
+  EXPECT_EQ(sma->UnpinContext(sma->default_context()).code(),
+            StatusCode::kFailedPrecondition)
+      << "unpin without pin";
+}
+
+TEST(ReclaimPinTest, MoveTransfersOwnership) {
+  auto sma = MakeSma();
+  const ContextId ctx = MakeCtx(sma.get(), "c", 0);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_NE(sma->SoftMalloc(ctx, 1024), nullptr);
+  }
+  ReclaimPin outer = [&] {
+    ReclaimPin inner(sma.get(), ctx);
+    return inner;
+  }();
+  EXPECT_TRUE(outer.engaged());
+  DemandFromSds(sma.get(), 2);
+  EXPECT_EQ(sma->GetContextStats(ctx)->reclaimed_allocations, 0u);
+}
+
+}  // namespace
+}  // namespace softmem

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/runtime/sim_machine.h"
+#include "src/sds/soft_hash_table.h"
+
+namespace softmem {
+namespace {
+
+SmdOptions MachineOptions(size_t capacity_pages, size_t initial_grant = 64) {
+  SmdOptions o;
+  o.capacity_pages = capacity_pages;
+  o.initial_grant_pages = initial_grant;
+  o.over_reclaim_factor = 0.0;
+  return o;
+}
+
+SmaOptions ProcOptions() {
+  SmaOptions o;
+  o.region_pages = 16 * 1024;
+  o.budget_chunk_pages = 64;
+  o.heap_retain_empty_pages = 0;
+  o.use_mmap = false;
+  return o;
+}
+
+TEST(SimMachineTest, SpawnGrantsInitialBudget) {
+  SimMachine machine(MachineOptions(512));
+  auto p = machine.SpawnProcess("a", ProcOptions());
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->sma()->budget_pages(), 64u);
+  EXPECT_TRUE((*p)->alive());
+}
+
+TEST(SimMachineTest, BudgetFlowsThroughDaemon) {
+  SimMachine machine(MachineOptions(512));
+  auto p = machine.SpawnProcess("a", ProcOptions());
+  ASSERT_TRUE(p.ok());
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 1000; ++i) {  // 250 pages of 1 KiB
+    void* ptr = (*p)->SoftMalloc(1024);
+    ASSERT_NE(ptr, nullptr);
+    ptrs.push_back(ptr);
+  }
+  EXPECT_GE((*p)->sma()->budget_pages(), 250u);
+  EXPECT_GE(machine.daemon()->GetStats().granted_requests, 1u);
+  for (void* ptr : ptrs) {
+    (*p)->SoftFree(ptr);
+  }
+}
+
+TEST(SimMachineTest, CrossProcessReclamationIsDeterministic) {
+  SimMachine machine(MachineOptions(256));
+  auto victim = machine.SpawnProcess("victim", ProcOptions());
+  auto needy = machine.SpawnProcess("needy", ProcOptions());
+  ASSERT_TRUE(victim.ok() && needy.ok());
+
+  std::vector<void*> vptrs;
+  for (int i = 0; i < 800; ++i) {  // 200 pages
+    void* ptr = (*victim)->SoftMalloc(1024);
+    ASSERT_NE(ptr, nullptr);
+    vptrs.push_back(ptr);
+  }
+  const size_t victim_before = (*victim)->sma()->committed_pages();
+  std::vector<void*> nptrs;
+  for (int i = 0; i < 400; ++i) {  // 100 pages, forcing reclamation
+    void* ptr = (*needy)->SoftMalloc(1024);
+    ASSERT_NE(ptr, nullptr) << i;
+    nptrs.push_back(ptr);
+  }
+  EXPECT_LT((*victim)->sma()->committed_pages(), victim_before);
+  EXPECT_GE((*victim)->sma()->GetStats().reclaim_demands, 1u);
+  const SmdStats s = machine.daemon()->GetStats();
+  EXPECT_GE(s.reclamations, 1u);
+  EXPECT_LE(s.assigned_pages, s.capacity_pages);
+}
+
+TEST(SimMachineTest, ExitReturnsBudgetToDaemon) {
+  SimMachine machine(MachineOptions(256));
+  auto p = machine.SpawnProcess("transient", ProcOptions());
+  ASSERT_TRUE(p.ok());
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 400; ++i) {
+    ptrs.push_back((*p)->SoftMalloc(1024));
+  }
+  EXPECT_LT(machine.daemon()->free_pages(), 256u - 64u + 1u);
+  (*p)->Exit();
+  EXPECT_FALSE((*p)->alive());
+  EXPECT_EQ(machine.daemon()->free_pages(), 256u);
+}
+
+TEST(SimMachineTest, SdsWorksInsideSimProcess) {
+  SimMachine machine(MachineOptions(512));
+  auto p = machine.SpawnProcess("kv", ProcOptions());
+  ASSERT_TRUE(p.ok());
+  SoftHashTable<int, int> table((*p)->sma());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(table.Put(i, i));
+  }
+  EXPECT_EQ(table.size(), 2000u);
+}
+
+TEST(SimMachineTest, ClockIsControllable) {
+  SimMachine machine(MachineOptions(64));
+  EXPECT_EQ(machine.clock()->Now(), 0);
+  machine.clock()->AdvanceSeconds(1.5);
+  EXPECT_EQ(machine.clock()->Now(), 3 * kNanosPerSecond / 2);
+}
+
+TEST(SimMachineTest, ManyProcessesShareCapacityFairly) {
+  SimMachine machine(MachineOptions(400, /*initial_grant=*/0));
+  std::vector<SimProcess*> procs;
+  for (int i = 0; i < 4; ++i) {
+    auto p = machine.SpawnProcess("p" + std::to_string(i), ProcOptions());
+    ASSERT_TRUE(p.ok());
+    procs.push_back(*p);
+  }
+  // Everyone allocates until the machine denies; total stays within capacity.
+  size_t total_allocs = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (SimProcess* p : procs) {
+      if (p->SoftMalloc(kPageSize) != nullptr) {
+        ++total_allocs;
+      }
+    }
+  }
+  const SmdStats s = machine.daemon()->GetStats();
+  EXPECT_LE(s.assigned_pages, s.capacity_pages);
+  EXPECT_GT(total_allocs, 300u);
+}
+
+}  // namespace
+}  // namespace softmem

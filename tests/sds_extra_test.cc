@@ -1,0 +1,250 @@
+// Tests for the extension SDSs: SoftSkipList and SoftBloomFilter.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sds/soft_bloom_filter.h"
+#include "src/sds/soft_skip_list.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+namespace {
+
+std::unique_ptr<SoftMemoryAllocator> MakeSma(size_t pages = 8192) {
+  SmaOptions o;
+  o.region_pages = pages;
+  o.initial_budget_pages = pages;
+  o.heap_retain_empty_pages = 0;
+  o.use_mmap = false;
+  auto r = SoftMemoryAllocator::Create(o);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+size_t DemandFromSds(SoftMemoryAllocator* sma, size_t pages) {
+  const SmaStats s = sma->GetStats();
+  const size_t slack = s.budget_pages > s.committed_pages
+                           ? s.budget_pages - s.committed_pages
+                           : 0;
+  return sma->HandleReclaimDemand(slack + s.pooled_pages + pages);
+}
+
+// ---- SoftSkipList --------------------------------------------------------------
+
+TEST(SoftSkipListTest, InsertFindErase) {
+  auto sma = MakeSma();
+  SoftSkipList<int, std::string> list(sma.get());
+  EXPECT_TRUE(list.Insert(5, "five"));
+  EXPECT_TRUE(list.Insert(1, "one"));
+  EXPECT_TRUE(list.Insert(9, "nine"));
+  EXPECT_EQ(list.size(), 3u);
+  ASSERT_NE(list.Find(5), nullptr);
+  EXPECT_EQ(*list.Find(5), "five");
+  EXPECT_EQ(list.Find(7), nullptr);
+  EXPECT_TRUE(list.Erase(5));
+  EXPECT_FALSE(list.Erase(5));
+  EXPECT_EQ(list.Find(5), nullptr);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(SoftSkipListTest, InsertOverwrites) {
+  auto sma = MakeSma();
+  SoftSkipList<int, int> list(sma.get());
+  EXPECT_TRUE(list.Insert(1, 10));
+  EXPECT_TRUE(list.Insert(1, 20));
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(*list.Find(1), 20);
+}
+
+TEST(SoftSkipListTest, IterationIsSorted) {
+  auto sma = MakeSma();
+  SoftSkipList<int, int> list(sma.get());
+  Rng rng(3);
+  std::set<int> keys;
+  for (int i = 0; i < 3000; ++i) {
+    const int k = static_cast<int>(rng.NextBounded(100000));
+    list.Insert(k, -k);
+    keys.insert(k);
+  }
+  std::vector<int> seen;
+  list.ForEach([&](const int& k, const int& v) {
+    EXPECT_EQ(v, -k);
+    seen.push_back(k);
+  });
+  ASSERT_EQ(seen.size(), keys.size());
+  size_t i = 0;
+  for (int k : keys) {
+    EXPECT_EQ(seen[i++], k);
+  }
+}
+
+TEST(SoftSkipListTest, RangeQuery) {
+  auto sma = MakeSma();
+  SoftSkipList<int, int> list(sma.get());
+  for (int i = 0; i < 100; ++i) {
+    list.Insert(i * 2, i);  // even keys 0..198
+  }
+  std::vector<int> got;
+  list.Range(10, 21, [&](const int& k, const int&) { got.push_back(k); });
+  EXPECT_EQ(got, (std::vector<int>{10, 12, 14, 16, 18, 20}));
+  got.clear();
+  list.Range(500, 600, [&](const int& k, const int&) { got.push_back(k); });
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(SoftSkipListTest, RandomOpsMatchReferenceMap) {
+  auto sma = MakeSma();
+  SoftSkipList<uint64_t, uint64_t> list(sma.get());
+  std::map<uint64_t, uint64_t> reference;
+  Rng rng(11);
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t key = rng.NextBounded(800);
+    const uint64_t op = rng.NextBounded(10);
+    if (op < 6) {
+      const uint64_t v = rng.NextU64();
+      ASSERT_TRUE(list.Insert(key, v));
+      reference[key] = v;
+    } else if (op < 8) {
+      ASSERT_EQ(list.Erase(key), reference.erase(key) > 0);
+    } else {
+      auto* got = list.Find(key);
+      auto it = reference.find(key);
+      ASSERT_EQ(got != nullptr, it != reference.end());
+      if (got != nullptr) {
+        ASSERT_EQ(*got, it->second);
+      }
+    }
+  }
+  ASSERT_EQ(list.size(), reference.size());
+  // Final full-order check.
+  auto it = reference.begin();
+  list.ForEach([&](const uint64_t& k, const uint64_t& v) {
+    ASSERT_NE(it, reference.end());
+    ASSERT_EQ(k, it->first);
+    ASSERT_EQ(v, it->second);
+    ++it;
+  });
+}
+
+TEST(SoftSkipListTest, ReclaimDropsOldestAndKeepsOrder) {
+  auto sma = MakeSma();
+  std::vector<int> dropped;
+  typename SoftSkipList<int, int>::Options opts;
+  opts.on_reclaim = [&](const int& k, const int&) { dropped.push_back(k); };
+  SoftSkipList<int, int> list(sma.get(), opts);
+  // Insert keys in descending order so age order != key order.
+  constexpr int kN = 3000;
+  for (int i = kN - 1; i >= 0; --i) {
+    ASSERT_TRUE(list.Insert(i, i));
+  }
+  ASSERT_GE(DemandFromSds(sma.get(), 4), 4u);
+  ASSERT_FALSE(dropped.empty());
+  // Oldest-inserted = the highest keys.
+  for (size_t i = 0; i < dropped.size(); ++i) {
+    EXPECT_EQ(dropped[i], kN - 1 - static_cast<int>(i));
+  }
+  // Structural integrity after reclaim: sorted iteration over survivors.
+  int prev = -1;
+  size_t seen = 0;
+  list.ForEach([&](const int& k, const int&) {
+    EXPECT_GT(k, prev);
+    prev = k;
+    ++seen;
+  });
+  EXPECT_EQ(seen, list.size());
+  EXPECT_EQ(seen, static_cast<size_t>(kN) - dropped.size());
+  // And still usable.
+  ASSERT_TRUE(list.Insert(999999, 1));
+  EXPECT_NE(list.Find(999999), nullptr);
+}
+
+// ---- SoftBloomFilter --------------------------------------------------------------
+
+TEST(SoftBloomFilterTest, NoFalseNegatives) {
+  auto sma = MakeSma();
+  SoftBloomFilter filter(sma.get(), 10000, 0.01);
+  ASSERT_TRUE(filter.valid());
+  for (int i = 0; i < 10000; ++i) {
+    filter.Add("key:" + std::to_string(i));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(filter.MayContain("key:" + std::to_string(i)))
+        << "bloom filters must never have false negatives";
+  }
+}
+
+TEST(SoftBloomFilterTest, FalsePositiveRateNearTarget) {
+  auto sma = MakeSma();
+  SoftBloomFilter filter(sma.get(), 10000, 0.01);
+  for (int i = 0; i < 10000; ++i) {
+    filter.Add("key:" + std::to_string(i));
+  }
+  int false_positives = 0;
+  constexpr int kProbes = 20000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (filter.MayContain("absent:" + std::to_string(i))) {
+      ++false_positives;
+    }
+  }
+  const double rate = static_cast<double>(false_positives) / kProbes;
+  EXPECT_LT(rate, 0.03) << "target was 1%, allow generous slack";
+}
+
+// Grants every budget request (reclamation strips the budget, and Restore
+// needs the daemon to hand it back).
+class GrantAllChannel : public SmdChannel {
+ public:
+  Result<size_t> RequestBudget(size_t pages) override { return pages; }
+  void ReleaseBudget(size_t) override {}
+  void ReportUsage(size_t, size_t) override {}
+};
+
+TEST(SoftBloomFilterTest, ReclaimDegradesToMaybe) {
+  GrantAllChannel channel;
+  SmaOptions o;
+  o.region_pages = 8192;
+  o.initial_budget_pages = 8192;
+  o.heap_retain_empty_pages = 0;
+  o.use_mmap = false;
+  auto sma_r = SoftMemoryAllocator::Create(o, &channel);
+  ASSERT_TRUE(sma_r.ok());
+  auto sma = std::move(sma_r).value();
+  bool notified = false;
+  SoftBloomFilter::Options opts;
+  opts.on_reclaim = [&] { notified = true; };
+  SoftBloomFilter filter(sma.get(), 100000, 0.01, opts);  // ~117 KiB of bits
+  ASSERT_TRUE(filter.valid());
+  filter.Add("present");
+
+  DemandFromSds(sma.get(), 4);
+  EXPECT_FALSE(filter.valid());
+  EXPECT_TRUE(notified);
+  EXPECT_EQ(filter.reclaim_count(), 1u);
+  // Conservative degradation: everything is "maybe present".
+  EXPECT_TRUE(filter.MayContain("present"));
+  EXPECT_TRUE(filter.MayContain("never-added"));
+
+  // Rebuild and use again.
+  ASSERT_TRUE(filter.Restore().ok());
+  EXPECT_TRUE(filter.valid());
+  filter.Add("fresh");
+  EXPECT_TRUE(filter.MayContain("fresh"));
+  EXPECT_FALSE(filter.MayContain("present")) << "rebuilt filter starts empty";
+}
+
+TEST(SoftBloomFilterTest, SizingScalesWithTargets) {
+  auto sma = MakeSma();
+  SoftBloomFilter loose(sma.get(), 1000, 0.1);
+  SoftBloomFilter tight(sma.get(), 1000, 0.001);
+  EXPECT_GT(tight.bit_count(), loose.bit_count());
+  EXPECT_GT(tight.hash_count(), loose.hash_count());
+}
+
+}  // namespace
+}  // namespace softmem

@@ -1,0 +1,134 @@
+// Cross-SDS property sweep: several soft data structures share one
+// allocator while reclaim demands fire at random points. Invariants checked
+// after every burst: reported sizes match reachable contents, survivors are
+// uncorrupted, allocator accounting balances, and every structure remains
+// usable. TEST_P sweeps seeds and budget tightness.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/sds/sds.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+namespace {
+
+struct SweepParams {
+  uint64_t seed;
+  size_t budget_pages;
+};
+
+class SdsPropertyTest : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(SdsPropertyTest, MixedWorkloadWithRandomReclaims) {
+  const SweepParams param = GetParam();
+  SmaOptions o;
+  o.region_pages = 16 * 1024;
+  o.initial_budget_pages = param.budget_pages;
+  o.heap_retain_empty_pages = 1;
+  o.use_mmap = false;
+  auto sma_r = SoftMemoryAllocator::Create(o);
+  ASSERT_TRUE(sma_r.ok());
+  auto sma = std::move(sma_r).value();
+
+  // Track what each structure should contain modulo reclamation, which we
+  // observe through the drop hooks.
+  std::set<int> table_expected;
+  typename SoftHashTable<int, int>::Options to;
+  to.priority = 1;
+  to.on_reclaim = [&](const int& k, const int&) { table_expected.erase(k); };
+  SoftHashTable<int, int> table(sma.get(), to);
+
+  std::map<int, int> skip_expected;
+  typename SoftSkipList<int, int>::Options so;
+  so.priority = 2;
+  so.on_reclaim = [&](const int& k, const int&) { skip_expected.erase(k); };
+  SoftSkipList<int, int> skip(sma.get(), so);
+
+  size_t queue_pushed = 0;
+  size_t queue_popped = 0;
+  size_t queue_dropped = 0;
+  typename SoftQueue<int>::Options qo;
+  qo.priority = 0;
+  qo.on_reclaim = [&](const int&) { ++queue_dropped; };
+  SoftQueue<int> queue(sma.get(), qo);
+
+  Rng rng(param.seed);
+  for (int step = 0; step < 15000; ++step) {
+    const uint64_t op = rng.NextBounded(100);
+    const int key = static_cast<int>(rng.NextBounded(3000));
+    if (op < 30) {
+      if (table.Put(key, key * 3)) {
+        table_expected.insert(key);
+      }
+    } else if (op < 40) {
+      table.Remove(key);
+      table_expected.erase(key);
+    } else if (op < 60) {
+      if (skip.Insert(key, key * 7)) {
+        skip_expected[key] = key * 7;
+      }
+    } else if (op < 68) {
+      skip.Erase(key);
+      skip_expected.erase(key);
+    } else if (op < 88) {
+      if (queue.push(key)) {
+        ++queue_pushed;
+      }
+    } else if (op < 96) {
+      if (!queue.empty()) {
+        queue.pop();
+        ++queue_popped;
+      }
+    } else {
+      sma->HandleReclaimDemand(1 + rng.NextBounded(6));
+    }
+
+    if (step % 2500 == 0 || step == 14999) {
+      // Structure/expectation agreement.
+      ASSERT_EQ(table.size(), table_expected.size());
+      for (const int k : table_expected) {
+        int* v = table.Get(k);
+        ASSERT_NE(v, nullptr) << "table lost live key " << k;
+        ASSERT_EQ(*v, k * 3);
+      }
+      ASSERT_EQ(skip.size(), skip_expected.size());
+      int prev = -1;
+      size_t seen = 0;
+      skip.ForEach([&](const int& k, const int& v) {
+        ASSERT_GT(k, prev);
+        prev = k;
+        auto it = skip_expected.find(k);
+        ASSERT_NE(it, skip_expected.end());
+        ASSERT_EQ(v, it->second);
+        ++seen;
+      });
+      ASSERT_EQ(seen, skip_expected.size());
+      ASSERT_EQ(queue.size(), queue_pushed - queue_popped - queue_dropped);
+      // Allocator accounting.
+      const SmaStats s = sma->GetStats();
+      ASSERT_LE(s.committed_pages, s.budget_pages);
+      ASSERT_EQ(s.committed_pages, s.pooled_pages + s.in_use_pages);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SdsPropertyTest,
+    ::testing::Values(SweepParams{101, 4096}, SweepParams{202, 512},
+                      SweepParams{303, 128}, SweepParams{404, 64},
+                      SweepParams{505, 2048}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "budget" +
+             std::to_string(info.param.budget_pages);
+    });
+
+}  // namespace
+}  // namespace softmem

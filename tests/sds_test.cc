@@ -1,0 +1,497 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <array>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/sds/sds.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+namespace {
+
+SmaOptions TestOptions(size_t pages = 4096) {
+  SmaOptions o;
+  o.region_pages = pages;
+  o.initial_budget_pages = pages;
+  o.heap_retain_empty_pages = 0;
+  o.use_mmap = false;
+  return o;
+}
+
+
+// Issues a reclaim demand sized so that at least `pages` must come from SDS
+// contexts: budget slack and pooled pages alone cannot satisfy it.
+size_t DemandFromSds(SoftMemoryAllocator* sma, size_t pages) {
+  const SmaStats s = sma->GetStats();
+  const size_t slack = s.budget_pages > s.committed_pages
+                           ? s.budget_pages - s.committed_pages
+                           : 0;
+  const size_t total = slack + s.pooled_pages + pages;
+  const size_t got = sma->HandleReclaimDemand(total);
+  return got > slack + s.pooled_pages ? got - (slack + s.pooled_pages) : 0;
+}
+
+std::unique_ptr<SoftMemoryAllocator> MakeSma(size_t pages = 4096) {
+  auto r = SoftMemoryAllocator::Create(TestOptions(pages));
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+// ---- SoftArray ---------------------------------------------------------------
+
+TEST(SoftArrayTest, ReadWriteElements) {
+  auto sma = MakeSma();
+  SoftArray<int> arr(sma.get(), 1000);
+  ASSERT_TRUE(arr.valid());
+  EXPECT_EQ(arr.size(), 1000u);
+  for (size_t i = 0; i < arr.size(); ++i) {
+    EXPECT_EQ(arr[i], 0) << "elements must be value-initialized";
+    arr[i] = static_cast<int>(i * 3);
+  }
+  for (size_t i = 0; i < arr.size(); ++i) {
+    EXPECT_EQ(arr[i], static_cast<int>(i * 3));
+  }
+}
+
+TEST(SoftArrayTest, GivesUpWholeBlockOnReclaim) {
+  auto sma = MakeSma();
+  size_t hook_count = 0;
+  typename SoftArray<double>::Options opts;
+  opts.on_reclaim = [&](double* data, size_t count) {
+    ++hook_count;
+    EXPECT_EQ(count, 2048u);
+    EXPECT_NE(data, nullptr);
+  };
+  SoftArray<double> arr(sma.get(), 2048, opts);  // 16 KiB = 4 pages
+  ASSERT_TRUE(arr.valid());
+
+  const size_t got = DemandFromSds(sma.get(), 1);
+  EXPECT_GE(got, 1u);
+  EXPECT_FALSE(arr.valid()) << "array must give up everything at once";
+  EXPECT_EQ(hook_count, 1u);
+  EXPECT_EQ(arr.reclaim_count(), 1u);
+}
+
+// Channel that approves every budget request in full.
+class GrantAllChannel : public SmdChannel {
+ public:
+  Result<size_t> RequestBudget(size_t pages) override { return pages; }
+  void ReleaseBudget(size_t) override {}
+  void ReportUsage(size_t, size_t) override {}
+};
+
+TEST(SoftArrayTest, RestoreAfterReclaim) {
+  // Reclamation strips the budget, so Restore needs a daemon that will
+  // grant more when asked.
+  GrantAllChannel channel;
+  auto sma_r = SoftMemoryAllocator::Create(TestOptions(4096), &channel);
+  ASSERT_TRUE(sma_r.ok());
+  auto sma = std::move(sma_r).value();
+  SoftArray<int> arr(sma.get(), 4096);
+  ASSERT_TRUE(arr.valid());
+  arr[7] = 42;
+  DemandFromSds(sma.get(), 2);
+  ASSERT_FALSE(arr.valid());
+  ASSERT_TRUE(arr.Restore().ok());
+  ASSERT_TRUE(arr.valid());
+  EXPECT_EQ(arr[7], 0) << "restored contents start fresh";
+}
+
+TEST(SoftArrayTest, InvalidWhenAllocationFails) {
+  auto sma_r = SoftMemoryAllocator::Create(TestOptions(4));
+  ASSERT_TRUE(sma_r.ok());
+  auto sma = std::move(sma_r).value();
+  SoftArray<char> arr(sma.get(), 64 * kPageSize);  // cannot fit
+  EXPECT_FALSE(arr.valid());
+  EXPECT_EQ(arr.Restore().code(), StatusCode::kResourceExhausted);
+}
+
+// ---- SoftLinkedList ------------------------------------------------------------
+
+TEST(SoftLinkedListTest, PushPopFrontBack) {
+  auto sma = MakeSma();
+  SoftLinkedList<int> list(sma.get());
+  EXPECT_TRUE(list.empty());
+  ASSERT_TRUE(list.push_back(1));
+  ASSERT_TRUE(list.push_back(2));
+  ASSERT_TRUE(list.push_front(0));
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.front(), 0);
+  EXPECT_EQ(list.back(), 2);
+  list.pop_front();
+  EXPECT_EQ(list.front(), 1);
+  list.pop_back();
+  EXPECT_EQ(list.back(), 1);
+  list.pop_front();
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(SoftLinkedListTest, ForEachVisitsListOrder) {
+  auto sma = MakeSma();
+  SoftLinkedList<int> list(sma.get());
+  for (int i = 0; i < 10; ++i) {
+    list.push_back(i);
+  }
+  std::vector<int> seen;
+  list.ForEach([&](const int& v) { seen.push_back(v); });
+  ASSERT_EQ(seen.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SoftLinkedListTest, ReclaimDropsOldestFirstEvenWithPushFront) {
+  auto sma = MakeSma();
+  std::vector<int> dropped;
+  typename SoftLinkedList<int>::Options opts;
+  opts.on_reclaim = [&](const int& v) { dropped.push_back(v); };
+  SoftLinkedList<int> list(sma.get(), opts);
+  // Interleave front/back pushes; insertion (age) order is 0,1,2,...,N-1.
+  constexpr int kN = 512;  // nodes are 48B-class -> ~85/page
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(i % 2 == 0 ? list.push_front(i) : list.push_back(i));
+  }
+  ASSERT_GE(DemandFromSds(sma.get(), 2), 2u);
+  ASSERT_FALSE(dropped.empty());
+  for (size_t i = 0; i < dropped.size(); ++i) {
+    EXPECT_EQ(dropped[i], static_cast<int>(i))
+        << "reclaim must follow insertion age, oldest first";
+  }
+  EXPECT_EQ(list.size(), kN - dropped.size());
+  EXPECT_EQ(list.reclaimed(), dropped.size());
+}
+
+TEST(SoftLinkedListTest, SurvivorsIntactAfterReclaim) {
+  auto sma = MakeSma();
+  SoftLinkedList<int> list(sma.get());
+  constexpr int kN = 1000;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(list.push_back(i));
+  }
+  DemandFromSds(sma.get(), 3);
+  const size_t survivors = list.size();
+  ASSERT_LT(survivors, static_cast<size_t>(kN));
+  // Remaining elements must be exactly the newest `survivors` in order.
+  std::vector<int> seen;
+  list.ForEach([&](const int& v) { seen.push_back(v); });
+  ASSERT_EQ(seen.size(), survivors);
+  for (size_t i = 0; i < survivors; ++i) {
+    EXPECT_EQ(seen[i], static_cast<int>(kN - survivors + i));
+  }
+}
+
+TEST(SoftLinkedListTest, NonTrivialPayloadDestroyed) {
+  auto sma = MakeSma();
+  // std::string values: payload bytes in traditional memory, released by the
+  // destructor during reclaim (the paper's Redis pattern). ASan (or valgrind)
+  // would flag a leak if reclamation skipped destructors.
+  SoftLinkedList<std::string> list(sma.get());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(list.push_back(std::string(100, 'x')));
+  }
+  DemandFromSds(sma.get(), 1);
+  EXPECT_LT(list.size(), 200u);
+  list.clear();
+  EXPECT_TRUE(list.empty());
+}
+
+// ---- SoftVector ------------------------------------------------------------------
+
+TEST(SoftVectorTest, GrowsGeometrically) {
+  auto sma = MakeSma();
+  SoftVector<uint64_t> vec(sma.get());
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(vec.push_back(i * 7));
+  }
+  EXPECT_EQ(vec.size(), 10000u);
+  EXPECT_GE(vec.capacity(), 10000u);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_EQ(vec[i], i * 7);
+  }
+}
+
+TEST(SoftVectorTest, ReclaimEmptiesAndRestarts) {
+  auto sma = MakeSma();
+  size_t reclaim_seen = 0;
+  typename SoftVector<int>::Options opts;
+  opts.on_reclaim = [&](int*, size_t count) { reclaim_seen = count; };
+  SoftVector<int> vec(sma.get(), opts);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(vec.push_back(i));
+  }
+  DemandFromSds(sma.get(), 2);
+  EXPECT_FALSE(vec.valid());
+  EXPECT_EQ(vec.size(), 0u);
+  EXPECT_EQ(reclaim_seen, 5000u);
+  // Pushing again restarts from a fresh block.
+  ASSERT_TRUE(vec.push_back(99));
+  EXPECT_EQ(vec[0], 99);
+}
+
+TEST(SoftVectorTest, ShrinkToFitReducesCapacity) {
+  auto sma = MakeSma();
+  SoftVector<int> vec(sma.get());
+  for (int i = 0; i < 1000; ++i) {
+    vec.push_back(i);
+  }
+  for (int i = 0; i < 900; ++i) {
+    vec.pop_back();
+  }
+  const size_t cap_before = vec.capacity();
+  vec.shrink_to_fit();
+  EXPECT_LT(vec.capacity(), cap_before);
+  EXPECT_EQ(vec.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(vec[static_cast<size_t>(i)], i);
+  }
+}
+
+// ---- SoftHashTable ------------------------------------------------------------------
+
+TEST(SoftHashTableTest, PutGetRemove) {
+  auto sma = MakeSma();
+  SoftHashTable<int, int> table(sma.get());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(table.Put(i, i * i));
+  }
+  EXPECT_EQ(table.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    int* v = table.Get(i);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, i * i);
+  }
+  EXPECT_EQ(table.Get(5000), nullptr);
+  EXPECT_TRUE(table.Remove(500));
+  EXPECT_FALSE(table.Remove(500));
+  EXPECT_EQ(table.Get(500), nullptr);
+  EXPECT_EQ(table.size(), 999u);
+}
+
+TEST(SoftHashTableTest, PutOverwrites) {
+  auto sma = MakeSma();
+  SoftHashTable<std::string, std::string> table(sma.get());
+  ASSERT_TRUE(table.Put("k", "v1"));
+  ASSERT_TRUE(table.Put("k", "v2"));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(*table.Get("k"), "v2");
+}
+
+TEST(SoftHashTableTest, RehashPreservesEntries) {
+  auto sma = MakeSma();
+  typename SoftHashTable<int, int>::Options opts;
+  opts.initial_buckets = 2;
+  SoftHashTable<int, int> table(sma.get(), opts);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(table.Put(i, -i));
+  }
+  EXPECT_GT(table.bucket_count(), 2u) << "auto-rehash should have happened";
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_NE(table.Get(i), nullptr);
+    EXPECT_EQ(*table.Get(i), -i);
+  }
+}
+
+TEST(SoftHashTableTest, ReclaimDropsOldestEntries) {
+  auto sma = MakeSma();
+  std::vector<int> dropped;
+  typename SoftHashTable<int, int>::Options opts;
+  opts.on_reclaim = [&](const int& k, const int&) { dropped.push_back(k); };
+  SoftHashTable<int, int> table(sma.get(), opts);
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(table.Put(i, i));
+  }
+  ASSERT_GE(DemandFromSds(sma.get(), 3), 3u);
+  ASSERT_FALSE(dropped.empty());
+  for (size_t i = 0; i < dropped.size(); ++i) {
+    EXPECT_EQ(dropped[i], static_cast<int>(i)) << "oldest entries drop first";
+  }
+  // Dropped keys now miss; survivors still hit — the caching contract.
+  for (int i = 0; i < kN; ++i) {
+    const bool should_exist = static_cast<size_t>(i) >= dropped.size();
+    EXPECT_EQ(table.Get(i) != nullptr, should_exist) << "key " << i;
+  }
+  EXPECT_EQ(table.size(), kN - dropped.size());
+}
+
+TEST(SoftHashTableTest, StringPayloadsFollowRedisPattern) {
+  auto sma = MakeSma();
+  size_t dropped = 0;
+  typename SoftHashTable<std::string, std::string>::Options opts;
+  opts.on_reclaim = [&](const std::string& k, const std::string& v) {
+    ++dropped;
+    EXPECT_FALSE(k.empty());
+    EXPECT_EQ(v.size(), 64u);
+  };
+  SoftHashTable<std::string, std::string> table(sma.get(), opts);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(table.Put("key:" + std::to_string(i), std::string(64, 'v')));
+  }
+  DemandFromSds(sma.get(), 2);
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(table.size(), 1000u - dropped);
+}
+
+// ---- SoftLruCache ------------------------------------------------------------------
+
+TEST(SoftLruCacheTest, HitMissAccounting) {
+  auto sma = MakeSma();
+  SoftLruCache<int, int> cache(sma.get());
+  ASSERT_TRUE(cache.Put(1, 100));
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SoftLruCacheTest, ReclaimEvictsLeastRecentlyUsed) {
+  auto sma = MakeSma();
+  std::vector<int> reclaimed;
+  typename SoftLruCache<int, int>::Options opts;
+  opts.on_reclaim = [&](const int& k, const int&) { reclaimed.push_back(k); };
+  SoftLruCache<int, int> cache(sma.get(), opts);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(cache.Put(i, i));
+  }
+  // Touch the first 100 so they become most-recent.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_NE(cache.Get(i), nullptr);
+  }
+  DemandFromSds(sma.get(), 2);
+  ASSERT_FALSE(reclaimed.empty());
+  for (int k : reclaimed) {
+    EXPECT_GE(k, 100) << "recently-touched entries must survive";
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(cache.Get(i), nullptr);
+  }
+}
+
+TEST(SoftLruCacheTest, CapacityCapEvicts) {
+  auto sma = MakeSma();
+  typename SoftLruCache<int, int>::Options opts;
+  opts.max_entries = 10;
+  SoftLruCache<int, int> cache(sma.get(), opts);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cache.Put(i, i));
+  }
+  EXPECT_EQ(cache.size(), 10u);
+  EXPECT_EQ(cache.Get(0), nullptr);
+  EXPECT_NE(cache.Get(99), nullptr);
+}
+
+TEST(SoftLruCacheTest, DegradesInsteadOfFailingUnderTinyBudget) {
+  auto sma_r = SoftMemoryAllocator::Create(TestOptions(8));  // 32 KiB
+  ASSERT_TRUE(sma_r.ok());
+  auto sma = std::move(sma_r).value();
+  SoftLruCache<int, std::array<char, 500>> cache(sma.get());
+  // Far more node data than the 8-page budget holds: Put must keep
+  // succeeding by self-evicting, leaving a smaller working set.
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(cache.Put(i, std::array<char, 500>{})) << "i=" << i;
+  }
+  EXPECT_GT(cache.pressure_evictions(), 0u);
+  EXPECT_LT(cache.size(), 500u);
+  EXPECT_NE(cache.Get(499), nullptr) << "newest entry must be present";
+}
+
+// ---- SoftQueue -----------------------------------------------------------------------
+
+TEST(SoftQueueTest, FifoOrder) {
+  auto sma = MakeSma();
+  SoftQueue<int> q(sma.get());
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(q.push(i));
+  }
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_EQ(q.front(), i);
+    q.pop();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SoftQueueTest, ReclaimDropsOldestRequests) {
+  auto sma = MakeSma();
+  std::vector<int> dropped;
+  typename SoftQueue<int>::Options opts;
+  opts.on_reclaim = [&](const int& v) { dropped.push_back(v); };
+  SoftQueue<int> q(sma.get(), opts);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.push(i));
+  }
+  DemandFromSds(sma.get(), 1);
+  ASSERT_FALSE(dropped.empty());
+  for (size_t i = 0; i < dropped.size(); ++i) {
+    EXPECT_EQ(dropped[i], static_cast<int>(i));
+  }
+  // The queue resumes FIFO at the first survivor.
+  EXPECT_EQ(q.front(), static_cast<int>(dropped.size()));
+  EXPECT_EQ(q.size(), 1000 - dropped.size());
+}
+
+TEST(SoftQueueTest, InterleavedPushPopAcrossSegments) {
+  auto sma = MakeSma();
+  SoftQueue<int, 8> q(sma.get());  // tiny segments exercise segment churn
+  int next_push = 0;
+  int next_pop = 0;
+  Rng rng(3);
+  for (int step = 0; step < 10000; ++step) {
+    if (q.empty() || rng.NextBool(0.55)) {
+      ASSERT_TRUE(q.push(next_push++));
+    } else {
+      ASSERT_EQ(q.front(), next_pop++);
+      q.pop();
+    }
+  }
+  while (!q.empty()) {
+    ASSERT_EQ(q.front(), next_pop++);
+    q.pop();
+  }
+  EXPECT_EQ(next_pop, next_push);
+}
+
+// ---- Cross-SDS priority integration ---------------------------------------------
+
+TEST(SdsIntegrationTest, LowerPrioritySdsSacrificedFirst) {
+  auto sma = MakeSma();
+  typename SoftLinkedList<int>::Options low;
+  low.priority = 1;
+  typename SoftLinkedList<int>::Options high;
+  high.priority = 100;
+  SoftLinkedList<int> expendable(sma.get(), low);
+  SoftLinkedList<int> precious(sma.get(), high);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(expendable.push_back(i));
+    ASSERT_TRUE(precious.push_back(i));
+  }
+  DemandFromSds(sma.get(), 2);
+  EXPECT_LT(expendable.size(), 400u);
+  EXPECT_EQ(precious.size(), 400u);
+}
+
+TEST(SdsIntegrationTest, ManySdsShareOneAllocator) {
+  auto sma = MakeSma();
+  SoftArray<int> arr(sma.get(), 256);
+  SoftLinkedList<int> list(sma.get());
+  SoftHashTable<int, int> table(sma.get());
+  SoftLruCache<int, int> cache(sma.get());
+  SoftQueue<int> queue(sma.get());
+  for (int i = 0; i < 100; ++i) {
+    arr[static_cast<size_t>(i)] = i;
+    ASSERT_TRUE(list.push_back(i));
+    ASSERT_TRUE(table.Put(i, i));
+    ASSERT_TRUE(cache.Put(i, i));
+    ASSERT_TRUE(queue.push(i));
+  }
+  const SmaStats s = sma->GetStats();
+  EXPECT_EQ(s.context_count, 6u);  // 5 SDS + default
+  EXPECT_GT(s.live_allocations, 300u);
+}
+
+}  // namespace
+}  // namespace softmem

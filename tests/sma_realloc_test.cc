@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "src/common/units.h"
+#include "src/ipc/channel.h"
+#include "src/ipc/daemon_server.h"
+#include "src/sma/soft_memory_allocator.h"
+#include "src/smd/soft_memory_daemon.h"
+
+namespace softmem {
+namespace {
+
+std::unique_ptr<SoftMemoryAllocator> MakeSma(size_t pages = 1024) {
+  SmaOptions o;
+  o.region_pages = pages;
+  o.initial_budget_pages = pages;
+  o.heap_retain_empty_pages = 0;
+  o.use_mmap = false;
+  auto r = SoftMemoryAllocator::Create(o);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(SoftCallocTest, ZeroInitialized) {
+  auto sma = MakeSma();
+  auto* p = static_cast<unsigned char*>(
+      sma->SoftCalloc(sma->default_context(), 100, 17));
+  ASSERT_NE(p, nullptr);
+  for (size_t i = 0; i < 1700; ++i) {
+    ASSERT_EQ(p[i], 0u);
+  }
+  sma->SoftFree(p);
+}
+
+TEST(SoftCallocTest, OverflowRejected) {
+  auto sma = MakeSma();
+  EXPECT_EQ(sma->SoftCalloc(sma->default_context(), SIZE_MAX, 2), nullptr);
+}
+
+TEST(SoftReallocTest, NullActsLikeMalloc) {
+  auto sma = MakeSma();
+  void* p = sma->SoftRealloc(nullptr, 64);
+  ASSERT_NE(p, nullptr);
+  sma->SoftFree(p);
+}
+
+TEST(SoftReallocTest, ZeroActsLikeFree) {
+  auto sma = MakeSma();
+  void* p = sma->SoftMalloc(64);
+  EXPECT_EQ(sma->SoftRealloc(p, 0), nullptr);
+  EXPECT_EQ(sma->GetStats().live_allocations, 0u);
+}
+
+TEST(SoftReallocTest, GrowPreservesContents) {
+  auto sma = MakeSma();
+  auto* p = static_cast<char*>(sma->SoftMalloc(100));
+  std::memset(p, 0x3C, 100);
+  auto* q = static_cast<char*>(sma->SoftRealloc(p, 5000));
+  ASSERT_NE(q, nullptr);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(q[i], 0x3C);
+  }
+  EXPECT_EQ(sma->GetStats().live_allocations, 1u);
+  sma->SoftFree(q);
+}
+
+TEST(SoftReallocTest, SameClassReturnsSamePointer) {
+  auto sma = MakeSma();
+  void* p = sma->SoftMalloc(100);  // 112-byte class
+  EXPECT_EQ(sma->SoftRealloc(p, 112), p);
+  EXPECT_EQ(sma->SoftRealloc(p, 97), p);
+  sma->SoftFree(p);
+}
+
+TEST(SoftReallocTest, ShrinkMovesToSmallerClass) {
+  auto sma = MakeSma();
+  auto* p = static_cast<char*>(sma->SoftMalloc(2048));
+  std::memset(p, 0x7E, 2048);
+  auto* q = static_cast<char*>(sma->SoftRealloc(p, 16));
+  ASSERT_NE(q, nullptr);
+  EXPECT_NE(q, p);
+  EXPECT_EQ(q[0], 0x7E);
+  EXPECT_EQ(sma->AllocationSize(q), 16u);
+  sma->SoftFree(q);
+}
+
+TEST(SoftReallocTest, LargeToLargerPreservesAll) {
+  auto sma = MakeSma();
+  const size_t old_size = 2 * kPageSize;
+  auto* p = static_cast<char*>(sma->SoftMalloc(old_size));
+  for (size_t i = 0; i < old_size; ++i) {
+    p[i] = static_cast<char>(i % 251);
+  }
+  auto* q = static_cast<char*>(sma->SoftRealloc(p, 6 * kPageSize));
+  ASSERT_NE(q, nullptr);
+  for (size_t i = 0; i < old_size; ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(q[i]), i % 251);
+  }
+  sma->SoftFree(q);
+}
+
+TEST(SoftReallocTest, FailureLeavesOriginalValid) {
+  auto sma = MakeSma(16);  // tiny region
+  auto* p = static_cast<char*>(sma->SoftMalloc(1024));
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x42, 1024);
+  // Far larger than the region: must fail and leave p intact.
+  EXPECT_EQ(sma->SoftRealloc(p, 64 * kPageSize), nullptr);
+  EXPECT_EQ(p[0], 0x42);
+  EXPECT_TRUE(sma->Owns(p));
+  sma->SoftFree(p);
+}
+
+// ---- Stats query over the wire ------------------------------------------------
+
+TEST(StatsQueryTest, UnregisteredClientCanQueryStats) {
+  SmdOptions o;
+  o.capacity_pages = 512;
+  SoftMemoryDaemon daemon(o);
+  DaemonServer server(&daemon);
+  auto [client_end, server_end] = CreateLocalChannelPair();
+  server.AddClient(std::move(server_end));
+
+  Message query;
+  query.type = MsgType::kStatsQuery;
+  query.seq = 7;
+  ASSERT_TRUE(client_end->Send(query).ok());
+  auto reply = client_end->Recv(2000);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->type, MsgType::kStatsReply);
+  EXPECT_EQ(reply->seq, 7u);
+  EXPECT_EQ(reply->pages, 512u);
+  EXPECT_EQ(reply->bytes, 512 * kPageSize);
+  EXPECT_NE(reply->text.find("capacity 2.0 MiB"), std::string::npos)
+      << reply->text;
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace softmem

@@ -1,0 +1,139 @@
+// Tests for the SMD extensions: per-process budget caps (§1's scheduler
+// soft-budget) and proactive low-watermark reclamation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/smd/soft_memory_daemon.h"
+
+namespace softmem {
+namespace {
+
+class FlexSink : public ReclaimSink {
+ public:
+  explicit FlexSink(size_t available) : available_(available) {}
+  size_t DemandReclaim(size_t pages) override {
+    ++demands_;
+    const size_t give = std::min(pages, available_);
+    available_ -= give;
+    return give;
+  }
+  size_t demands() const { return demands_; }
+
+ private:
+  size_t available_;
+  size_t demands_ = 0;
+};
+
+TEST(SmdCapTest, DefaultCapAppliesToNewProcesses) {
+  SmdOptions o;
+  o.capacity_pages = 1000;
+  o.default_process_cap_pages = 100;
+  SoftMemoryDaemon smd(o);
+  auto p = smd.RegisterProcess("capped", nullptr);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(smd.HandleBudgetRequest(*p, 100).ok());
+  // Plenty of machine capacity left, but the cap denies.
+  auto over = smd.HandleBudgetRequest(*p, 1);
+  EXPECT_EQ(over.status().code(), StatusCode::kDenied);
+  EXPECT_EQ(smd.free_pages(), 900u);
+}
+
+TEST(SmdCapTest, PerProcessCapOverride) {
+  SmdOptions o;
+  o.capacity_pages = 1000;
+  SoftMemoryDaemon smd(o);
+  auto a = smd.RegisterProcess("a", nullptr);
+  auto b = smd.RegisterProcess("b", nullptr);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(smd.SetProcessCap(*a, 50).ok());
+  EXPECT_FALSE(smd.HandleBudgetRequest(*a, 51).ok());
+  EXPECT_TRUE(smd.HandleBudgetRequest(*a, 50).ok());
+  EXPECT_TRUE(smd.HandleBudgetRequest(*b, 500).ok()) << "b is uncapped";
+  EXPECT_EQ(smd.SetProcessCap(999, 10).code(), StatusCode::kNotFound);
+}
+
+TEST(SmdCapTest, CapDenialDisturbsNobody) {
+  SmdOptions o;
+  o.capacity_pages = 100;
+  SoftMemoryDaemon smd(o);
+  FlexSink sink(100);
+  auto victim = smd.RegisterProcess("victim", &sink);
+  auto capped = smd.RegisterProcess("capped", nullptr);
+  ASSERT_TRUE(victim.ok() && capped.ok());
+  ASSERT_TRUE(smd.HandleBudgetRequest(*victim, 100).ok());
+  smd.HandleUsageReport(*victim, 100, 0);
+  ASSERT_TRUE(smd.SetProcessCap(*capped, 10).ok());
+  // 50 pages would require reclaiming from victim, but the cap rejects the
+  // request before target selection even runs.
+  EXPECT_FALSE(smd.HandleBudgetRequest(*capped, 50).ok());
+  EXPECT_EQ(sink.demands(), 0u);
+}
+
+TEST(SmdWatermarkTest, TickIsNoopAboveWatermark) {
+  SmdOptions o;
+  o.capacity_pages = 1000;
+  o.low_watermark_pages = 100;
+  SoftMemoryDaemon smd(o);
+  EXPECT_EQ(smd.ProactiveReclaimTick(), 0u);
+  EXPECT_EQ(smd.GetStats().proactive_reclaims, 0u);
+}
+
+TEST(SmdWatermarkTest, TickRestoresFreeCapacity) {
+  SmdOptions o;
+  o.capacity_pages = 1000;
+  o.low_watermark_pages = 200;
+  o.over_reclaim_factor = 0.0;
+  SoftMemoryDaemon smd(o);
+  FlexSink sink(1000);
+  auto hog = smd.RegisterProcess("hog", &sink);
+  ASSERT_TRUE(hog.ok());
+  ASSERT_TRUE(smd.HandleBudgetRequest(*hog, 900).ok());
+  smd.HandleUsageReport(*hog, 900, 0);
+  EXPECT_EQ(smd.free_pages(), 100u);
+
+  const size_t got = smd.ProactiveReclaimTick();
+  EXPECT_EQ(got, 100u);
+  EXPECT_EQ(smd.free_pages(), 200u);
+  EXPECT_EQ(smd.GetStats().proactive_reclaims, 1u);
+  // Next tick: already at the watermark.
+  EXPECT_EQ(smd.ProactiveReclaimTick(), 0u);
+}
+
+TEST(SmdWatermarkTest, DisabledByDefault) {
+  SmdOptions o;
+  o.capacity_pages = 100;
+  SoftMemoryDaemon smd(o);
+  FlexSink sink(100);
+  auto hog = smd.RegisterProcess("hog", &sink);
+  ASSERT_TRUE(smd.HandleBudgetRequest(*hog, 100).ok());
+  EXPECT_EQ(smd.ProactiveReclaimTick(), 0u);
+  EXPECT_EQ(sink.demands(), 0u);
+}
+
+TEST(SmdWatermarkTest, ProactivePassAvoidsSynchronousReclaim) {
+  // With the watermark, a later request is served from pre-reclaimed
+  // capacity instead of triggering its own pass.
+  SmdOptions o;
+  o.capacity_pages = 1000;
+  o.low_watermark_pages = 300;
+  o.over_reclaim_factor = 0.0;
+  SoftMemoryDaemon smd(o);
+  FlexSink sink(1000);
+  auto hog = smd.RegisterProcess("hog", &sink);
+  auto late = smd.RegisterProcess("latecomer", nullptr);
+  ASSERT_TRUE(hog.ok() && late.ok());
+  ASSERT_TRUE(smd.HandleBudgetRequest(*hog, 950).ok());
+  smd.HandleUsageReport(*hog, 950, 0);
+
+  smd.ProactiveReclaimTick();
+  const size_t demands_before = sink.demands();
+  auto g = smd.HandleBudgetRequest(*late, 250);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(sink.demands(), demands_before)
+      << "the request should ride on proactively reclaimed capacity";
+}
+
+}  // namespace
+}  // namespace softmem

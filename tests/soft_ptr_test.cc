@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/sma/soft_memory_allocator.h"
+#include "src/sma/soft_ptr.h"
+
+namespace softmem {
+namespace {
+
+std::unique_ptr<SoftMemoryAllocator> MakeSma(size_t pages = 1024) {
+  SmaOptions o;
+  o.region_pages = pages;
+  o.initial_budget_pages = pages;
+  o.heap_retain_empty_pages = 0;
+  o.use_mmap = false;
+  auto r = SoftMemoryAllocator::Create(o);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+size_t DemandFromSds(SoftMemoryAllocator* sma, size_t pages) {
+  const SmaStats s = sma->GetStats();
+  const size_t slack = s.budget_pages > s.committed_pages
+                           ? s.budget_pages - s.committed_pages
+                           : 0;
+  return sma->HandleReclaimDemand(slack + s.pooled_pages + pages);
+}
+
+TEST(SoftPtrTest, TracksLiveAllocation) {
+  auto sma = MakeSma();
+  auto* raw = static_cast<int*>(sma->SoftMalloc(sizeof(int)));
+  *raw = 42;
+  SoftPtr<int> ptr(sma.get(), raw);
+  ASSERT_TRUE(ptr);
+  EXPECT_EQ(*ptr, 42);
+  EXPECT_FALSE(ptr.revoked());
+}
+
+TEST(SoftPtrTest, NulledOnExplicitFree) {
+  auto sma = MakeSma();
+  auto* raw = static_cast<int*>(sma->SoftMalloc(sizeof(int)));
+  SoftPtr<int> a(sma.get(), raw);
+  SoftPtr<int> b(sma.get(), raw);
+  sma->SoftFree(raw);
+  EXPECT_FALSE(a);
+  EXPECT_FALSE(b);
+  EXPECT_TRUE(a.revoked());
+}
+
+TEST(SoftPtrTest, NulledOnReclamation) {
+  auto sma = MakeSma();
+  // Fill a kOldestFirst context; track a pointer to the oldest allocation.
+  std::vector<void*> raws;
+  for (int i = 0; i < 64; ++i) {  // 16 pages of 1 KiB slots
+    raws.push_back(sma->SoftMalloc(1024));
+  }
+  SoftPtr<char> oldest(sma.get(), static_cast<char*>(raws[0]));
+  SoftPtr<char> newest(sma.get(), static_cast<char*>(raws.back()));
+
+  DemandFromSds(sma.get(), 2);  // revokes the 8 oldest allocations' pages
+
+  EXPECT_TRUE(oldest.revoked()) << "pointer into reclaimed memory must null";
+  EXPECT_TRUE(newest) << "pointer to surviving allocation stays valid";
+}
+
+TEST(SoftPtrTest, NulledOnContextDestroy) {
+  auto sma = MakeSma();
+  ContextOptions co;
+  co.name = "scratch";
+  auto ctx = sma->CreateContext(co);
+  ASSERT_TRUE(ctx.ok());
+  auto* raw = static_cast<int*>(sma->SoftMalloc(*ctx, sizeof(int)));
+  auto* other_raw = static_cast<int*>(sma->SoftMalloc(sizeof(int)));
+  SoftPtr<int> in_ctx(sma.get(), raw);
+  SoftPtr<int> outside(sma.get(), other_raw);
+  ASSERT_TRUE(sma->DestroyContext(*ctx).ok());
+  EXPECT_FALSE(in_ctx);
+  EXPECT_TRUE(outside);
+}
+
+TEST(SoftPtrTest, CopyAndMoveKeepTracking) {
+  auto sma = MakeSma();
+  auto* raw = static_cast<int*>(sma->SoftMalloc(sizeof(int)));
+  SoftPtr<int> a(sma.get(), raw);
+  SoftPtr<int> copy = a;
+  SoftPtr<int> moved = std::move(a);
+  EXPECT_TRUE(copy);
+  EXPECT_TRUE(moved);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is null
+
+  sma->SoftFree(raw);
+  EXPECT_FALSE(copy);
+  EXPECT_FALSE(moved);
+}
+
+TEST(SoftPtrTest, ResetRetargets) {
+  auto sma = MakeSma();
+  auto* x = static_cast<int*>(sma->SoftMalloc(sizeof(int)));
+  auto* y = static_cast<int*>(sma->SoftMalloc(sizeof(int)));
+  SoftPtr<int> p(sma.get(), x);
+  p.reset(y);
+  sma->SoftFree(x);  // no longer tracked by p
+  EXPECT_TRUE(p);
+  sma->SoftFree(y);
+  EXPECT_FALSE(p);
+}
+
+TEST(SoftPtrTest, DestructorUnregistersCleanly) {
+  auto sma = MakeSma();
+  auto* raw = static_cast<int*>(sma->SoftMalloc(sizeof(int)));
+  {
+    SoftPtr<int> p(sma.get(), raw);
+    EXPECT_TRUE(p);
+  }
+  // If the destructor failed to unregister, this free would write through a
+  // dangling holder and crash/corrupt.
+  sma->SoftFree(raw);
+  EXPECT_EQ(sma->GetStats().live_allocations, 0u);
+}
+
+TEST(SoftPtrTest, ManyPointersManyAllocations) {
+  auto sma = MakeSma();
+  std::vector<void*> raws;
+  std::vector<SoftPtr<char>> ptrs;
+  for (int i = 0; i < 256; ++i) {
+    raws.push_back(sma->SoftMalloc(1024));
+    ptrs.emplace_back(sma.get(), static_cast<char*>(raws.back()));
+  }
+  DemandFromSds(sma.get(), 16);  // drops the oldest 64
+  size_t revoked = 0;
+  for (auto& p : ptrs) {
+    if (p.revoked()) {
+      ++revoked;
+    }
+  }
+  EXPECT_EQ(revoked, 64u);
+  // Every surviving pointer still points at its own allocation.
+  for (size_t i = revoked; i < ptrs.size(); ++i) {
+    EXPECT_EQ(ptrs[i].get(), raws[i]);
+  }
+}
+
+}  // namespace
+}  // namespace softmem

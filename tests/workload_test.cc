@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/baseline/system_allocator.h"
+#include "src/baseline/textbook_allocator.h"
+#include "src/workload/alloc_trace.h"
+#include "src/workload/generators.h"
+
+namespace softmem {
+namespace {
+
+// ---- Zipfian ---------------------------------------------------------------------
+
+TEST(ZipfianTest, StaysInRange) {
+  ZipfianGenerator gen(1000, 0.99, 42);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(gen.Next(), 1000u);
+  }
+}
+
+TEST(ZipfianTest, IsSkewedTowardsLowRanks) {
+  ZipfianGenerator gen(10000, 0.99, 7);
+  constexpr int kSamples = 200000;
+  int head = 0;  // hits in the top 1% of items
+  for (int i = 0; i < kSamples; ++i) {
+    if (gen.Next() < 100) {
+      ++head;
+    }
+  }
+  // With theta=0.99 the top 1% draws well over a third of accesses;
+  // a uniform distribution would get ~1%.
+  EXPECT_GT(head, kSamples / 3);
+}
+
+TEST(ZipfianTest, DeterministicAcrossInstances) {
+  ZipfianGenerator a(5000, 0.99, 11);
+  ZipfianGenerator b(5000, 0.99, 11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(ZipfianTest, MostPopularItemMatchesTheory) {
+  ZipfianGenerator gen(1000, 0.99, 3);
+  constexpr int kSamples = 300000;
+  int zero_hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (gen.Next() == 0) {
+      ++zero_hits;
+    }
+  }
+  const double expected = gen.ItemProbability(0) * kSamples;
+  EXPECT_NEAR(zero_hits, expected, expected * 0.15);
+}
+
+TEST(UniformTest, CoversRange) {
+  UniformGenerator gen(10, 5);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[gen.Next()];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+  }
+}
+
+// ---- Value sizes / keys --------------------------------------------------------
+
+TEST(ValueSizeTest, FixedAlwaysSame) {
+  ValueSizeGenerator gen(ValueSizeGenerator::Kind::kFixed, 77, 0, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gen.Next(), 77u);
+  }
+}
+
+TEST(ValueSizeTest, UniformInBounds) {
+  ValueSizeGenerator gen(ValueSizeGenerator::Kind::kUniform, 10, 20, 1);
+  for (int i = 0; i < 10000; ++i) {
+    const size_t v = gen.Next();
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(ValueSizeTest, BimodalMixes) {
+  ValueSizeGenerator gen(ValueSizeGenerator::Kind::kBimodal, 64, 4096, 1);
+  int big = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const size_t v = gen.Next();
+    EXPECT_TRUE(v == 64 || v == 4096);
+    if (v == 4096) {
+      ++big;
+    }
+  }
+  EXPECT_NEAR(big, 1000, 300);
+}
+
+TEST(KeyValueHelpersTest, DeterministicAndSized) {
+  EXPECT_EQ(MakeKey(42, 6), "key:000042");
+  EXPECT_EQ(MakeKey(42, 6), MakeKey(42, 6));
+  const std::string v = MakeValue(9, 100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v, MakeValue(9, 100));
+  EXPECT_NE(v, MakeValue(10, 100));
+}
+
+// ---- Alloc traces -----------------------------------------------------------------
+
+TEST(AllocTraceTest, WellFormed) {
+  AllocTraceOptions opts;
+  opts.operations = 5000;
+  opts.seed = 9;
+  const auto trace = GenerateAllocTrace(opts);
+  std::map<uint32_t, bool> live;
+  size_t allocs = 0;
+  size_t frees = 0;
+  for (const AllocOp& op : trace) {
+    if (op.kind == AllocOp::Kind::kAlloc) {
+      EXPECT_FALSE(live.count(op.slot));
+      EXPECT_GE(op.size, opts.min_size);
+      EXPECT_LE(op.size, opts.max_size);
+      live[op.slot] = true;
+      ++allocs;
+    } else {
+      ASSERT_TRUE(live.count(op.slot)) << "free of dead slot " << op.slot;
+      live.erase(op.slot);
+      ++frees;
+    }
+  }
+  EXPECT_TRUE(live.empty()) << "trace must end fully drained";
+  EXPECT_EQ(allocs, frees);
+}
+
+TEST(AllocTraceTest, FifoLifetimesFreeOldestFirst) {
+  AllocTraceOptions opts;
+  opts.operations = 2000;
+  opts.fifo_lifetimes = true;
+  const auto trace = GenerateAllocTrace(opts);
+  uint32_t last_freed = 0;
+  bool first = true;
+  for (const AllocOp& op : trace) {
+    if (op.kind == AllocOp::Kind::kFree) {
+      if (!first) {
+        EXPECT_GT(op.slot, last_freed);
+      }
+      last_freed = op.slot;
+      first = false;
+    }
+  }
+}
+
+// ---- Baseline allocators ------------------------------------------------------------
+
+TEST(TextbookAllocatorTest, TraceReplayWithPatternCheck) {
+  auto alloc = TextbookAllocator::Create(16 * 1024, /*use_mmap=*/false);
+  ASSERT_TRUE(alloc.ok());
+  AllocTraceOptions opts;
+  opts.operations = 20000;
+  opts.max_size = 8192;  // exercise the large path too
+  const auto trace = GenerateAllocTrace(opts);
+
+  std::map<uint32_t, std::pair<char*, uint32_t>> live;
+  for (const AllocOp& op : trace) {
+    if (op.kind == AllocOp::Kind::kAlloc) {
+      auto* p = static_cast<char*>((*alloc)->Alloc(op.size));
+      ASSERT_NE(p, nullptr);
+      std::memset(p, op.slot % 251, op.size);
+      live[op.slot] = {p, op.size};
+    } else {
+      auto [p, size] = live.at(op.slot);
+      for (uint32_t b = 0; b < size; b += 61) {
+        ASSERT_EQ(static_cast<unsigned char>(p[b]), op.slot % 251);
+      }
+      (*alloc)->Free(p);
+      live.erase(op.slot);
+    }
+  }
+  EXPECT_EQ((*alloc)->live_allocations(), 0u);
+}
+
+TEST(SystemAllocatorTest, BasicContract) {
+  SystemAllocator alloc;
+  void* p = alloc.Alloc(128);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 1, 128);
+  alloc.Free(p);
+}
+
+}  // namespace
+}  // namespace softmem
