@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_amortization.dir/ablation_amortization.cc.o"
+  "CMakeFiles/ablation_amortization.dir/ablation_amortization.cc.o.d"
+  "ablation_amortization"
+  "ablation_amortization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

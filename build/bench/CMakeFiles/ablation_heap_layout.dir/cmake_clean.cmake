@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_heap_layout.dir/ablation_heap_layout.cc.o"
+  "CMakeFiles/ablation_heap_layout.dir/ablation_heap_layout.cc.o.d"
+  "ablation_heap_layout"
+  "ablation_heap_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heap_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

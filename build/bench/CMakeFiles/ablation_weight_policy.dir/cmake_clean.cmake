@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weight_policy.dir/ablation_weight_policy.cc.o"
+  "CMakeFiles/ablation_weight_policy.dir/ablation_weight_policy.cc.o.d"
+  "ablation_weight_policy"
+  "ablation_weight_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weight_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_throughput.dir/kv_throughput.cc.o"
+  "CMakeFiles/kv_throughput.dir/kv_throughput.cc.o.d"
+  "kv_throughput"
+  "kv_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_job_kills.dir/motivation_job_kills.cc.o"
+  "CMakeFiles/motivation_job_kills.dir/motivation_job_kills.cc.o.d"
+  "motivation_job_kills"
+  "motivation_job_kills.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_job_kills.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reclaim_breakdown.dir/reclaim_breakdown.cc.o"
+  "CMakeFiles/reclaim_breakdown.dir/reclaim_breakdown.cc.o.d"
+  "reclaim_breakdown"
+  "reclaim_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reclaim_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

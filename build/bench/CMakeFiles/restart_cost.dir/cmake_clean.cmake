@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restart_cost.dir/restart_cost.cc.o"
+  "CMakeFiles/restart_cost.dir/restart_cost.cc.o.d"
+  "restart_cost"
+  "restart_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restart_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

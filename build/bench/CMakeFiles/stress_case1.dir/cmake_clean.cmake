@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_case1.dir/stress_case1.cc.o"
+  "CMakeFiles/stress_case1.dir/stress_case1.cc.o.d"
+  "stress_case1"
+  "stress_case1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_case1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

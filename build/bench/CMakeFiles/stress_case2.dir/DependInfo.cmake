@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/stress_case2.cc" "bench/CMakeFiles/stress_case2.dir/stress_case2.cc.o" "gcc" "bench/CMakeFiles/stress_case2.dir/stress_case2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipc/CMakeFiles/softmem_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/softmem_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/smd/CMakeFiles/softmem_smd.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/softmem_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/softmem_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/softmem_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sma/CMakeFiles/softmem_sma.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagealloc/CMakeFiles/softmem_pagealloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/softmem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

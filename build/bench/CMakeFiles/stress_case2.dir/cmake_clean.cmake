@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_case2.dir/stress_case2.cc.o"
+  "CMakeFiles/stress_case2.dir/stress_case2.cc.o.d"
+  "stress_case2"
+  "stress_case2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_case2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_case3.dir/stress_case3.cc.o"
+  "CMakeFiles/stress_case3.dir/stress_case3.cc.o.d"
+  "stress_case3"
+  "stress_case3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_case3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_scaleout.dir/batch_scaleout.cpp.o"
+  "CMakeFiles/batch_scaleout.dir/batch_scaleout.cpp.o.d"
+  "batch_scaleout"
+  "batch_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_cache_scaling.dir/kv_cache_scaling.cpp.o"
+  "CMakeFiles/kv_cache_scaling.dir/kv_cache_scaling.cpp.o.d"
+  "kv_cache_scaling"
+  "kv_cache_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_cache_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

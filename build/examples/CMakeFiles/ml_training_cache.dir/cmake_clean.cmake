@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_training_cache.dir/ml_training_cache.cpp.o"
+  "CMakeFiles/ml_training_cache.dir/ml_training_cache.cpp.o.d"
+  "ml_training_cache"
+  "ml_training_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_training_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmemctl.dir/softmemctl.cpp.o"
+  "CMakeFiles/softmemctl.dir/softmemctl.cpp.o.d"
+  "softmemctl"
+  "softmemctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmemctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

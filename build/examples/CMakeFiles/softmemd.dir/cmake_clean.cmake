@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmemd.dir/softmemd.cpp.o"
+  "CMakeFiles/softmemd.dir/softmemd.cpp.o.d"
+  "softmemd"
+  "softmemd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmemd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

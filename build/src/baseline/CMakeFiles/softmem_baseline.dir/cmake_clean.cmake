@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmem_baseline.dir/textbook_allocator.cc.o"
+  "CMakeFiles/softmem_baseline.dir/textbook_allocator.cc.o.d"
+  "libsoftmem_baseline.a"
+  "libsoftmem_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmem_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

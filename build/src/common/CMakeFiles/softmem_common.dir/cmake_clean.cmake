@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmem_common.dir/clock.cc.o"
+  "CMakeFiles/softmem_common.dir/clock.cc.o.d"
+  "CMakeFiles/softmem_common.dir/event_trace.cc.o"
+  "CMakeFiles/softmem_common.dir/event_trace.cc.o.d"
+  "CMakeFiles/softmem_common.dir/histogram.cc.o"
+  "CMakeFiles/softmem_common.dir/histogram.cc.o.d"
+  "CMakeFiles/softmem_common.dir/logging.cc.o"
+  "CMakeFiles/softmem_common.dir/logging.cc.o.d"
+  "CMakeFiles/softmem_common.dir/status.cc.o"
+  "CMakeFiles/softmem_common.dir/status.cc.o.d"
+  "CMakeFiles/softmem_common.dir/units.cc.o"
+  "CMakeFiles/softmem_common.dir/units.cc.o.d"
+  "libsoftmem_common.a"
+  "libsoftmem_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmem_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipc/daemon_client.cc" "src/ipc/CMakeFiles/softmem_ipc.dir/daemon_client.cc.o" "gcc" "src/ipc/CMakeFiles/softmem_ipc.dir/daemon_client.cc.o.d"
+  "/root/repo/src/ipc/daemon_server.cc" "src/ipc/CMakeFiles/softmem_ipc.dir/daemon_server.cc.o" "gcc" "src/ipc/CMakeFiles/softmem_ipc.dir/daemon_server.cc.o.d"
+  "/root/repo/src/ipc/local_channel.cc" "src/ipc/CMakeFiles/softmem_ipc.dir/local_channel.cc.o" "gcc" "src/ipc/CMakeFiles/softmem_ipc.dir/local_channel.cc.o.d"
+  "/root/repo/src/ipc/messages.cc" "src/ipc/CMakeFiles/softmem_ipc.dir/messages.cc.o" "gcc" "src/ipc/CMakeFiles/softmem_ipc.dir/messages.cc.o.d"
+  "/root/repo/src/ipc/unix_socket.cc" "src/ipc/CMakeFiles/softmem_ipc.dir/unix_socket.cc.o" "gcc" "src/ipc/CMakeFiles/softmem_ipc.dir/unix_socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/softmem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/smd/CMakeFiles/softmem_smd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sma/CMakeFiles/softmem_sma.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagealloc/CMakeFiles/softmem_pagealloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

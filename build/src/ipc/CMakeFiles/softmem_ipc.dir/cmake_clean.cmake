@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmem_ipc.dir/daemon_client.cc.o"
+  "CMakeFiles/softmem_ipc.dir/daemon_client.cc.o.d"
+  "CMakeFiles/softmem_ipc.dir/daemon_server.cc.o"
+  "CMakeFiles/softmem_ipc.dir/daemon_server.cc.o.d"
+  "CMakeFiles/softmem_ipc.dir/local_channel.cc.o"
+  "CMakeFiles/softmem_ipc.dir/local_channel.cc.o.d"
+  "CMakeFiles/softmem_ipc.dir/messages.cc.o"
+  "CMakeFiles/softmem_ipc.dir/messages.cc.o.d"
+  "CMakeFiles/softmem_ipc.dir/unix_socket.cc.o"
+  "CMakeFiles/softmem_ipc.dir/unix_socket.cc.o.d"
+  "libsoftmem_ipc.a"
+  "libsoftmem_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmem_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

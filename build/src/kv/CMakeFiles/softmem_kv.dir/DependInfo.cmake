@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/dict.cc" "src/kv/CMakeFiles/softmem_kv.dir/dict.cc.o" "gcc" "src/kv/CMakeFiles/softmem_kv.dir/dict.cc.o.d"
+  "/root/repo/src/kv/kv_server.cc" "src/kv/CMakeFiles/softmem_kv.dir/kv_server.cc.o" "gcc" "src/kv/CMakeFiles/softmem_kv.dir/kv_server.cc.o.d"
+  "/root/repo/src/kv/kv_store.cc" "src/kv/CMakeFiles/softmem_kv.dir/kv_store.cc.o" "gcc" "src/kv/CMakeFiles/softmem_kv.dir/kv_store.cc.o.d"
+  "/root/repo/src/kv/kv_types.cc" "src/kv/CMakeFiles/softmem_kv.dir/kv_types.cc.o" "gcc" "src/kv/CMakeFiles/softmem_kv.dir/kv_types.cc.o.d"
+  "/root/repo/src/kv/resp.cc" "src/kv/CMakeFiles/softmem_kv.dir/resp.cc.o" "gcc" "src/kv/CMakeFiles/softmem_kv.dir/resp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sma/CMakeFiles/softmem_sma.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/softmem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagealloc/CMakeFiles/softmem_pagealloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmem_kv.dir/dict.cc.o"
+  "CMakeFiles/softmem_kv.dir/dict.cc.o.d"
+  "CMakeFiles/softmem_kv.dir/kv_server.cc.o"
+  "CMakeFiles/softmem_kv.dir/kv_server.cc.o.d"
+  "CMakeFiles/softmem_kv.dir/kv_store.cc.o"
+  "CMakeFiles/softmem_kv.dir/kv_store.cc.o.d"
+  "CMakeFiles/softmem_kv.dir/kv_types.cc.o"
+  "CMakeFiles/softmem_kv.dir/kv_types.cc.o.d"
+  "CMakeFiles/softmem_kv.dir/resp.cc.o"
+  "CMakeFiles/softmem_kv.dir/resp.cc.o.d"
+  "libsoftmem_kv.a"
+  "libsoftmem_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmem_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pagealloc/page_pool.cc" "src/pagealloc/CMakeFiles/softmem_pagealloc.dir/page_pool.cc.o" "gcc" "src/pagealloc/CMakeFiles/softmem_pagealloc.dir/page_pool.cc.o.d"
+  "/root/repo/src/pagealloc/page_source.cc" "src/pagealloc/CMakeFiles/softmem_pagealloc.dir/page_source.cc.o" "gcc" "src/pagealloc/CMakeFiles/softmem_pagealloc.dir/page_source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/softmem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

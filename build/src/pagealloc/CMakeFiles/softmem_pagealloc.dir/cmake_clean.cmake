@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmem_pagealloc.dir/page_pool.cc.o"
+  "CMakeFiles/softmem_pagealloc.dir/page_pool.cc.o.d"
+  "CMakeFiles/softmem_pagealloc.dir/page_source.cc.o"
+  "CMakeFiles/softmem_pagealloc.dir/page_source.cc.o.d"
+  "libsoftmem_pagealloc.a"
+  "libsoftmem_pagealloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmem_pagealloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

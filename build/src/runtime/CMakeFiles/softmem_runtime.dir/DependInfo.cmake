@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/cluster_sim.cc" "src/runtime/CMakeFiles/softmem_runtime.dir/cluster_sim.cc.o" "gcc" "src/runtime/CMakeFiles/softmem_runtime.dir/cluster_sim.cc.o.d"
+  "/root/repo/src/runtime/sim_machine.cc" "src/runtime/CMakeFiles/softmem_runtime.dir/sim_machine.cc.o" "gcc" "src/runtime/CMakeFiles/softmem_runtime.dir/sim_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sma/CMakeFiles/softmem_sma.dir/DependInfo.cmake"
+  "/root/repo/build/src/smd/CMakeFiles/softmem_smd.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagealloc/CMakeFiles/softmem_pagealloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/softmem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmem_runtime.dir/cluster_sim.cc.o"
+  "CMakeFiles/softmem_runtime.dir/cluster_sim.cc.o.d"
+  "CMakeFiles/softmem_runtime.dir/sim_machine.cc.o"
+  "CMakeFiles/softmem_runtime.dir/sim_machine.cc.o.d"
+  "libsoftmem_runtime.a"
+  "libsoftmem_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmem_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

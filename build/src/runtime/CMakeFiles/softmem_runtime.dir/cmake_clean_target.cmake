@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsoftmem_runtime.a"
+)

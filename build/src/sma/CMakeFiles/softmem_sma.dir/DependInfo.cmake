@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sma/size_classes.cc" "src/sma/CMakeFiles/softmem_sma.dir/size_classes.cc.o" "gcc" "src/sma/CMakeFiles/softmem_sma.dir/size_classes.cc.o.d"
+  "/root/repo/src/sma/soft_memory_allocator.cc" "src/sma/CMakeFiles/softmem_sma.dir/soft_memory_allocator.cc.o" "gcc" "src/sma/CMakeFiles/softmem_sma.dir/soft_memory_allocator.cc.o.d"
+  "/root/repo/src/sma/stats_text.cc" "src/sma/CMakeFiles/softmem_sma.dir/stats_text.cc.o" "gcc" "src/sma/CMakeFiles/softmem_sma.dir/stats_text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/softmem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagealloc/CMakeFiles/softmem_pagealloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

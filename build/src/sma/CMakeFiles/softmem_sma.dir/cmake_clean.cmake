@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmem_sma.dir/size_classes.cc.o"
+  "CMakeFiles/softmem_sma.dir/size_classes.cc.o.d"
+  "CMakeFiles/softmem_sma.dir/soft_memory_allocator.cc.o"
+  "CMakeFiles/softmem_sma.dir/soft_memory_allocator.cc.o.d"
+  "CMakeFiles/softmem_sma.dir/stats_text.cc.o"
+  "CMakeFiles/softmem_sma.dir/stats_text.cc.o.d"
+  "libsoftmem_sma.a"
+  "libsoftmem_sma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmem_sma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smd/soft_memory_daemon.cc" "src/smd/CMakeFiles/softmem_smd.dir/soft_memory_daemon.cc.o" "gcc" "src/smd/CMakeFiles/softmem_smd.dir/soft_memory_daemon.cc.o.d"
+  "/root/repo/src/smd/stats_text.cc" "src/smd/CMakeFiles/softmem_smd.dir/stats_text.cc.o" "gcc" "src/smd/CMakeFiles/softmem_smd.dir/stats_text.cc.o.d"
+  "/root/repo/src/smd/weight_policy.cc" "src/smd/CMakeFiles/softmem_smd.dir/weight_policy.cc.o" "gcc" "src/smd/CMakeFiles/softmem_smd.dir/weight_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/softmem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmem_smd.dir/soft_memory_daemon.cc.o"
+  "CMakeFiles/softmem_smd.dir/soft_memory_daemon.cc.o.d"
+  "CMakeFiles/softmem_smd.dir/stats_text.cc.o"
+  "CMakeFiles/softmem_smd.dir/stats_text.cc.o.d"
+  "CMakeFiles/softmem_smd.dir/weight_policy.cc.o"
+  "CMakeFiles/softmem_smd.dir/weight_policy.cc.o.d"
+  "libsoftmem_smd.a"
+  "libsoftmem_smd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmem_smd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for softmem_smd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmem_workload.dir/alloc_trace.cc.o"
+  "CMakeFiles/softmem_workload.dir/alloc_trace.cc.o.d"
+  "CMakeFiles/softmem_workload.dir/generators.cc.o"
+  "CMakeFiles/softmem_workload.dir/generators.cc.o.d"
+  "libsoftmem_workload.a"
+  "libsoftmem_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmem_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_commands_test.dir/kv_commands_test.cc.o"
+  "CMakeFiles/kv_commands_test.dir/kv_commands_test.cc.o.d"
+  "kv_commands_test"
+  "kv_commands_test.pdb"
+  "kv_commands_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_commands_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_ttl_test.dir/kv_ttl_test.cc.o"
+  "CMakeFiles/kv_ttl_test.dir/kv_ttl_test.cc.o.d"
+  "kv_ttl_test"
+  "kv_ttl_test.pdb"
+  "kv_ttl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_ttl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

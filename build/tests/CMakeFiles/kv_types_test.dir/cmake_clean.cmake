@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_types_test.dir/kv_types_test.cc.o"
+  "CMakeFiles/kv_types_test.dir/kv_types_test.cc.o.d"
+  "kv_types_test"
+  "kv_types_test.pdb"
+  "kv_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagealloc_test.dir/pagealloc_test.cc.o"
+  "CMakeFiles/pagealloc_test.dir/pagealloc_test.cc.o.d"
+  "pagealloc_test"
+  "pagealloc_test.pdb"
+  "pagealloc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagealloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reclaim_pin_test.dir/reclaim_pin_test.cc.o"
+  "CMakeFiles/reclaim_pin_test.dir/reclaim_pin_test.cc.o.d"
+  "reclaim_pin_test"
+  "reclaim_pin_test.pdb"
+  "reclaim_pin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reclaim_pin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_extra_test.dir/sds_extra_test.cc.o"
+  "CMakeFiles/sds_extra_test.dir/sds_extra_test.cc.o.d"
+  "sds_extra_test"
+  "sds_extra_test.pdb"
+  "sds_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

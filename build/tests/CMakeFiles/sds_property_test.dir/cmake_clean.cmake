@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_property_test.dir/sds_property_test.cc.o"
+  "CMakeFiles/sds_property_test.dir/sds_property_test.cc.o.d"
+  "sds_property_test"
+  "sds_property_test.pdb"
+  "sds_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sma_mmap_test.dir/sma_mmap_test.cc.o"
+  "CMakeFiles/sma_mmap_test.dir/sma_mmap_test.cc.o.d"
+  "sma_mmap_test"
+  "sma_mmap_test.pdb"
+  "sma_mmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sma_mmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sma_realloc_test.dir/sma_realloc_test.cc.o"
+  "CMakeFiles/sma_realloc_test.dir/sma_realloc_test.cc.o.d"
+  "sma_realloc_test"
+  "sma_realloc_test.pdb"
+  "sma_realloc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sma_realloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smd_policy_test.dir/smd_policy_test.cc.o"
+  "CMakeFiles/smd_policy_test.dir/smd_policy_test.cc.o.d"
+  "smd_policy_test"
+  "smd_policy_test.pdb"
+  "smd_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smd_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

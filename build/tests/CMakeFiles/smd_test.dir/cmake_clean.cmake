@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smd_test.dir/smd_test.cc.o"
+  "CMakeFiles/smd_test.dir/smd_test.cc.o.d"
+  "smd_test"
+  "smd_test.pdb"
+  "smd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_ptr_test.dir/soft_ptr_test.cc.o"
+  "CMakeFiles/soft_ptr_test.dir/soft_ptr_test.cc.o.d"
+  "soft_ptr_test"
+  "soft_ptr_test.pdb"
+  "soft_ptr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_ptr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

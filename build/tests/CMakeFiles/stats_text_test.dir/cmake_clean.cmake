@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_text_test.dir/stats_text_test.cc.o"
+  "CMakeFiles/stats_text_test.dir/stats_text_test.cc.o.d"
+  "stats_text_test"
+  "stats_text_test.pdb"
+  "stats_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/pagealloc_test[1]_include.cmake")
+include("/root/repo/build/tests/sma_test[1]_include.cmake")
+include("/root/repo/build/tests/sds_test[1]_include.cmake")
+include("/root/repo/build/tests/smd_test[1]_include.cmake")
+include("/root/repo/build/tests/ipc_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/soft_ptr_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_ttl_test[1]_include.cmake")
+include("/root/repo/build/tests/smd_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/sds_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/sma_mmap_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_commands_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_text_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/reclaim_pin_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_types_test[1]_include.cmake")
+include("/root/repo/build/tests/sma_realloc_test[1]_include.cmake")
+include("/root/repo/build/tests/sds_property_test[1]_include.cmake")
+include("/root/repo/build/tests/ipc_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/dict_fuzz_test[1]_include.cmake")
