@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/baseline/textbook_allocator.h"
@@ -80,6 +81,79 @@ void BM_SoftChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SoftChurn);
+
+// ---- Multi-threaded fast path ----------------------------------------------
+// One shared allocator, one cacheable (kNone) context per thread: the
+// magazine fast path never touches the central lock, so aggregate
+// items_per_second should scale with threads. The *BigLock variants run the
+// identical workload with SmaOptions::thread_cache = false (the seed
+// behavior) as the contention baseline.
+
+constexpr int kMaxBenchThreads = 8;
+std::unique_ptr<SoftMemoryAllocator> g_mt_sma;
+ContextId g_mt_ctx[kMaxBenchThreads];
+
+void MtSetupImpl(bool thread_cache) {
+  SmaOptions o;
+  o.region_pages = 256 * 1024;
+  o.initial_budget_pages = 256 * 1024;
+  o.thread_cache = thread_cache;
+  auto r = SoftMemoryAllocator::Create(o);
+  if (!r.ok()) {
+    std::abort();
+  }
+  g_mt_sma = std::move(r).value();
+  for (int t = 0; t < kMaxBenchThreads; ++t) {
+    ContextOptions co;
+    co.name = "bench" + std::to_string(t);
+    co.mode = ReclaimMode::kNone;
+    auto ctx = g_mt_sma->CreateContext(co);
+    if (!ctx.ok()) {
+      std::abort();
+    }
+    g_mt_ctx[t] = *ctx;
+  }
+}
+
+void MtCachedSetup(const benchmark::State&) { MtSetupImpl(true); }
+void MtBigLockSetup(const benchmark::State&) { MtSetupImpl(false); }
+void MtTeardown(const benchmark::State&) { g_mt_sma.reset(); }
+
+void MtMallocFreeBody(benchmark::State& state) {
+  SoftMemoryAllocator* sma = g_mt_sma.get();
+  const ContextId ctx = g_mt_ctx[state.thread_index() % kMaxBenchThreads];
+  const size_t size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    void* p = sma->SoftMalloc(ctx, size);
+    benchmark::DoNotOptimize(p);
+    sma->SoftFree(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SoftMallocFreeMT(benchmark::State& state) { MtMallocFreeBody(state); }
+BENCHMARK(BM_SoftMallocFreeMT)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->Setup(MtCachedSetup)
+    ->Teardown(MtTeardown)
+    ->UseRealTime();
+
+void BM_SoftMallocFreeMTBigLock(benchmark::State& state) {
+  MtMallocFreeBody(state);
+}
+BENCHMARK(BM_SoftMallocFreeMTBigLock)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->Setup(MtBigLockSetup)
+    ->Teardown(MtTeardown)
+    ->UseRealTime();
 
 // Grants every request so repeated reclaim iterations can refill.
 class GrantAllChannel : public SmdChannel {

@@ -1,0 +1,143 @@
+// MT-THROUGHPUT — multi-threaded allocator scaling (google-benchmark).
+//
+// Drives N threads of a realistic churn workload (mixed sizes, a bounded
+// live set per thread, ~60/40 alloc/free mix) against one shared
+// SoftMemoryAllocator, in three configurations:
+//
+//  * DistinctCtx         — one cacheable (kNone) context per thread; the
+//                          magazine fast path applies. This is the headline
+//                          scaling number.
+//  * DistinctCtxBigLock  — identical workload with thread_cache = false,
+//                          i.e. the seed's one-big-lock allocator; the
+//                          contention baseline the PR is measured against.
+//  * SharedCtx           — all threads churn one shared cacheable context:
+//                          magazines still apply per thread, but refills and
+//                          page transitions collide on the same heap.
+//
+// Aggregate throughput is items_per_second (UseRealTime + per-thread
+// SetItemsProcessed, summed by the framework). scripts/bench.sh writes the
+// JSON (BENCH_mt_throughput.json) used to track the perf curve across PRs.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+namespace {
+
+constexpr int kMaxBenchThreads = 8;
+constexpr size_t kLiveSetPerThread = 512;
+
+std::unique_ptr<SoftMemoryAllocator> g_sma;
+ContextId g_ctx[kMaxBenchThreads];
+ContextId g_shared_ctx;
+
+void SetupImpl(bool thread_cache) {
+  SmaOptions o;
+  o.region_pages = 256 * 1024;
+  o.initial_budget_pages = 256 * 1024;
+  o.thread_cache = thread_cache;
+  auto r = SoftMemoryAllocator::Create(o);
+  if (!r.ok()) {
+    std::abort();
+  }
+  g_sma = std::move(r).value();
+  for (int t = 0; t < kMaxBenchThreads; ++t) {
+    ContextOptions co;
+    co.name = "worker" + std::to_string(t);
+    co.mode = ReclaimMode::kNone;
+    auto ctx = g_sma->CreateContext(co);
+    if (!ctx.ok()) {
+      std::abort();
+    }
+    g_ctx[t] = *ctx;
+  }
+  ContextOptions shared;
+  shared.name = "shared";
+  shared.mode = ReclaimMode::kNone;
+  auto ctx = g_sma->CreateContext(shared);
+  if (!ctx.ok()) {
+    std::abort();
+  }
+  g_shared_ctx = *ctx;
+}
+
+void CachedSetup(const benchmark::State&) { SetupImpl(true); }
+void BigLockSetup(const benchmark::State&) { SetupImpl(false); }
+void Teardown(const benchmark::State&) { g_sma.reset(); }
+
+// Churn: keep up to kLiveSetPerThread allocations live, replacing random
+// entries with random sizes (16..2048 B, the cacheable small range).
+void ChurnBody(benchmark::State& state, ContextId ctx) {
+  SoftMemoryAllocator* sma = g_sma.get();
+  Rng rng(0xC0FFEE + static_cast<uint64_t>(state.thread_index()));
+  std::vector<void*> live;
+  live.reserve(kLiveSetPerThread);
+  for (auto _ : state) {
+    if (live.size() < kLiveSetPerThread && (live.empty() || rng.NextBool(0.6))) {
+      const size_t size = 16 + rng.NextBounded(2033);
+      void* p = sma->SoftMalloc(ctx, size);
+      if (p == nullptr) {
+        state.SkipWithError("allocation failed");
+        break;
+      }
+      live.push_back(p);
+    } else {
+      const size_t pick = rng.NextBounded(live.size());
+      sma->SoftFree(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  for (void* p : live) {
+    sma->SoftFree(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_MtDistinctCtx(benchmark::State& state) {
+  ChurnBody(state, g_ctx[state.thread_index() % kMaxBenchThreads]);
+}
+BENCHMARK(BM_MtDistinctCtx)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->Setup(CachedSetup)
+    ->Teardown(Teardown)
+    ->UseRealTime();
+
+void BM_MtDistinctCtxBigLock(benchmark::State& state) {
+  ChurnBody(state, g_ctx[state.thread_index() % kMaxBenchThreads]);
+}
+BENCHMARK(BM_MtDistinctCtxBigLock)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->Setup(BigLockSetup)
+    ->Teardown(Teardown)
+    ->UseRealTime();
+
+void BM_MtSharedCtx(benchmark::State& state) {
+  ChurnBody(state, g_shared_ctx);
+}
+BENCHMARK(BM_MtSharedCtx)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->Setup(CachedSetup)
+    ->Teardown(Teardown)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace softmem
+
+BENCHMARK_MAIN();

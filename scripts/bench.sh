@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs the allocator microbenchmarks and writes their JSON next to the repo
+# root (BENCH_micro_allocator.json, BENCH_mt_throughput.json) so successive
+# PRs can track the perf curve. Usage: scripts/bench.sh [benchmark args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}" --target micro_allocator mt_throughput
+
+./build/bench/micro_allocator \
+  --benchmark_out=BENCH_micro_allocator.json \
+  --benchmark_out_format=json "$@"
+./build/bench/mt_throughput \
+  --benchmark_out=BENCH_mt_throughput.json \
+  --benchmark_out_format=json "$@"
+
+echo "wrote BENCH_micro_allocator.json and BENCH_mt_throughput.json"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: build + test in the plain configuration, then rebuild and
+# re-test under ThreadSanitizer (the concurrency suite is the point of the
+# second pass). Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "==> plain build"
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+echo "==> plain ctest"
+ctest --test-dir build --output-on-failure -j "${JOBS}" "$@"
+
+echo "==> tsan build"
+cmake -B build-tsan -S . -DSOFTMEM_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}"
+echo "==> tsan ctest (concurrency + thread-cache suites)"
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+        -R "Concurrency|ThreadCache" "$@"
+
+echo "==> all checks passed"

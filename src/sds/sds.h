@@ -3,6 +3,20 @@
 // Each SDS owns one SMA context (its own heap + priority), implements the
 // `reclaim` protocol the SMA calls under memory pressure, and optionally
 // forwards per-element last-chance callbacks to the application.
+//
+// Threading. An individual SDS instance is not internally synchronized:
+// one structure, one owning thread (or external locking). What *is* safe
+// is many threads driving distinct SDS instances over one shared
+// SoftMemoryAllocator — that is the allocator's multi-threaded fast path
+// (per-thread magazine caches; see DESIGN.md §6). Custom reclaim protocols
+// run under the SMA's central lock, so a reclaim never interleaves with
+// another thread's allocator operation mid-structure; an SDS that guards
+// its state with its own external lock must not hold that lock while
+// calling into the SMA, or a concurrent reclaim into the SDS deadlocks.
+// ReclaimPin interplay is unchanged by the caches: pins are per-context
+// and magazines hold only free slots, never live allocations, so a pinned
+// structure's elements cannot vanish even while other threads' caches are
+// being revoked.
 
 #ifndef SOFTMEM_SRC_SDS_SDS_H_
 #define SOFTMEM_SRC_SDS_SDS_H_

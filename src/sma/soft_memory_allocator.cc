@@ -8,6 +8,16 @@
 #include "src/common/logging.h"
 
 namespace softmem {
+namespace {
+
+// Distinguishes allocator instances that reuse a freed instance's address
+// (thread-local caches key on the pointer; see thread_cache.h).
+std::atomic<uint64_t> g_instance_generation{1};
+
+// page_descr_ encoding: valid-slab bit | size_class << 16 | context id.
+constexpr uint32_t kDescrSlabBit = 1u << 24;
+
+}  // namespace
 
 Result<std::unique_ptr<SoftMemoryAllocator>> SoftMemoryAllocator::Create(
     const SmaOptions& options, SmdChannel* channel) {
@@ -49,35 +59,57 @@ SoftMemoryAllocator::SoftMemoryAllocator(const SmaOptions& options,
                                          std::unique_ptr<PageSource> source)
     : options_(options),
       channel_(channel != nullptr ? channel : &null_channel_),
+      instance_generation_(
+          g_instance_generation.fetch_add(1, std::memory_order_relaxed)),
       pool_(std::move(source)),
       metas_(pool_.total_pages()),
-      budget_pages_(options.initial_budget_pages) {}
+      budget_pages_(options.initial_budget_pages) {
+  page_descr_.reset(new std::atomic<uint32_t>[pool_.total_pages()]());
+  ctx_flags_.reset(new std::atomic<uint8_t>[kMaxContexts]());
+  tcache_internal::OnAllocatorCreated(this, instance_generation_);
+}
 
-SoftMemoryAllocator::~SoftMemoryAllocator() = default;
+SoftMemoryAllocator::~SoftMemoryAllocator() {
+  // Threads still holding caches for this instance detect its death (or an
+  // address reuse, via the generation) and drop them without flushing.
+  tcache_internal::OnAllocatorDestroyed(this);
+}
 
 // ---- Contexts --------------------------------------------------------------
 
 Result<ContextId> SoftMemoryAllocator::CreateContext(
     const ContextOptions& options) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (contexts_.size() >= 0xFFFF) {
+  CentralLock lock(this);
+  if (contexts_.size() >= kMaxContexts - 1) {
     return ResourceExhaustedError("too many contexts");
   }
   auto ctx = std::make_unique<Context>();
   ctx->options = options;
   ctx->alive = true;
   contexts_.push_back(std::move(ctx));
-  return static_cast<ContextId>(contexts_.size() - 1);
+  const auto id = static_cast<ContextId>(contexts_.size() - 1);
+  // kOldestFirst allocations must enter the central age registry, so only
+  // the other modes may be served from per-thread magazines.
+  const bool cacheable = options.mode != ReclaimMode::kOldestFirst;
+  ctx_flags_[id].store(
+      static_cast<uint8_t>(kCtxAlive | (cacheable ? kCtxCacheable : 0)),
+      std::memory_order_release);
+  return id;
 }
 
 Status SoftMemoryAllocator::DestroyContext(ContextId id) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  CentralLock lock(this);
   if (id == kDefaultContext) {
     return InvalidArgumentError("the default context cannot be destroyed");
   }
   if (id >= contexts_.size() || !contexts_[id]->alive) {
     return NotFoundError("no such context");
   }
+  // Stop fast-path traffic for the context, then pull its magazines back so
+  // every slot is accounted centrally before the heap is torn down.
+  ctx_flags_[id].store(0, std::memory_order_release);
+  PurgeContextFromCachesLocked(id);
+
   Context* c = contexts_[id].get();
   Heap& h = c->heap;
 
@@ -91,6 +123,7 @@ Status SoftMemoryAllocator::DestroyContext(ContextId id) {
       ++it;
     }
   }
+  tracked_count_.store(tracked_ptrs_.size(), std::memory_order_relaxed);
 
   // Return every owned page to the global pool. Slab pages live on exactly
   // one of the partial/full/empty lists; large runs on the large list.
@@ -99,6 +132,7 @@ Status SoftMemoryAllocator::DestroyContext(ContextId id) {
       const uint32_t page = *head;
       ListRemove(head, page);
       metas_[page] = PageMeta{};
+      ClearPageDescrLocked(page);
       pool_.Release(PageRun{page, 1});
     }
   };
@@ -118,7 +152,7 @@ Status SoftMemoryAllocator::DestroyContext(ContextId id) {
     pool_.Release(PageRun{page, info.run_pages});
   }
 
-  total_frees_ += h.live_allocations;
+  total_frees_.fetch_add(h.live_allocations, std::memory_order_relaxed);
   c->alive = false;
   c->heap = Heap{};
   c->order.clear();
@@ -128,17 +162,18 @@ Status SoftMemoryAllocator::DestroyContext(ContextId id) {
 }
 
 Status SoftMemoryAllocator::SetCustomReclaim(ContextId id, CustomReclaimFn fn) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  CentralLock lock(this);
   if (id >= contexts_.size() || !contexts_[id]->alive) {
     return NotFoundError("no such context");
   }
   contexts_[id]->custom_reclaim = std::move(fn);
   contexts_[id]->options.mode = ReclaimMode::kCustom;
+  ctx_flags_[id].store(kCtxAlive | kCtxCacheable, std::memory_order_release);
   return Status::Ok();
 }
 
 Status SoftMemoryAllocator::PinContext(ContextId id) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  CentralLock lock(this);
   if (id >= contexts_.size() || !contexts_[id]->alive) {
     return NotFoundError("no such context");
   }
@@ -147,7 +182,7 @@ Status SoftMemoryAllocator::PinContext(ContextId id) {
 }
 
 Status SoftMemoryAllocator::UnpinContext(ContextId id) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  CentralLock lock(this);
   if (id >= contexts_.size() || !contexts_[id]->alive) {
     return NotFoundError("no such context");
   }
@@ -159,7 +194,7 @@ Status SoftMemoryAllocator::UnpinContext(ContextId id) {
 }
 
 Status SoftMemoryAllocator::SetPriority(ContextId id, size_t priority) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  CentralLock lock(this);
   if (id >= contexts_.size() || !contexts_[id]->alive) {
     return NotFoundError("no such context");
   }
@@ -199,15 +234,39 @@ void* SoftMemoryAllocator::SlotAddress(uint32_t page, int size_class,
          static_cast<size_t>(slot) * SizeClassBytes(size_class);
 }
 
+void SoftMemoryAllocator::SetPageDescrLocked(uint32_t page, int cls,
+                                             ContextId ctx) {
+  page_descr_[page].store(
+      kDescrSlabBit | (static_cast<uint32_t>(cls) << 16) | ctx,
+      std::memory_order_release);
+}
+
+void SoftMemoryAllocator::ClearPageDescrLocked(uint32_t page) {
+  page_descr_[page].store(0, std::memory_order_release);
+}
+
 // ---- Allocation -------------------------------------------------------------
 
 void* SoftMemoryAllocator::SoftMalloc(ContextId ctx_id, size_t size) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (ctx_id >= contexts_.size() || !contexts_[ctx_id]->alive) {
-    return nullptr;
-  }
   if (size == 0) {
     size = 1;
+  }
+  // Magazine fast path: small sizes in cacheable contexts, except when
+  // called re-entrantly from a reclaim callback (those allocations must see
+  // — and be seen by — the central state immediately).
+  if (options_.thread_cache && size <= kMaxSmallSize && !HoldsCentralLock()) {
+    const uint8_t flags = ctx_flags_[ctx_id].load(std::memory_order_acquire);
+    if ((flags & (kCtxAlive | kCtxCacheable)) == (kCtxAlive | kCtxCacheable)) {
+      void* p = CacheAlloc(ctx_id, SizeClassFor(size));
+      if (p != nullptr) {
+        total_allocs_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return p;
+    }
+  }
+  CentralLock lock(this);
+  if (ctx_id >= contexts_.size() || !contexts_[ctx_id]->alive) {
+    return nullptr;
   }
   void* ptr = nullptr;
   if (size <= kMaxSmallSize) {
@@ -218,7 +277,7 @@ void* SoftMemoryAllocator::SoftMalloc(ContextId ctx_id, size_t size) {
   if (ptr == nullptr) {
     return nullptr;
   }
-  ++total_allocs_;
+  total_allocs_.fetch_add(1, std::memory_order_relaxed);
   Context* c = contexts_[ctx_id].get();
   if (c->options.mode == ReclaimMode::kOldestFirst) {
     const uint64_t seq = c->next_seq++;
@@ -237,6 +296,75 @@ void* SoftMemoryAllocator::SoftMalloc(ContextId ctx_id, size_t size) {
     }
   }
   return ptr;
+}
+
+void* SoftMemoryAllocator::CacheAlloc(ContextId ctx_id, int cls) {
+  ThreadCache* tc = GetThreadCache(this);
+  {
+    std::lock_guard<std::mutex> l(tc->mu_);
+    if (tc->seen_epoch_ == cache_epoch_.load(std::memory_order_acquire)) {
+      auto it = tc->bins_.find(ctx_id);
+      if (it != tc->bins_.end()) {
+        auto& slots =
+            it->second.by_class[static_cast<size_t>(cls)].slots;
+        if (!slots.empty()) {
+          void* p = slots.back();
+          slots.pop_back();
+          return p;
+        }
+      }
+    }
+  }
+
+  // Miss (or a reclamation wave passed): refill a half magazine under the
+  // central lock. The thread-cache lock is NOT held across the central
+  // batch allocation — AcquirePagesLocked may revoke every cache, including
+  // this one — and the deposit happens under the central lock so context
+  // destruction cannot interleave.
+  CentralLock lock(this);
+  {
+    std::lock_guard<std::mutex> l(tc->mu_);
+    const uint64_t epoch = cache_epoch_.load(std::memory_order_relaxed);
+    if (tc->seen_epoch_ != epoch) {
+      for (auto& entry : tc->bins_) {
+        for (auto& bin : entry.second.by_class) {
+          for (void* p : bin.slots) {
+            FreeLocked(p, /*count_op=*/false);
+          }
+          bin.slots.clear();
+        }
+      }
+      tc->seen_epoch_ = epoch;
+    }
+  }
+  if (ctx_id >= contexts_.size() || !contexts_[ctx_id]->alive) {
+    return nullptr;
+  }
+  void* batch[ThreadCache::kMaxSlotsPerBin];
+  const size_t want = ThreadCache::BinCapacity(cls) / 2;
+  const size_t got = AllocSmallBatchLocked(ctx_id, cls, want, batch);
+  if (got == 0) {
+    return nullptr;
+  }
+  if (got > 1) {
+    std::lock_guard<std::mutex> l(tc->mu_);
+    auto& slots = tc->bins_[ctx_id].by_class[static_cast<size_t>(cls)].slots;
+    slots.insert(slots.end(), batch, batch + got - 1);
+  }
+  return batch[got - 1];
+}
+
+size_t SoftMemoryAllocator::AllocSmallBatchLocked(ContextId ctx, int cls,
+                                                  size_t want, void** out) {
+  size_t got = 0;
+  while (got < want) {
+    void* p = AllocSmallLocked(ctx, cls);
+    if (p == nullptr) {
+      break;
+    }
+    out[got++] = p;
+  }
+  return got;
 }
 
 void* SoftMemoryAllocator::AllocSmallLocked(ContextId ctx_id, int size_class) {
@@ -259,6 +387,7 @@ void* SoftMemoryAllocator::AllocSmallLocked(ContextId ctx_id, int size_class) {
     m.used_slots = 0;
     m.free_head = kNoSlot;
     m.uninit_slots = slots_total;
+    SetPageDescrLocked(page, size_class, ctx_id);
     ListPush(&h.partial_head[static_cast<size_t>(size_class)], page);
   }
 
@@ -331,7 +460,7 @@ void* SoftMemoryAllocator::SoftRealloc(void* ptr, size_t new_size) {
     SoftFree(ptr);
     return nullptr;
   }
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  CentralLock lock(this);
   const size_t page = pool_.PageIndexOf(ptr);
   const PageMeta& m = metas_[page];
   if (m.state != PageState::kSlab && m.state != PageState::kLargeHead) {
@@ -351,6 +480,25 @@ void* SoftMemoryAllocator::SoftRealloc(void* ptr, size_t new_size) {
        new_size > (m.size_class > 0
                        ? SizeClassBytes(m.size_class - 1)
                        : 0))) {
+    if (m.state == PageState::kLargeHead) {
+      // Keep the recorded size truthful and return now-unused tail pages to
+      // the pool so they are immediately reusable (and reclaimable).
+      Heap& h = contexts_[ctx]->heap;
+      LargeInfo& info = large_info_.at(static_cast<uint32_t>(page));
+      const auto new_pages = static_cast<uint32_t>(PagesForBytes(new_size));
+      if (new_pages < info.run_pages) {
+        const uint32_t tail = info.run_pages - new_pages;
+        for (uint32_t i = new_pages; i < info.run_pages; ++i) {
+          metas_[page + i] = PageMeta{};
+        }
+        pool_.Release(PageRun{page + new_pages, tail});
+        h.owned_pages -= tail;
+        info.run_pages = new_pages;
+      }
+      h.allocated_bytes -= info.bytes;
+      h.allocated_bytes += new_size;
+      info.bytes = new_size;
+    }
     return ptr;
   }
   void* fresh = SoftMalloc(ctx, new_size);
@@ -370,21 +518,97 @@ void SoftMemoryAllocator::SoftFree(void* ptr) {
   if (ptr == nullptr) {
     return;
   }
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (TryCacheFree(ptr)) {
+    return;
+  }
+  CentralLock lock(this);
   FreeLocked(ptr);
 }
 
+bool SoftMemoryAllocator::TryCacheFree(void* ptr) {
+  // Re-entrant frees (reclaim callbacks) and tracked-pointer users must go
+  // through the central path: the former so reclamation sees the memory
+  // immediately, the latter so SoftPtr holders are nulled.
+  if (!options_.thread_cache || HoldsCentralLock() ||
+      tracked_count_.load(std::memory_order_relaxed) != 0) {
+    return false;
+  }
+  const size_t page = pool_.PageIndexOf(ptr);
+  const uint32_t d = page_descr_[page].load(std::memory_order_acquire);
+  if ((d & kDescrSlabBit) == 0) {
+    return false;  // large allocation (or not a live slab page)
+  }
+  const auto ctx = static_cast<ContextId>(d & 0xFFFF);
+  const int cls = static_cast<int>((d >> 16) & 0xFF);
+  const uint8_t flags = ctx_flags_[ctx].load(std::memory_order_acquire);
+  if ((flags & (kCtxAlive | kCtxCacheable)) != (kCtxAlive | kCtxCacheable)) {
+    return false;
+  }
+  ThreadCache* tc = GetThreadCache(this);
+  void* overflow[ThreadCache::kMaxSlotsPerBin];
+  size_t n_overflow = 0;
+  bool pushed = false;
+  std::vector<void*> stale;  // whole cache, if a reclamation wave passed
+  {
+    std::lock_guard<std::mutex> l(tc->mu_);
+    if (tc->seen_epoch_ != cache_epoch_.load(std::memory_order_acquire)) {
+      for (auto& entry : tc->bins_) {
+        for (auto& bin : entry.second.by_class) {
+          stale.insert(stale.end(), bin.slots.begin(), bin.slots.end());
+          bin.slots.clear();
+        }
+      }
+      tc->seen_epoch_ = cache_epoch_.load(std::memory_order_acquire);
+    } else {
+      auto& slots = tc->bins_[ctx].by_class[static_cast<size_t>(cls)].slots;
+      slots.push_back(ptr);
+      pushed = true;
+      const size_t cap = ThreadCache::BinCapacity(cls);
+      if (slots.size() > cap) {
+        // Keep the hot (recently pushed) half; hand the cold front back.
+        n_overflow = cap / 2;
+        std::copy(slots.begin(),
+                  slots.begin() + static_cast<ptrdiff_t>(n_overflow),
+                  overflow);
+        slots.erase(slots.begin(),
+                    slots.begin() + static_cast<ptrdiff_t>(n_overflow));
+      }
+    }
+  }
+  if (!pushed) {
+    // A reclamation wave passed: the push did not happen (the magazines were
+    // flushed instead). Return the flushed slots and the user's pointer
+    // centrally; only the latter counts as an operation.
+    CentralLock lock(this);
+    for (void* p : stale) {
+      FreeLocked(p, /*count_op=*/false);
+    }
+    FreeLocked(ptr);
+    return true;
+  }
+  if (n_overflow > 0) {
+    CentralLock lock(this);
+    for (size_t i = 0; i < n_overflow; ++i) {
+      FreeLocked(overflow[i], /*count_op=*/false);
+    }
+  }
+  total_frees_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 void SoftMemoryAllocator::TrackPointer(void* alloc, void* holder) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  CentralLock lock(this);
   tracked_ptrs_.emplace(alloc, holder);
+  tracked_count_.store(tracked_ptrs_.size(), std::memory_order_relaxed);
 }
 
 void SoftMemoryAllocator::UntrackPointer(void* alloc, void* holder) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  CentralLock lock(this);
   auto [begin, end] = tracked_ptrs_.equal_range(alloc);
   for (auto it = begin; it != end; ++it) {
     if (it->second == holder) {
       tracked_ptrs_.erase(it);
+      tracked_count_.store(tracked_ptrs_.size(), std::memory_order_relaxed);
       return;
     }
   }
@@ -396,9 +620,10 @@ void SoftMemoryAllocator::InvalidateTrackedLocked(void* alloc) {
     *static_cast<void**>(it->second) = nullptr;
   }
   tracked_ptrs_.erase(begin, end);
+  tracked_count_.store(tracked_ptrs_.size(), std::memory_order_relaxed);
 }
 
-void SoftMemoryAllocator::FreeLocked(void* ptr) {
+void SoftMemoryAllocator::FreeLocked(void* ptr, bool count_op) {
   const size_t page = pool_.PageIndexOf(ptr);
   PageMeta& m = metas_[page];
   if (m.state != PageState::kSlab && m.state != PageState::kLargeHead) {
@@ -444,6 +669,7 @@ void SoftMemoryAllocator::FreeLocked(void* ptr) {
         ++h.empty_count;
       } else {
         metas_[page] = PageMeta{};
+        ClearPageDescrLocked(static_cast<uint32_t>(page));
         --h.owned_pages;
         pool_.Release(PageRun{page, 1});
       }
@@ -466,11 +692,13 @@ void SoftMemoryAllocator::FreeLocked(void* ptr) {
   if (c->options.mode == ReclaimMode::kOldestFirst) {
     c->live_seq.erase(ptr);
   }
-  ++total_frees_;
+  if (count_op) {
+    total_frees_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 size_t SoftMemoryAllocator::AllocationSize(const void* ptr) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  CentralLock lock(this);
   const size_t page = pool_.PageIndexOf(ptr);
   const PageMeta& m = metas_[page];
   if (m.state == PageState::kSlab) {
@@ -483,7 +711,7 @@ size_t SoftMemoryAllocator::AllocationSize(const void* ptr) const {
 }
 
 bool SoftMemoryAllocator::Owns(const void* ptr) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  CentralLock lock(this);
   const char* base = static_cast<const char*>(pool_.PageAddress(0));
   const char* p = static_cast<const char*>(ptr);
   if (p < base || p >= base + pool_.total_pages() * kPageSize) {
@@ -492,6 +720,81 @@ bool SoftMemoryAllocator::Owns(const void* ptr) const {
   const PageMeta& m = metas_[pool_.PageIndexOf(ptr)];
   return m.state == PageState::kSlab || m.state == PageState::kLargeHead ||
          m.state == PageState::kLargeTail;
+}
+
+// ---- Magazine revocation ----------------------------------------------------
+
+void SoftMemoryAllocator::RevokeThreadCachesLocked(bool bump_epoch) {
+  if (!options_.thread_cache) {
+    return;
+  }
+  uint64_t epoch = cache_epoch_.load(std::memory_order_relaxed);
+  if (bump_epoch) {
+    epoch = cache_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    cache_revocations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> reg(caches_mu_);
+  for (ThreadCache* tc : caches_) {
+    std::lock_guard<std::mutex> l(tc->mu_);
+    for (auto& entry : tc->bins_) {
+      for (auto& bin : entry.second.by_class) {
+        for (void* p : bin.slots) {
+          FreeLocked(p, /*count_op=*/false);
+        }
+        bin.slots.clear();
+      }
+    }
+    if (bump_epoch) {
+      tc->seen_epoch_ = epoch;
+    }
+  }
+}
+
+void SoftMemoryAllocator::PurgeContextFromCachesLocked(ContextId ctx) {
+  if (!options_.thread_cache) {
+    return;
+  }
+  std::lock_guard<std::mutex> reg(caches_mu_);
+  for (ThreadCache* tc : caches_) {
+    std::lock_guard<std::mutex> l(tc->mu_);
+    auto it = tc->bins_.find(ctx);
+    if (it == tc->bins_.end()) {
+      continue;
+    }
+    for (auto& bin : it->second.by_class) {
+      for (void* p : bin.slots) {
+        FreeLocked(p, /*count_op=*/false);
+      }
+    }
+    tc->bins_.erase(it);
+  }
+}
+
+void SoftMemoryAllocator::RegisterThreadCache(ThreadCache* cache) {
+  std::lock_guard<std::mutex> reg(caches_mu_);
+  caches_.push_back(cache);
+}
+
+void SoftMemoryAllocator::FlushThreadCacheAtExit(ThreadCache* cache) {
+  std::vector<void*> slots;
+  {
+    std::lock_guard<std::mutex> l(cache->mu_);
+    for (auto& entry : cache->bins_) {
+      for (auto& bin : entry.second.by_class) {
+        slots.insert(slots.end(), bin.slots.begin(), bin.slots.end());
+        bin.slots.clear();
+      }
+    }
+  }
+  if (!slots.empty()) {
+    CentralLock lock(this);
+    for (void* p : slots) {
+      FreeLocked(p, /*count_op=*/false);
+    }
+  }
+  std::lock_guard<std::mutex> reg(caches_mu_);
+  caches_.erase(std::remove(caches_.begin(), caches_.end(), cache),
+                caches_.end());
 }
 
 // ---- Page acquisition -------------------------------------------------------
@@ -519,7 +822,7 @@ Result<PageRun> SoftMemoryAllocator::AcquirePagesLocked(ContextId ctx_id,
   // 2) Fresh commit requires budget headroom.
   if (pool_.committed_pages() + count > budget_pages_) {
     const size_t want = std::max(count, options_.budget_chunk_pages);
-    ++budget_requests_;
+    budget_requests_.fetch_add(1, std::memory_order_relaxed);
     // Drop our lock across the daemon round-trip: the daemon may
     // concurrently be demanding reclamation *from us* on behalf of another
     // process, and holding mu_ here while the daemon holds its own lock
@@ -527,24 +830,39 @@ Result<PageRun> SoftMemoryAllocator::AcquirePagesLocked(ContextId ctx_id,
     // conditions after relocking. (If a reclaim callback allocates — a
     // discouraged pattern — the lock is held recursively and stays held;
     // that path is only reachable single-threaded.)
-    mu_.unlock();
+    const bool outermost = (mu_depth_ == 1);
+    if (outermost) {
+      mu_owner_.store(std::thread::id{}, std::memory_order_relaxed);
+      mu_.unlock();
+    }
     auto granted = channel_->RequestBudget(want);
-    mu_.lock();
+    if (outermost) {
+      mu_.lock();
+      mu_owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+    }
     if (granted.ok()) {
       budget_pages_ += *granted;
     } else {
-      ++budget_request_failures_;
+      budget_request_failures_.fetch_add(1, std::memory_order_relaxed);
     }
     // Re-check after the unlocked window: another thread may have used or
     // freed pages meanwhile.
     if (auto pooled = pool_.AcquirePooled(count); pooled.ok()) {
       return pooled;
     }
+    if (pool_.committed_pages() + count > budget_pages_) {
+      // Freed slots may be parked in per-thread magazines; revoke them
+      // before disturbing live data (or failing the allocation).
+      RevokeThreadCachesLocked(/*bump_epoch=*/true);
+      if (auto pooled = pool_.AcquirePooled(count); pooled.ok()) {
+        return pooled;
+      }
+    }
     if (pool_.committed_pages() + count > budget_pages_ &&
         options_.allow_self_reclaim) {
       // Make room under the existing budget by revoking this process's own
       // lower-priority soft memory (never the allocating context's).
-      ++self_reclaims_;
+      self_reclaims_.fetch_add(1, std::memory_order_relaxed);
       std::vector<ContextId> order;
       for (ContextId id = 0; id < contexts_.size(); ++id) {
         if (contexts_[id]->alive && id != ctx_id) {
@@ -586,6 +904,7 @@ void SoftMemoryAllocator::HarvestEmptyPagesLocked(Context* c) {
     ListRemove(&h.empty_head, page);
     --h.empty_count;
     metas_[page] = PageMeta{};
+    ClearPageDescrLocked(page);
     --h.owned_pages;
     pool_.Release(PageRun{page, 1});
   }
@@ -608,7 +927,7 @@ size_t SoftMemoryAllocator::ReclaimOldestFirstLocked(Context* c,
                             ? SizeClassBytes(metas_[page_idx].size_class)
                             : large_info_.at(static_cast<uint32_t>(page_idx)).bytes;
     if (c->options.callback) {
-      ++reclaim_callbacks_;
+      reclaim_callbacks_.fetch_add(1, std::memory_order_relaxed);
       c->options.callback(ptr, size);
     }
     FreeLocked(ptr);
@@ -649,8 +968,12 @@ size_t SoftMemoryAllocator::ReclaimFromContextLocked(Context* c,
 }
 
 size_t SoftMemoryAllocator::HandleReclaimDemand(size_t pages) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  ++reclaim_demands_;
+  CentralLock lock(this);
+  reclaim_demands_.fetch_add(1, std::memory_order_relaxed);
+  // Revoke outstanding magazines first (epoch bump + synchronous drain):
+  // slots parked in thread caches must count as free pages below, and
+  // caches that refill during the wave self-flush on their next op.
+  RevokeThreadCachesLocked(/*bump_epoch=*/true);
   size_t produced = 0;
 
   // Tier 0a: budget slack — budget we hold but have not committed. Giving it
@@ -696,7 +1019,7 @@ size_t SoftMemoryAllocator::HandleReclaimDemand(size_t pages) {
     }
   }
 
-  reclaimed_pages_ += produced;
+  reclaimed_pages_.fetch_add(produced, std::memory_order_relaxed);
   ReportUsageLocked();
   return produced;
 }
@@ -706,7 +1029,9 @@ size_t SoftMemoryAllocator::TrimAndReleaseBudget() {
   size_t soft_pages = 0;
   size_t traditional = 0;
   {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    CentralLock lock(this);
+    // A voluntary give-everything-back event: magazines count as unused too.
+    RevokeThreadCachesLocked(/*bump_epoch=*/true);
     // Decommit is physical only; the budget released is the resulting slack
     // (decommitted pages become slack, so counting both would double-count).
     pool_.DecommitPooled(pool_.pooled_pages());
@@ -731,7 +1056,7 @@ void SoftMemoryAllocator::ReportUsageLocked() {
 void SoftMemoryAllocator::ReportTraditionalUsage(size_t bytes) {
   size_t soft_pages = 0;
   {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    CentralLock lock(this);
     traditional_bytes_ = bytes;
     soft_pages = pool_.committed_pages();
   }
@@ -741,7 +1066,10 @@ void SoftMemoryAllocator::ReportTraditionalUsage(size_t bytes) {
 // ---- Introspection ----------------------------------------------------------
 
 SmaStats SoftMemoryAllocator::GetStats() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  CentralLock lock(this);
+  // Drain magazines (no epoch bump) so live/pooled figures reflect every
+  // completed SoftFree exactly, as they did under the big lock.
+  const_cast<SoftMemoryAllocator*>(this)->RevokeThreadCachesLocked(false);
   SmaStats s;
   s.region_pages = pool_.total_pages();
   s.budget_pages = budget_pages_;
@@ -755,22 +1083,25 @@ SmaStats SoftMemoryAllocator::GetStats() const {
       s.allocated_bytes += c->heap.allocated_bytes;
     }
   }
-  s.total_allocs = total_allocs_;
-  s.total_frees = total_frees_;
-  s.budget_requests = budget_requests_;
-  s.budget_request_failures = budget_request_failures_;
-  s.reclaim_demands = reclaim_demands_;
-  s.reclaimed_pages = reclaimed_pages_;
-  s.reclaim_callbacks = reclaim_callbacks_;
-  s.self_reclaims = self_reclaims_;
+  s.total_allocs = total_allocs_.load(std::memory_order_relaxed);
+  s.total_frees = total_frees_.load(std::memory_order_relaxed);
+  s.budget_requests = budget_requests_.load(std::memory_order_relaxed);
+  s.budget_request_failures =
+      budget_request_failures_.load(std::memory_order_relaxed);
+  s.reclaim_demands = reclaim_demands_.load(std::memory_order_relaxed);
+  s.reclaimed_pages = reclaimed_pages_.load(std::memory_order_relaxed);
+  s.reclaim_callbacks = reclaim_callbacks_.load(std::memory_order_relaxed);
+  s.self_reclaims = self_reclaims_.load(std::memory_order_relaxed);
+  s.cache_revocations = cache_revocations_.load(std::memory_order_relaxed);
   return s;
 }
 
 Result<ContextStats> SoftMemoryAllocator::GetContextStats(ContextId id) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  CentralLock lock(this);
   if (id >= contexts_.size() || !contexts_[id]->alive) {
     return NotFoundError("no such context");
   }
+  const_cast<SoftMemoryAllocator*>(this)->RevokeThreadCachesLocked(false);
   const Context* c = contexts_[id].get();
   ContextStats s;
   s.name = c->options.name;
@@ -784,12 +1115,12 @@ Result<ContextStats> SoftMemoryAllocator::GetContextStats(ContextId id) const {
 }
 
 size_t SoftMemoryAllocator::budget_pages() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  CentralLock lock(this);
   return budget_pages_;
 }
 
 size_t SoftMemoryAllocator::committed_pages() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  CentralLock lock(this);
   return pool_.committed_pages();
 }
 

@@ -17,20 +17,46 @@
 //    pages exist; those pages are decommitted (returned to the OS) and the
 //    budget shrinks accordingly.
 //
-// Thread-safety: all public methods are safe to call concurrently; a single
-// recursive lock serializes them (reclaim callbacks run under the lock and
-// may call SoftFree). This mirrors the prototype's single-threaded-Redis
-// deployment; fine-grained concurrency is the paper's §7 open question.
+// Thread-safety (the paper's §7 open question, answered here): all public
+// methods are safe to call concurrently, and the hot path scales across
+// threads instead of collapsing onto one big lock.
+//
+//  * Fast path. Small allocations in contexts whose reclaim mode is kNone
+//    or kCustom are served from per-thread magazine caches (ThreadCache):
+//    SoftMalloc pops and SoftFree pushes local per-(context, size-class)
+//    free-slot magazines, refilled/flushed from the central heap in batches
+//    so the central lock is amortized over dozens of ops. Cumulative
+//    counters are atomics; the fast path never touches the central mutex.
+//  * Central path. All remaining state — page metadata, heaps, the pool,
+//    budget — is guarded by one plain std::mutex (`mu_`) with explicit
+//    *Locked internals. kOldestFirst contexts always take it: their
+//    allocations must enter the central age registry, so the magazine
+//    cache does not apply (the implicit default context is kOldestFirst).
+//  * Reclaim re-entry. Reclaim callbacks and custom reclaim protocols run
+//    under the central lock and may legitimately call back into SoftFree /
+//    SoftMalloc. An owner check on the mutex routes such re-entrant calls
+//    straight to the *Locked internals (the one place the old recursive
+//    lock semantics survive); re-entrant frees also bypass the magazines,
+//    so memory freed during reclamation is immediately visible centrally.
+//  * Revocation protocol. HandleReclaimDemand bumps a cache epoch and
+//    drains every thread's magazines back into the central free lists
+//    before counting free pages, so parked slots cannot shield pages from
+//    reclamation; stale caches self-flush on their next op. Context
+//    destruction and allocation-failure paths drain likewise, and stats
+//    snapshots drain so accounting stays exact. Pinning (PinContext) is
+//    unaffected: magazines hold only *free* slots, never live allocations.
 
 #ifndef SOFTMEM_SRC_SMA_SOFT_MEMORY_ALLOCATOR_H_
 #define SOFTMEM_SRC_SMA_SOFT_MEMORY_ALLOCATOR_H_
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -41,6 +67,7 @@
 #include "src/sma/page_meta.h"
 #include "src/sma/size_classes.h"
 #include "src/sma/smd_channel.h"
+#include "src/sma/thread_cache.h"
 
 namespace softmem {
 
@@ -68,6 +95,12 @@ struct SmaOptions {
   // Use real mmap-backed pages (decommit returns memory to the OS). When
   // false, a heap-backed SimPageSource is used (portable; tests).
   bool use_mmap = true;
+
+  // Serve small allocations of kNone/kCustom contexts from per-thread
+  // magazine caches (see thread_cache.h). Disable to force every operation
+  // through the central lock (the seed big-lock behavior; benchmarks use
+  // this as the contention baseline).
+  bool thread_cache = true;
 };
 
 // Snapshot of allocator-wide accounting.
@@ -89,6 +122,7 @@ struct SmaStats {
   size_t reclaimed_pages = 0;        // pages relinquished to the daemon
   size_t reclaim_callbacks = 0;      // allocations dropped via callback
   size_t self_reclaims = 0;
+  size_t cache_revocations = 0;      // magazine drains forced by reclaim
 };
 
 class SoftMemoryAllocator {
@@ -134,7 +168,9 @@ class SoftMemoryAllocator {
   // allocations (budget slack and pooled pages are still fair game). This is
   // the coarse-grained analogue of AIFM's dereference scopes: a thread that
   // is actively reading soft memory pins the owning context so the data
-  // cannot vanish mid-access. Use the RAII ReclaimPin wrapper.
+  // cannot vanish mid-access. Use the RAII ReclaimPin wrapper. Magazine
+  // caches never interfere with pins: they hold only free slots, and a
+  // reclaim-time drain returns slots without touching live allocations.
   Status PinContext(ContextId id);
   Status UnpinContext(ContextId id);
 
@@ -153,10 +189,11 @@ class SoftMemoryAllocator {
   void* SoftCalloc(ContextId ctx, size_t n, size_t size);
 
   // Resizes `ptr` within its original context (realloc semantics): may
-  // return the same pointer (same size class), a new pointer with the
-  // contents copied, or nullptr on failure — in which case `ptr` is still
-  // valid and untouched. SoftRealloc(nullptr, n) allocates in the default
-  // context; SoftRealloc(ptr, 0) frees and returns nullptr.
+  // return the same pointer (same size class, or a large run grown/shrunk
+  // in place — shrinking releases the now-unused tail pages), a new pointer
+  // with the contents copied, or nullptr on failure — in which case `ptr`
+  // is still valid and untouched. SoftRealloc(nullptr, n) allocates in the
+  // default context; SoftRealloc(ptr, 0) frees and returns nullptr.
   void* SoftRealloc(void* ptr, size_t new_size);
 
   // Size of the slot backing `ptr` (>= requested size).
@@ -169,7 +206,9 @@ class SoftMemoryAllocator {
 
   // Executes a daemon reclamation demand for `pages` pages. Returns the
   // number of pages actually relinquished (decommitted or released as budget
-  // slack); the budget shrinks by the same amount.
+  // slack); the budget shrinks by the same amount. Outstanding per-thread
+  // magazines are revoked first (epoch bump + synchronous drain) so cached
+  // slots count as free pages.
   size_t HandleReclaimDemand(size_t pages);
 
   // Voluntarily decommits all pooled pages and returns the resulting budget
@@ -178,6 +217,9 @@ class SoftMemoryAllocator {
 
   // ---- Introspection ------------------------------------------------------
 
+  // Stats snapshots drain every thread's magazines first, so counts reflect
+  // all completed SoftFree calls exactly (at the cost of briefly touching
+  // each thread cache).
   SmaStats GetStats() const;
   Result<ContextStats> GetContextStats(ContextId id) const;
   size_t budget_pages() const;
@@ -194,8 +236,25 @@ class SoftMemoryAllocator {
   void TrackPointer(void* alloc, void* holder);
   void UntrackPointer(void* alloc, void* holder);
 
+  // ---- Thread-cache plumbing (see thread_cache.h) -------------------------
+
+  // Monotone id distinguishing allocator instances that reuse an address.
+  uint64_t instance_generation() const { return instance_generation_; }
+
+  // Adds the calling thread's cache to this allocator's drain registry.
+  void RegisterThreadCache(ThreadCache* cache);
+
+  // Returns `cache`'s magazines to the central heap and unregisters it.
+  // Called at thread exit with the global allocator registry lock held.
+  void FlushThreadCacheAtExit(ThreadCache* cache);
+
  private:
   static constexpr ContextId kDefaultContext = 0;
+  static constexpr size_t kMaxContexts = 0x10000;
+
+  // ctx_flags_ bits (one atomic byte per possible ContextId).
+  static constexpr uint8_t kCtxAlive = 1;
+  static constexpr uint8_t kCtxCacheable = 2;
 
   struct Heap {
     std::array<uint32_t, kNumSizeClasses> partial_head;
@@ -230,8 +289,48 @@ class SoftMemoryAllocator {
     size_t bytes;
   };
 
+  // Scoped central-lock acquisition with reclaim-callback re-entry: if the
+  // calling thread already owns mu_ (a callback called back into the public
+  // API), the lock is treated as held and only the depth is tracked.
+  class CentralLock {
+   public:
+    explicit CentralLock(const SoftMemoryAllocator* sma) : sma_(sma) {
+      if (sma_->mu_owner_.load(std::memory_order_relaxed) ==
+          std::this_thread::get_id()) {
+        outermost_ = false;
+        ++sma_->mu_depth_;
+      } else {
+        sma_->mu_.lock();
+        sma_->mu_owner_.store(std::this_thread::get_id(),
+                              std::memory_order_relaxed);
+        sma_->mu_depth_ = 1;
+        outermost_ = true;
+      }
+    }
+    ~CentralLock() {
+      if (outermost_) {
+        sma_->mu_owner_.store(std::thread::id{}, std::memory_order_relaxed);
+        sma_->mu_.unlock();
+      } else {
+        --sma_->mu_depth_;
+      }
+    }
+    CentralLock(const CentralLock&) = delete;
+    CentralLock& operator=(const CentralLock&) = delete;
+
+   private:
+    const SoftMemoryAllocator* sma_;
+    bool outermost_;
+  };
+
   SoftMemoryAllocator(const SmaOptions& options, SmdChannel* channel,
                       std::unique_ptr<PageSource> source);
+
+  // True when the calling thread holds mu_ (reclaim-callback re-entry).
+  bool HoldsCentralLock() const {
+    return mu_owner_.load(std::memory_order_relaxed) ==
+           std::this_thread::get_id();
+  }
 
   // Intrusive page-list helpers over metas_.
   void ListPush(uint32_t* head, uint32_t page);
@@ -241,7 +340,38 @@ class SoftMemoryAllocator {
 
   void* AllocSmallLocked(ContextId ctx, int size_class);
   void* AllocLargeLocked(ContextId ctx, size_t size);
-  void FreeLocked(void* ptr);
+  // `count_op` is false when returning magazine slots (not user frees):
+  // the cumulative free counter must reflect user operations only.
+  void FreeLocked(void* ptr, bool count_op = true);
+
+  // ---- Magazine-cache internals -------------------------------------------
+
+  // Pops a slot from the calling thread's magazine, refilling a half
+  // magazine from the central heap on miss. Returns nullptr when the
+  // central heap cannot produce a single slot (budget exhausted).
+  void* CacheAlloc(ContextId ctx, int cls);
+
+  // Pushes `ptr` onto the calling thread's magazine; flushes the overflow
+  // half-magazine centrally when full. Returns false when the pointer is
+  // not cache-eligible (caller must free centrally).
+  bool TryCacheFree(void* ptr);
+
+  // Drains every registered thread cache into the central free lists.
+  // `bump_epoch` additionally advances the cache epoch so caches that gain
+  // slots after the drain self-flush on their next operation (the
+  // reclamation revocation protocol); stats snapshots drain without it.
+  void RevokeThreadCachesLocked(bool bump_epoch);
+
+  // Removes and centrally frees all magazines of `ctx` (context teardown).
+  void PurgeContextFromCachesLocked(ContextId ctx);
+
+  // Carves up to `want` slots of `cls` for `ctx`; returns the count.
+  size_t AllocSmallBatchLocked(ContextId ctx, int cls, size_t want,
+                               void** out);
+
+  // Lock-free per-page descriptor maintenance (fast-path free routing).
+  void SetPageDescrLocked(uint32_t page, int cls, ContextId ctx);
+  void ClearPageDescrLocked(uint32_t page);
 
   // Gets `count` contiguous pages for `ctx`, requesting budget / performing
   // self-reclamation as configured. On success the pages are committed and
@@ -266,11 +396,18 @@ class SoftMemoryAllocator {
   const SmaOptions options_;
   SmdChannel* channel_;  // not owned; may be null
   NullSmdChannel null_channel_;
+  const uint64_t instance_generation_;
 
   // Nulls all tracked holders of `alloc` (called before the memory goes).
   void InvalidateTrackedLocked(void* alloc);
 
-  mutable std::recursive_mutex mu_;
+  // Central lock. Plain mutex; mu_owner_/mu_depth_ implement the
+  // reclaim-callback re-entry path (see CentralLock). mu_depth_ is only
+  // accessed by the owning thread.
+  mutable std::mutex mu_;
+  mutable std::atomic<std::thread::id> mu_owner_{};
+  mutable int mu_depth_ = 0;
+
   PagePool pool_;
   std::vector<PageMeta> metas_;
   std::vector<std::unique_ptr<Context>> contexts_;
@@ -280,15 +417,38 @@ class SoftMemoryAllocator {
   size_t budget_pages_;
   size_t traditional_bytes_ = 0;
 
-  // Cumulative counters (see SmaStats).
-  size_t total_allocs_ = 0;
-  size_t total_frees_ = 0;
-  size_t budget_requests_ = 0;
-  size_t budget_request_failures_ = 0;
-  size_t reclaim_demands_ = 0;
-  size_t reclaimed_pages_ = 0;
-  size_t reclaim_callbacks_ = 0;
-  size_t self_reclaims_ = 0;
+  // ---- Lock-free fast-path state ------------------------------------------
+
+  // Per-page descriptor: kDescrSlabBit | size_class << 16 | context for live
+  // slab pages, 0 otherwise. Lets SoftFree route a pointer to the right
+  // magazine without the central lock. Written under mu_; read with acquire.
+  std::unique_ptr<std::atomic<uint32_t>[]> page_descr_;
+
+  // Per-context kCtxAlive/kCtxCacheable flags, indexed by ContextId.
+  std::unique_ptr<std::atomic<uint8_t>[]> ctx_flags_;
+
+  // Advanced by reclaim revocations; magazines self-flush on mismatch.
+  std::atomic<uint64_t> cache_epoch_{0};
+
+  // Nonzero while any SoftPtr is registered: tracked frees must invalidate
+  // holders under the central lock, so they bypass the magazines.
+  std::atomic<size_t> tracked_count_{0};
+
+  // Registry of this allocator's per-thread caches (drain targets).
+  mutable std::mutex caches_mu_;
+  std::vector<ThreadCache*> caches_;
+
+  // Cumulative counters (see SmaStats); atomics so the magazine fast path
+  // never touches mu_.
+  std::atomic<size_t> total_allocs_{0};
+  std::atomic<size_t> total_frees_{0};
+  std::atomic<size_t> budget_requests_{0};
+  std::atomic<size_t> budget_request_failures_{0};
+  std::atomic<size_t> reclaim_demands_{0};
+  std::atomic<size_t> reclaimed_pages_{0};
+  std::atomic<size_t> reclaim_callbacks_{0};
+  std::atomic<size_t> self_reclaims_{0};
+  std::atomic<size_t> cache_revocations_{0};
 };
 
 }  // namespace softmem

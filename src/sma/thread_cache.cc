@@ -1,0 +1,90 @@
+#include "src/sma/thread_cache.h"
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+namespace {
+
+// Global registry of live allocators (address -> instance generation).
+// Function-local statics are intentionally leaked so thread-exit flushes
+// that run during process shutdown never touch a destroyed registry.
+std::mutex& GlobalMu() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::unordered_map<SoftMemoryAllocator*, uint64_t>& LiveAllocators() {
+  static auto* map = new std::unordered_map<SoftMemoryAllocator*, uint64_t>;
+  return *map;
+}
+
+}  // namespace
+
+// Thread-local cache registry. The destructor runs at thread exit and hands
+// every still-live allocator its magazines back, so per-thread caches never
+// strand slots (central accounting would otherwise count them live forever).
+class TlsCacheRegistry {
+ public:
+  ~TlsCacheRegistry() {
+    for (auto& [sma, cache] : caches_) {
+      std::lock_guard<std::mutex> g(GlobalMu());
+      auto it = LiveAllocators().find(sma);
+      if (it != LiveAllocators().end() &&
+          it->second == cache->owner_generation_) {
+        sma->FlushThreadCacheAtExit(cache.get());
+      }
+      // Otherwise the allocator died first; its pages are gone, so the
+      // cached raw pointers are just dropped.
+    }
+  }
+
+  ThreadCache* Get(SoftMemoryAllocator* sma) {
+    auto& slot = caches_[sma];
+    if (slot == nullptr ||
+        slot->owner_generation_ != sma->instance_generation()) {
+      // First use, or a new allocator reusing a destroyed one's address:
+      // discard the stale cache (its slots died with the old allocator).
+      slot = std::unique_ptr<ThreadCache>(
+          new ThreadCache(sma->instance_generation()));
+      sma->RegisterThreadCache(slot.get());
+    }
+    return slot.get();
+  }
+
+ private:
+  std::unordered_map<SoftMemoryAllocator*, std::unique_ptr<ThreadCache>>
+      caches_;
+};
+
+ThreadCache* GetThreadCache(SoftMemoryAllocator* sma) {
+  thread_local TlsCacheRegistry registry;
+  // One-entry lookup memo: the common case is a single hot allocator.
+  thread_local SoftMemoryAllocator* last_sma = nullptr;
+  thread_local ThreadCache* last_cache = nullptr;
+  if (last_sma == sma &&
+      last_cache->owner_generation_ == sma->instance_generation()) {
+    return last_cache;
+  }
+  ThreadCache* cache = registry.Get(sma);
+  last_sma = sma;
+  last_cache = cache;
+  return cache;
+}
+
+namespace tcache_internal {
+
+void OnAllocatorCreated(SoftMemoryAllocator* sma, uint64_t generation) {
+  std::lock_guard<std::mutex> g(GlobalMu());
+  LiveAllocators()[sma] = generation;
+}
+
+void OnAllocatorDestroyed(SoftMemoryAllocator* sma) {
+  std::lock_guard<std::mutex> g(GlobalMu());
+  LiveAllocators().erase(sma);
+}
+
+}  // namespace tcache_internal
+}  // namespace softmem

@@ -1,0 +1,117 @@
+// Per-thread magazine caches for the SMA's small-allocation fast path.
+//
+// The paper's prototype serializes every soft_malloc/soft_free behind one
+// process-wide lock (§7 leaves fine-grained concurrency open). ThreadCache
+// is the tcmalloc-style answer: each (thread, allocator) pair owns a set of
+// small per-(context, size-class) free-slot *magazines*. SoftMalloc pops
+// from the local magazine and SoftFree pushes onto it; the central heap is
+// only consulted to refill or flush a magazine in batches, so the central
+// lock is amortized over dozens of operations instead of taken per op.
+//
+// Design points (see also the "Concurrency" section of DESIGN.md):
+//
+//  * Each ThreadCache carries its own tiny mutex. The owning thread takes
+//    it uncontended on every cached op (a single atomic exchange); the
+//    allocator takes it remotely to *revoke* magazines during reclamation,
+//    context destruction, stats snapshots, and thread exit. This keeps the
+//    protocol simple and ThreadSanitizer-clean without restartable
+//    sequences or lock-free lists.
+//  * Revocability is preserved through an epoch ("generation") protocol:
+//    SoftMemoryAllocator::HandleReclaimDemand bumps a global cache epoch
+//    and synchronously drains every registered cache, so slots parked in
+//    magazines are returned to the central free lists *before* reclamation
+//    counts free pages. A cache whose recorded epoch is stale flushes
+//    itself on its next operation.
+//  * Slots held in a magazine are, from the central allocator's view, still
+//    checked out (their pages cannot be released), so magazine contents are
+//    always valid memory. Central accounting subtracts nothing: stats
+//    snapshots drain the magazines first and therefore stay exact.
+//  * Only contexts whose reclaim mode is kNone or kCustom are cacheable.
+//    kOldestFirst contexts need every allocation registered in the central
+//    age registry, so they stay on the locked path.
+//
+// Lifetime: caches live in thread-local storage keyed by allocator
+// instance. A generation counter on the allocator detects address reuse
+// (a new allocator constructed where a destroyed one lived), and a global
+// registry of live allocators lets thread-exit flushes skip allocators
+// that are already gone.
+
+#ifndef SOFTMEM_SRC_SMA_THREAD_CACHE_H_
+#define SOFTMEM_SRC_SMA_THREAD_CACHE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sma/context.h"
+#include "src/sma/size_classes.h"
+
+namespace softmem {
+
+class SoftMemoryAllocator;
+
+class ThreadCache {
+ public:
+  // Magazine capacity for size class `cls`: sized in bytes so small classes
+  // amortize the central lock over ~64 ops while large classes do not hoard
+  // whole pages per thread. Refills fetch half a magazine at a time.
+  static size_t BinCapacity(int cls) {
+    const size_t by_bytes = kMagazineBytes / SizeClassBytes(cls);
+    if (by_bytes > kMaxSlotsPerBin) return kMaxSlotsPerBin;
+    if (by_bytes < kMinSlotsPerBin) return kMinSlotsPerBin;
+    return by_bytes;
+  }
+
+  ThreadCache(const ThreadCache&) = delete;
+  ThreadCache& operator=(const ThreadCache&) = delete;
+
+ private:
+  friend class SoftMemoryAllocator;
+  friend ThreadCache* GetThreadCache(SoftMemoryAllocator* sma);
+  friend class TlsCacheRegistry;
+
+  static constexpr size_t kMagazineBytes = 16 * 1024;
+  static constexpr size_t kMaxSlotsPerBin = 64;
+  static constexpr size_t kMinSlotsPerBin = 8;
+
+  struct Bin {
+    std::vector<void*> slots;  // free slots, popped/pushed at the back
+  };
+  struct ContextBins {
+    std::array<Bin, kNumSizeClasses> by_class;
+  };
+
+  explicit ThreadCache(uint64_t owner_generation)
+      : owner_generation_(owner_generation) {}
+
+  // Identifies the allocator *instance* this cache was built for; compared
+  // against SoftMemoryAllocator::instance_generation() to detect a new
+  // allocator reusing a destroyed one's address.
+  const uint64_t owner_generation_;
+
+  // Guards everything below. Uncontended for the owning thread; taken
+  // remotely only by magazine revocation (reclaim / destroy / stats / exit).
+  std::mutex mu_;
+  // Last observed SoftMemoryAllocator::cache_epoch_. A mismatch means a
+  // reclamation wave passed; the cache must flush before serving again.
+  uint64_t seen_epoch_ = 0;
+  std::unordered_map<ContextId, ContextBins> bins_;
+};
+
+// Returns the calling thread's cache for `sma`, creating and registering it
+// on first use. The returned pointer is only valid on the calling thread.
+ThreadCache* GetThreadCache(SoftMemoryAllocator* sma);
+
+namespace tcache_internal {
+// Allocator lifetime hooks (called from the SMA ctor/dtor) maintaining the
+// global live-allocator registry used by thread-exit flushes.
+void OnAllocatorCreated(SoftMemoryAllocator* sma, uint64_t generation);
+void OnAllocatorDestroyed(SoftMemoryAllocator* sma);
+}  // namespace tcache_internal
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SMA_THREAD_CACHE_H_

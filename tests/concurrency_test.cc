@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -128,6 +130,216 @@ TEST(ConcurrencyTest, ReclaimRacesAllocation) {
   EXPECT_GT(dropped.load(), 0u);
   const SmaStats s = sma->GetStats();
   EXPECT_EQ(s.live_allocations, inserted.load() - dropped.load());
+  EXPECT_LE(s.committed_pages, s.budget_pages);
+  EXPECT_EQ(s.committed_pages, s.pooled_pages + s.in_use_pages);
+}
+
+// Producers allocate in a shared cacheable context and hand pointers to
+// consumers, which free them — so magazine refills happen on the producer
+// side while the same pages' slots are pushed on the consumer side, and
+// every page transitions full->partial->empty across thread caches.
+TEST(ConcurrencyTest, CrossThreadFreeThroughMagazines) {
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  constexpr int kPerProducer = 15000;
+  auto sma = MakeSma(16 * 1024);
+
+  ContextOptions co;
+  co.name = "shared";
+  co.mode = ReclaimMode::kNone;
+  auto ctx = sma->CreateContext(co);
+  ASSERT_TRUE(ctx.ok());
+
+  std::mutex handoff_mu;
+  std::vector<std::pair<char*, size_t>> handoff;
+  std::atomic<int> producers_done{0};
+  std::atomic<int> errors{0};
+  std::atomic<size_t> consumed{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kProducers; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kPerProducer; ++i) {
+        const size_t size = 1 + rng.NextBounded(1024);
+        auto* p = static_cast<char*>(sma->SoftMalloc(*ctx, size));
+        if (p == nullptr) {
+          ++errors;
+          continue;
+        }
+        std::memset(p, static_cast<int>(size % 251), size);
+        std::lock_guard<std::mutex> g(handoff_mu);
+        handoff.emplace_back(p, size);
+      }
+      ++producers_done;
+    });
+  }
+  for (int t = 0; t < kConsumers; ++t) {
+    threads.emplace_back([&] {
+      for (;;) {
+        std::pair<char*, size_t> item{nullptr, 0};
+        {
+          std::lock_guard<std::mutex> g(handoff_mu);
+          if (!handoff.empty()) {
+            item = handoff.back();
+            handoff.pop_back();
+          }
+        }
+        if (item.first == nullptr) {
+          if (producers_done.load() == kProducers) {
+            std::lock_guard<std::mutex> g(handoff_mu);
+            if (handoff.empty()) {
+              return;
+            }
+          }
+          std::this_thread::yield();
+          continue;
+        }
+        auto [p, size] = item;
+        for (size_t b = 0; b < size; b += 61) {
+          if (static_cast<unsigned char>(p[b]) != size % 251) {
+            ++errors;
+            break;
+          }
+        }
+        sma->SoftFree(p);
+        ++consumed;
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(consumed.load(),
+            static_cast<size_t>(kProducers) * kPerProducer);
+  const SmaStats s = sma->GetStats();
+  EXPECT_EQ(s.live_allocations, 0u);
+  EXPECT_EQ(s.total_allocs, s.total_frees);
+  EXPECT_EQ(s.committed_pages, s.pooled_pages + s.in_use_pages);
+}
+
+// The reclaim-vs-alloc stress: private cacheable contexts doing
+// malloc/free/realloc with pattern checks, a shared oldest-first context
+// being filled insert-only, a reclaim thread firing demands (each revoking
+// all magazines), and a stats poller racing snapshot drains against owners.
+TEST(ConcurrencyTest, ReclaimVsCacheStress) {
+  constexpr int kPrivateThreads = 2;
+  constexpr int kInserters = 2;
+  constexpr int kOpsPerThread = 12000;
+  auto sma = MakeSma(16 * 1024);
+
+  std::vector<ContextId> priv;
+  for (int t = 0; t < kPrivateThreads; ++t) {
+    ContextOptions co;
+    co.name = "priv" + std::to_string(t);
+    co.mode = ReclaimMode::kNone;
+    co.priority = 10;  // reclaimed last (nothing to take anyway)
+    auto ctx = sma->CreateContext(co);
+    ASSERT_TRUE(ctx.ok());
+    priv.push_back(*ctx);
+  }
+  ContextOptions cache_opts;
+  cache_opts.name = "cache";
+  cache_opts.mode = ReclaimMode::kOldestFirst;
+  cache_opts.priority = 0;  // reclaimed first
+  std::atomic<size_t> dropped{0};
+  cache_opts.callback = [&dropped](void*, size_t) { ++dropped; };
+  auto cache_ctx = sma->CreateContext(cache_opts);
+  ASSERT_TRUE(cache_ctx.ok());
+
+  std::atomic<int> errors{0};
+  std::atomic<size_t> inserted{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+
+  for (int t = 0; t < kPrivateThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(7000 + static_cast<uint64_t>(t));
+      const char tag = static_cast<char>(t + 1);
+      std::vector<std::pair<char*, size_t>> live;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const double roll = 0.001 * rng.NextBounded(1000);
+        if (live.empty() || roll < 0.5) {
+          const size_t size = 1 + rng.NextBounded(2048);
+          auto* p = static_cast<char*>(sma->SoftMalloc(priv[t], size));
+          if (p == nullptr) {
+            continue;  // budget may be tight mid-reclaim; not an error
+          }
+          std::memset(p, tag, size);
+          live.emplace_back(p, size);
+        } else if (roll < 0.8) {
+          const size_t pick = rng.NextBounded(live.size());
+          auto [p, size] = live[pick];
+          for (size_t b = 0; b < size; b += 97) {
+            if (p[b] != tag) {
+              ++errors;
+              break;
+            }
+          }
+          sma->SoftFree(p);
+          live[pick] = live.back();
+          live.pop_back();
+        } else {
+          const size_t pick = rng.NextBounded(live.size());
+          auto [p, size] = live[pick];
+          const size_t new_size = 1 + rng.NextBounded(3 * kPageSize);
+          auto* q = static_cast<char*>(sma->SoftRealloc(p, new_size));
+          if (q == nullptr) {
+            continue;  // p is still valid and patterned
+          }
+          for (size_t b = 0; b < std::min(size, new_size); b += 97) {
+            if (q[b] != tag) {
+              ++errors;
+              break;
+            }
+          }
+          std::memset(q, tag, new_size);
+          live[pick] = {q, new_size};
+        }
+      }
+      for (auto [p, size] : live) {
+        sma->SoftFree(p);
+      }
+    });
+  }
+  for (int t = 0; t < kInserters; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (sma->SoftMalloc(*cache_ctx, 512) != nullptr) {
+          ++inserted;
+        }
+      }
+    });
+  }
+  std::thread reclaimer([&] {
+    for (int i = 0; i < 150; ++i) {
+      sma->HandleReclaimDemand(8);
+      std::this_thread::yield();
+    }
+  });
+  std::thread poller([&] {
+    while (!stop.load()) {
+      const SmaStats s = sma->GetStats();
+      if (s.committed_pages > s.budget_pages ||
+          s.committed_pages != s.pooled_pages + s.in_use_pages) {
+        ++errors;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& th : threads) {
+    th.join();
+  }
+  reclaimer.join();
+  stop.store(true);
+  poller.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  const SmaStats s = sma->GetStats();
+  EXPECT_EQ(s.live_allocations, inserted.load() - dropped.load())
+      << "only the insert-only cache context holds live memory after join";
   EXPECT_LE(s.committed_pages, s.budget_pages);
   EXPECT_EQ(s.committed_pages, s.pooled_pages + s.in_use_pages);
 }

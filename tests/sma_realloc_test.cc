@@ -101,6 +101,64 @@ TEST(SoftReallocTest, LargeToLargerPreservesAll) {
   sma->SoftFree(q);
 }
 
+TEST(SoftReallocTest, LargeShrinkReleasesTailPages) {
+  auto sma = MakeSma();
+  const SmaStats before = sma->GetStats();
+  auto* p = static_cast<char*>(sma->SoftMalloc(8 * kPageSize));
+  ASSERT_NE(p, nullptr);
+  for (size_t i = 0; i < 3 * kPageSize; ++i) {
+    p[i] = static_cast<char>(i % 251);
+  }
+  EXPECT_EQ(sma->GetStats().in_use_pages, before.in_use_pages + 8);
+
+  auto* q = static_cast<char*>(sma->SoftRealloc(p, 3 * kPageSize));
+  EXPECT_EQ(q, p) << "shrink within the run must happen in place";
+  EXPECT_EQ(sma->AllocationSize(q), 3 * kPageSize);
+  const SmaStats after = sma->GetStats();
+  EXPECT_EQ(after.in_use_pages, before.in_use_pages + 3)
+      << "tail pages must return to the pool";
+  EXPECT_EQ(after.allocated_bytes, before.allocated_bytes + 3 * kPageSize);
+  for (size_t i = 0; i < 3 * kPageSize; ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(q[i]), i % 251);
+  }
+  sma->SoftFree(q);
+  EXPECT_EQ(sma->GetStats().live_allocations, 0u);
+  EXPECT_EQ(sma->GetStats().in_use_pages, before.in_use_pages);
+}
+
+TEST(SoftReallocTest, LargeShrinkTailReusableUnderTightBudget) {
+  auto sma = MakeSma(16);  // 16-page region and budget
+  void* p = sma->SoftMalloc(12 * kPageSize);
+  ASSERT_NE(p, nullptr);
+  void* q = sma->SoftRealloc(p, 4 * kPageSize);
+  ASSERT_EQ(q, p);
+  // Only possible if the shrink actually released its 8 tail pages.
+  void* r = sma->SoftMalloc(8 * kPageSize);
+  EXPECT_NE(r, nullptr);
+  sma->SoftFree(q);
+  sma->SoftFree(r);
+  EXPECT_EQ(sma->GetStats().live_allocations, 0u);
+}
+
+TEST(SoftReallocTest, LargeGrowWithinRunUpdatesSize) {
+  auto sma = MakeSma();
+  const size_t initial = 2 * kPageSize + kPageSize / 2;  // rounds to 3 pages
+  auto* p = static_cast<char*>(sma->SoftMalloc(initial));
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x5A, initial);
+  auto* q = static_cast<char*>(sma->SoftRealloc(p, 3 * kPageSize));
+  EXPECT_EQ(q, p) << "growth within the run must happen in place";
+  EXPECT_EQ(sma->AllocationSize(q), 3 * kPageSize);
+  // A later copying realloc must honor the grown size: bytes written into
+  // the in-place-acquired tail have to survive the copy.
+  q[3 * kPageSize - 1] = 0x77;
+  auto* r = static_cast<char*>(sma->SoftRealloc(q, 5 * kPageSize));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r[3 * kPageSize - 1], 0x77);
+  EXPECT_EQ(r[0], 0x5A);
+  sma->SoftFree(r);
+}
+
 TEST(SoftReallocTest, FailureLeavesOriginalValid) {
   auto sma = MakeSma(16);  // tiny region
   auto* p = static_cast<char*>(sma->SoftMalloc(1024));

@@ -1,0 +1,272 @@
+// Tests for the per-thread magazine cache (src/sma/thread_cache.h): exact
+// accounting despite parked slots, the reclaim revocation protocol, context
+// teardown with outstanding magazines, the budget-denial drain rescue, and
+// thread-exit / allocator-death lifetime handling.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+namespace {
+
+std::unique_ptr<SoftMemoryAllocator> MakeSma(size_t pages = 1024) {
+  SmaOptions o;
+  o.region_pages = pages;
+  o.initial_budget_pages = pages;
+  o.heap_retain_empty_pages = 0;
+  o.use_mmap = false;
+  auto r = SoftMemoryAllocator::Create(o);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+ContextId MakeUncachedContext(SoftMemoryAllocator* sma, const char* name) {
+  ContextOptions co;
+  co.name = name;
+  co.mode = ReclaimMode::kNone;  // cache-eligible
+  auto ctx = sma->CreateContext(co);
+  EXPECT_TRUE(ctx.ok());
+  return *ctx;
+}
+
+TEST(ThreadCacheTest, StatsStayExactWithCachedOps) {
+  auto sma = MakeSma();
+  const ContextId ctx = MakeUncachedContext(sma.get(), "worker");
+  std::vector<void*> live;
+  for (int i = 0; i < 1000; ++i) {
+    void* p = sma->SoftMalloc(ctx, 64);
+    ASSERT_NE(p, nullptr);
+    live.push_back(p);
+  }
+  // Free half: many of these land in this thread's magazines, yet stats
+  // must still count every completed operation (snapshots drain first).
+  for (int i = 0; i < 500; ++i) {
+    sma->SoftFree(live[i]);
+  }
+  SmaStats s = sma->GetStats();
+  EXPECT_EQ(s.total_allocs, 1000u);
+  EXPECT_EQ(s.total_frees, 500u);
+  EXPECT_EQ(s.live_allocations, 500u);
+  EXPECT_EQ(s.committed_pages, s.pooled_pages + s.in_use_pages);
+  for (int i = 500; i < 1000; ++i) {
+    sma->SoftFree(live[i]);
+  }
+  s = sma->GetStats();
+  EXPECT_EQ(s.total_frees, 1000u);
+  EXPECT_EQ(s.live_allocations, 0u);
+}
+
+TEST(ThreadCacheTest, CachedSlotsAreReusedNotLeaked) {
+  auto sma = MakeSma();
+  const ContextId ctx = MakeUncachedContext(sma.get(), "worker");
+  // Alloc/free churn over one size class must stabilize on a handful of
+  // pages: magazine slots are recycled, not treated as live.
+  for (int round = 0; round < 100; ++round) {
+    std::vector<void*> batch;
+    for (int i = 0; i < 128; ++i) {
+      void* p = sma->SoftMalloc(ctx, 128);
+      ASSERT_NE(p, nullptr);
+      batch.push_back(p);
+    }
+    for (void* p : batch) {
+      sma->SoftFree(p);
+    }
+  }
+  const SmaStats s = sma->GetStats();
+  EXPECT_EQ(s.live_allocations, 0u);
+  // 128 concurrent 128-byte slots fit in 4 pages; allow slack for the
+  // magazine high-water mark, but the churn must not accumulate pages.
+  EXPECT_LE(s.committed_pages, 16u);
+}
+
+TEST(ThreadCacheTest, ReclaimDemandRevokesParkedSlots) {
+  auto sma = MakeSma(32);
+  const ContextId ctx = MakeUncachedContext(sma.get(), "worker");
+  std::vector<void*> live;
+  for (int i = 0; i < 20 * 64; ++i) {  // 20 pages of 64-byte slots
+    void* p = sma->SoftMalloc(ctx, 64);
+    ASSERT_NE(p, nullptr);
+    live.push_back(p);
+  }
+  for (void* p : live) {
+    sma->SoftFree(p);
+  }
+  // Some slots are still parked in this thread's magazines, pinning their
+  // page. A reclaim demand must revoke them and reach the full region.
+  const size_t produced = sma->HandleReclaimDemand(32);
+  EXPECT_EQ(produced, 32u);
+  const SmaStats s = sma->GetStats();
+  EXPECT_EQ(s.budget_pages, 0u);
+  EXPECT_EQ(s.committed_pages, 0u);
+  EXPECT_GE(s.cache_revocations, 1u);
+}
+
+TEST(ThreadCacheTest, BudgetDenialDrainsCachesBeforeFailing) {
+  auto sma = MakeSma(8);  // 8-page region and budget, no daemon to ask
+  const ContextId ctx = MakeUncachedContext(sma.get(), "worker");
+  std::vector<void*> live;
+  for (int i = 0; i < 8 * 64; ++i) {  // fill all 8 pages with 64-byte slots
+    void* p = sma->SoftMalloc(ctx, 64);
+    ASSERT_NE(p, nullptr);
+    live.push_back(p);
+  }
+  for (void* p : live) {
+    sma->SoftFree(p);
+  }
+  // The last page's slots are parked in this thread's magazine, so the pool
+  // holds at most 7 contiguous pages. An 8-page run must still succeed:
+  // the denial path revokes magazines before giving up.
+  void* big = sma->SoftMalloc(8 * kPageSize);
+  EXPECT_NE(big, nullptr);
+  sma->SoftFree(big);
+}
+
+TEST(ThreadCacheTest, DestroyContextWithParkedMagazines) {
+  auto sma = MakeSma();
+  const ContextId ctx = MakeUncachedContext(sma.get(), "doomed");
+  std::vector<void*> freed;
+  for (int i = 0; i < 200; ++i) {
+    void* p = sma->SoftMalloc(ctx, 256);
+    ASSERT_NE(p, nullptr);
+    if (i % 2 == 0) {
+      freed.push_back(p);
+    }
+  }
+  for (void* p : freed) {
+    sma->SoftFree(p);  // parks slots of `ctx` in this thread's magazine
+  }
+  ASSERT_TRUE(sma->DestroyContext(ctx).ok());
+  const SmaStats s = sma->GetStats();
+  EXPECT_EQ(s.live_allocations, 0u);
+  EXPECT_EQ(s.in_use_pages, 0u);
+  // A fresh context must be able to reuse everything.
+  const ContextId next = MakeUncachedContext(sma.get(), "next");
+  void* p = sma->SoftMalloc(next, 256);
+  EXPECT_NE(p, nullptr);
+  sma->SoftFree(p);
+}
+
+TEST(ThreadCacheTest, WorkerThreadExitFlushesItsMagazines) {
+  auto sma = MakeSma();
+  const ContextId ctx = MakeUncachedContext(sma.get(), "worker");
+  std::thread worker([&] {
+    std::vector<void*> live;
+    for (int i = 0; i < 300; ++i) {
+      void* p = sma->SoftMalloc(ctx, 64);
+      ASSERT_NE(p, nullptr);
+      live.push_back(p);
+    }
+    for (void* p : live) {
+      sma->SoftFree(p);
+    }
+    // Thread exits with slots parked; the TLS destructor must flush them
+    // and unregister the cache.
+  });
+  worker.join();
+  const SmaStats s = sma->GetStats();
+  EXPECT_EQ(s.live_allocations, 0u);
+  EXPECT_EQ(s.total_allocs, 300u);
+  EXPECT_EQ(s.total_frees, 300u);
+  // Post-join revocation must not touch the dead thread's cache (it would
+  // be a use-after-free caught by the sanitizer builds).
+  sma->HandleReclaimDemand(4);
+}
+
+TEST(ThreadCacheTest, AllocatorDeathBeforeThreadExitIsSafe) {
+  std::atomic<int> phase{0};
+  std::thread worker;
+  {
+    auto sma = MakeSma();
+    const ContextId ctx = MakeUncachedContext(sma.get(), "worker");
+    worker = std::thread([&] {
+      std::vector<void*> live;
+      for (int i = 0; i < 100; ++i) {
+        void* p = sma->SoftMalloc(ctx, 64);
+        ASSERT_NE(p, nullptr);
+        live.push_back(p);
+      }
+      for (void* p : live) {
+        sma->SoftFree(p);
+      }
+      phase.store(1);
+      while (phase.load() != 2) {
+        std::this_thread::yield();
+      }
+      // Exits *after* the allocator died: the flush must detect that and
+      // drop the cache instead of touching freed memory.
+    });
+    while (phase.load() != 1) {
+      std::this_thread::yield();
+    }
+    // Allocator (and its pages) destroyed here, magazines still parked.
+  }
+  phase.store(2);
+  worker.join();
+
+  // A new allocator created afterwards (possibly at the same address) must
+  // not be confused with the dead one.
+  auto sma2 = MakeSma();
+  const ContextId ctx2 = MakeUncachedContext(sma2.get(), "fresh");
+  void* p = sma2->SoftMalloc(ctx2, 64);
+  EXPECT_NE(p, nullptr);
+  sma2->SoftFree(p);
+  EXPECT_EQ(sma2->GetStats().live_allocations, 0u);
+}
+
+TEST(ThreadCacheTest, TwoAllocatorsKeepSeparateCaches) {
+  auto a = MakeSma();
+  auto b = MakeSma();
+  const ContextId ca = MakeUncachedContext(a.get(), "a");
+  const ContextId cb = MakeUncachedContext(b.get(), "b");
+  std::vector<void*> pa, pb;
+  for (int i = 0; i < 100; ++i) {
+    pa.push_back(a->SoftMalloc(ca, 64));
+    pb.push_back(b->SoftMalloc(cb, 64));
+    ASSERT_NE(pa.back(), nullptr);
+    ASSERT_NE(pb.back(), nullptr);
+  }
+  for (int i = 0; i < 100; ++i) {
+    a->SoftFree(pa[i]);
+    b->SoftFree(pb[i]);
+  }
+  EXPECT_EQ(a->GetStats().live_allocations, 0u);
+  EXPECT_EQ(b->GetStats().live_allocations, 0u);
+  EXPECT_EQ(a->GetStats().total_allocs, 100u);
+  EXPECT_EQ(b->GetStats().total_allocs, 100u);
+}
+
+TEST(ThreadCacheTest, BigLockModeStillWorks) {
+  SmaOptions o;
+  o.region_pages = 256;
+  o.initial_budget_pages = 256;
+  o.heap_retain_empty_pages = 0;
+  o.use_mmap = false;
+  o.thread_cache = false;  // the seed behavior, kept as contention baseline
+  auto r = SoftMemoryAllocator::Create(o);
+  ASSERT_TRUE(r.ok());
+  auto sma = std::move(r).value();
+  const ContextId ctx = MakeUncachedContext(sma.get(), "worker");
+  std::vector<void*> live;
+  for (int i = 0; i < 500; ++i) {
+    void* p = sma->SoftMalloc(ctx, 64);
+    ASSERT_NE(p, nullptr);
+    live.push_back(p);
+  }
+  for (void* p : live) {
+    sma->SoftFree(p);
+  }
+  const SmaStats s = sma->GetStats();
+  EXPECT_EQ(s.live_allocations, 0u);
+  EXPECT_EQ(s.cache_revocations, 0u);
+}
+
+}  // namespace
+}  // namespace softmem
