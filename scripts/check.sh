@@ -1,24 +1,56 @@
 #!/usr/bin/env bash
-# CI entry point: build + test in the plain configuration, then rebuild and
-# re-test under ThreadSanitizer (the concurrency suite is the point of the
-# second pass). Usage: scripts/check.sh [extra ctest args...]
+# CI entry point. Usage: scripts/check.sh [mode] [extra ctest args...]
+#
+#   plain  build + full ctest in the default configuration
+#   asan   rebuild under AddressSanitizer+UBSan, full ctest
+#   tsan   rebuild under ThreadSanitizer, concurrency + thread-cache +
+#          fault-soak suites (the multi-threaded ones — TSan's point)
+#   all    (default) run plain, then asan, then tsan
+#
+# Each mode uses its own build directory so they can be cached separately.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
+MODE="${1:-all}"
+case "${MODE}" in
+  plain|asan|tsan|all) shift || true ;;
+  *) MODE=all ;;
+esac
 
-echo "==> plain build"
-cmake -B build -S . >/dev/null
-cmake --build build -j "${JOBS}"
-echo "==> plain ctest"
-ctest --test-dir build --output-on-failure -j "${JOBS}" "$@"
+run_plain() {
+  echo "==> plain build"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}"
+  echo "==> plain ctest"
+  ctest --test-dir build --output-on-failure -j "${JOBS}" "$@"
+}
 
-echo "==> tsan build"
-cmake -B build-tsan -S . -DSOFTMEM_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}"
-echo "==> tsan ctest (concurrency + thread-cache suites)"
-TSAN_OPTIONS="halt_on_error=1" \
-  ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-        -R "Concurrency|ThreadCache" "$@"
+run_asan() {
+  echo "==> asan+ubsan build"
+  cmake -B build-asan -S . -DSOFTMEM_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j "${JOBS}"
+  echo "==> asan+ubsan ctest"
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --test-dir build-asan --output-on-failure -j "${JOBS}" "$@"
+}
 
-echo "==> all checks passed"
+run_tsan() {
+  echo "==> tsan build"
+  cmake -B build-tsan -S . -DSOFTMEM_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}"
+  echo "==> tsan ctest (concurrency, thread-cache, fault-soak suites)"
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+          -R "Concurrency|ThreadCache|FaultStressSoak" "$@"
+}
+
+case "${MODE}" in
+  plain) run_plain "$@" ;;
+  asan)  run_asan "$@" ;;
+  tsan)  run_tsan "$@" ;;
+  all)   run_plain "$@"; run_asan "$@"; run_tsan "$@" ;;
+esac
+
+echo "==> checks passed (${MODE})"

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "src/ipc/channel.h"
+#include "src/testing/failpoint.h"
 
 namespace softmem {
 
@@ -27,6 +28,10 @@ class LocalEndpoint : public MessageChannel {
   ~LocalEndpoint() override { Close(); }
 
   Status Send(const Message& m) override {
+    if (SOFTMEM_FAULT_FIRED("ipc.send.drop")) {
+      return Status::Ok();  // message silently lost on the wire
+    }
+    SOFTMEM_INJECT_FAULT("ipc.send.fail");
     std::lock_guard<std::mutex> lock(core_->mu);
     const bool peer_open = is_a_ ? core_->b_open : core_->a_open;
     if (!peer_open) {
@@ -38,6 +43,9 @@ class LocalEndpoint : public MessageChannel {
   }
 
   Result<Message> Recv(int timeout_ms) override {
+    if (SOFTMEM_FAULT_FIRED("ipc.recv.timeout")) {
+      return NotFoundError("injected fault: ipc.recv.timeout");
+    }
     std::unique_lock<std::mutex> lock(core_->mu);
     auto& queue = is_a_ ? core_->to_a : core_->to_b;
     auto ready = [&]() {

@@ -6,8 +6,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <vector>
+
+#include "src/testing/failpoint.h"
 
 namespace softmem {
 
@@ -24,17 +27,34 @@ Status MakeAddr(const std::string& path, sockaddr_un* addr) {
 }
 
 // Waits for readability. kNotFound on timeout, kUnavailable on error/hup
-// with no pending data.
+// with no pending data. A signal interrupting the poll is not an error:
+// re-poll with the remaining time so callers never see a spurious
+// kUnavailable from EINTR.
 Status WaitReadable(int fd, int timeout_ms) {
-  pollfd p{fd, POLLIN, 0};
-  const int n = ::poll(&p, 1, timeout_ms);
-  if (n == 0) {
-    return NotFoundError("recv timeout");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms < 0 ? 0
+                                                                 : timeout_ms);
+  for (;;) {
+    pollfd p{fd, POLLIN, 0};
+    const int n = ::poll(&p, 1, timeout_ms);
+    if (n > 0) {
+      return Status::Ok();
+    }
+    if (n == 0) {
+      return NotFoundError("recv timeout");
+    }
+    if (errno != EINTR) {
+      return UnavailableError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        return NotFoundError("recv timeout");
+      }
+      timeout_ms = static_cast<int>(left.count());
+    }
   }
-  if (n < 0) {
-    return UnavailableError(std::string("poll: ") + std::strerror(errno));
-  }
-  return Status::Ok();
 }
 
 constexpr size_t kMaxDatagram = 64 * 1024;
@@ -52,8 +72,15 @@ Status UnixSocketChannel::Send(const Message& m) {
   if (fd_ < 0) {
     return UnavailableError("channel closed");
   }
+  if (SOFTMEM_FAULT_FIRED("ipc.send.drop")) {
+    return Status::Ok();  // message silently lost on the wire
+  }
+  SOFTMEM_INJECT_FAULT("ipc.send.fail");
   const std::vector<uint8_t> bytes = EncodeMessage(m);
-  const ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  ssize_t n;
+  do {
+    n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  } while (n < 0 && errno == EINTR);
   if (n < 0) {
     return UnavailableError(std::string("send: ") + std::strerror(errno));
   }
@@ -67,9 +94,15 @@ Result<Message> UnixSocketChannel::Recv(int timeout_ms) {
   if (fd_ < 0) {
     return UnavailableError("channel closed");
   }
+  if (SOFTMEM_FAULT_FIRED("ipc.recv.timeout")) {
+    return NotFoundError("injected fault: ipc.recv.timeout");
+  }
   SOFTMEM_RETURN_IF_ERROR(WaitReadable(fd_, timeout_ms));
   std::vector<uint8_t> buf(kMaxDatagram);
-  const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+  ssize_t n;
+  do {
+    n = ::recv(fd_, buf.data(), buf.size(), 0);
+  } while (n < 0 && errno == EINTR);
   if (n < 0) {
     return UnavailableError(std::string("recv: ") + std::strerror(errno));
   }

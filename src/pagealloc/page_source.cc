@@ -7,6 +7,8 @@
 #include <new>
 #include <string>
 
+#include "src/testing/failpoint.h"
+
 namespace softmem {
 
 namespace internal {
@@ -58,6 +60,7 @@ MmapPageSource::~MmapPageSource() {
 
 Status MmapPageSource::Commit(PageRun run) {
   SOFTMEM_RETURN_IF_ERROR(map_.Check(run, /*expect_committed=*/false));
+  SOFTMEM_INJECT_FAULT("sma.commit");
   void* addr = PageAddress(run.start);
   if (::mprotect(addr, run.bytes(), PROT_READ | PROT_WRITE) != 0) {
     return ResourceExhaustedError(std::string("mprotect commit failed: ") +
@@ -69,6 +72,7 @@ Status MmapPageSource::Commit(PageRun run) {
 
 Status MmapPageSource::Decommit(PageRun run) {
   SOFTMEM_RETURN_IF_ERROR(map_.Check(run, /*expect_committed=*/true));
+  SOFTMEM_INJECT_FAULT("sma.decommit");
   void* addr = PageAddress(run.start);
   // MADV_DONTNEED drops the physical pages immediately; the follow-up
   // mprotect makes stray accesses fault instead of silently reading zeros.
@@ -96,6 +100,7 @@ SimPageSource::~SimPageSource() {
 
 Status SimPageSource::Commit(PageRun run) {
   SOFTMEM_RETURN_IF_ERROR(map_.Check(run, /*expect_committed=*/false));
+  SOFTMEM_INJECT_FAULT("sma.commit");
   if (map_.committed_pages() + run.count > commit_limit_) {
     return ResourceExhaustedError("sim commit limit reached");
   }
@@ -106,6 +111,7 @@ Status SimPageSource::Commit(PageRun run) {
 
 Status SimPageSource::Decommit(PageRun run) {
   SOFTMEM_RETURN_IF_ERROR(map_.Check(run, /*expect_committed=*/true));
+  SOFTMEM_INJECT_FAULT("sma.decommit");
   ++decommit_calls_;
   // Poison the dropped range so use-after-reclaim bugs surface in tests.
   std::memset(base_ + run.start * kPageSize, 0xDD, run.bytes());

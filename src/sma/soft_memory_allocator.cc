@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/testing/failpoint.h"
 
 namespace softmem {
 namespace {
@@ -492,6 +493,14 @@ void* SoftMemoryAllocator::SoftRealloc(void* ptr, size_t new_size) {
           metas_[page + i] = PageMeta{};
         }
         pool_.Release(PageRun{page + new_pages, tail});
+        // Mutation check for the invariant harness: arming this failpoint
+        // re-plants the PR 1 shrink accounting bug (tail pages released to
+        // the pool but still counted as heap-owned, stale allocated_bytes).
+        // The fault-stress suite asserts the invariant checker catches it.
+        if (SOFTMEM_FAULT_FIRED("bug.realloc.leak_tail")) {
+          info.run_pages = new_pages;
+          return ptr;
+        }
         h.owned_pages -= tail;
         info.run_pages = new_pages;
       }
@@ -823,6 +832,10 @@ Result<PageRun> SoftMemoryAllocator::AcquirePagesLocked(ContextId ctx_id,
   if (pool_.committed_pages() + count > budget_pages_) {
     const size_t want = std::max(count, options_.budget_chunk_pages);
     budget_requests_.fetch_add(1, std::memory_order_relaxed);
+    // Failpoint: the budget RPC fails before reaching the daemon (transport
+    // died, daemon crashed). The allocation must degrade exactly like a
+    // denial: revoke caches, optionally self-reclaim, else fail cleanly.
+    const Status injected = SOFTMEM_FAULT_STATUS("sma.budget.request");
     // Drop our lock across the daemon round-trip: the daemon may
     // concurrently be demanding reclamation *from us* on behalf of another
     // process, and holding mu_ here while the daemon holds its own lock
@@ -830,15 +843,19 @@ Result<PageRun> SoftMemoryAllocator::AcquirePagesLocked(ContextId ctx_id,
     // conditions after relocking. (If a reclaim callback allocates — a
     // discouraged pattern — the lock is held recursively and stays held;
     // that path is only reachable single-threaded.)
-    const bool outermost = (mu_depth_ == 1);
-    if (outermost) {
-      mu_owner_.store(std::thread::id{}, std::memory_order_relaxed);
-      mu_.unlock();
-    }
-    auto granted = channel_->RequestBudget(want);
-    if (outermost) {
-      mu_.lock();
-      mu_owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+    Result<size_t> granted = injected.ok() ? Result<size_t>(size_t{0})
+                                           : Result<size_t>(injected);
+    if (injected.ok()) {
+      const bool outermost = (mu_depth_ == 1);
+      if (outermost) {
+        mu_owner_.store(std::thread::id{}, std::memory_order_relaxed);
+        mu_.unlock();
+      }
+      granted = channel_->RequestBudget(want);
+      if (outermost) {
+        mu_.lock();
+        mu_owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+      }
     }
     if (granted.ok()) {
       budget_pages_ += *granted;
@@ -1007,6 +1024,12 @@ size_t SoftMemoryAllocator::HandleReclaimDemand(size_t pages) {
                      });
     for (ContextId id : order) {
       if (produced >= pages) {
+        break;
+      }
+      // Failpoint: the pass aborts between two SDS contexts (e.g. the daemon
+      // gave up waiting). Everything reclaimed so far must stay accounted;
+      // the partial count is reported back.
+      if (SOFTMEM_FAULT_FIRED("sma.reclaim.mid_sds")) {
         break;
       }
       if (contexts_[id]->pin_count > 0) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/testing/failpoint.h"
 
 namespace softmem {
 
@@ -63,6 +64,13 @@ Result<size_t> SoftMemoryDaemon::HandleBudgetRequest(ProcessId id,
     return InvalidArgumentError("zero-page request");
   }
   ++total_requests_;
+  // Failpoint: the daemon denies the grant outright (simulated machine-wide
+  // pressure). Counted like any other denial so stats stay conserved.
+  if (SOFTMEM_FAULT_FIRED("smd.grant.deny")) {
+    ++denied_requests_;
+    ++it->second.requests_denied;
+    return DeniedError("injected fault: smd.grant.deny");
+  }
   if (it->second.cap_pages != 0 &&
       it->second.budget_pages + pages > it->second.cap_pages) {
     // Above the scheduler-imposed ceiling: deny without disturbing anyone.

@@ -1,0 +1,149 @@
+#include "src/testing/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+
+namespace softmem {
+namespace fail {
+
+std::atomic<int> FailpointRegistry::armed_count_{0};
+
+// All mutable state lives behind one mutex. Sites only reach it when at
+// least one failpoint is armed, so production runs never contend here.
+struct FailpointRegistry::Impl {
+  std::mutex mu;
+  Rng rng;
+  std::unordered_map<std::string, Point> points;
+};
+
+FailpointRegistry::FailpointRegistry() : impl_(new Impl) {}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  // Leaked singleton: failpoints must stay usable during static teardown
+  // (thread-cache exit hooks can run arbitrarily late).
+  static FailpointRegistry* g = new FailpointRegistry();
+  return *g;
+}
+
+void FailpointRegistry::Arm(const std::string& name, FailSpec spec) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Point& p = impl_->points[name];
+  if (!p.armed) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  p.spec = std::move(spec);
+  p.armed = true;
+  p.hit_count = 0;
+  p.fire_count = 0;
+}
+
+void FailpointRegistry::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(name);
+  if (it != impl_->points.end() && it->second.armed) {
+    it->second.armed = false;
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, p] : impl_->points) {
+    if (p.armed) {
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  impl_->points.clear();
+}
+
+void FailpointRegistry::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->rng.Seed(seed);
+}
+
+uint64_t FailpointRegistry::hits(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(name);
+  return it != impl_->points.end() ? it->second.hit_count : 0;
+}
+
+uint64_t FailpointRegistry::fires(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(name);
+  return it != impl_->points.end() ? it->second.fire_count : 0;
+}
+
+bool FailpointRegistry::Decide(const char* name, StatusCode* code,
+                               std::string* message, uint32_t* delay_us) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(name);
+  if (it == impl_->points.end() || !it->second.armed) {
+    return false;
+  }
+  Point& p = it->second;
+  ++p.hit_count;
+  if (p.hit_count <= p.spec.skip) {
+    return false;
+  }
+  if (p.spec.max_fires != 0 && p.fire_count >= p.spec.max_fires) {
+    return false;
+  }
+  // Draw even at probability 1.0 so arming a point does not shift the PRNG
+  // stream other points see — schedules stay comparable across configs.
+  if (!impl_->rng.NextBool(p.spec.probability)) {
+    return false;
+  }
+  ++p.fire_count;
+  *code = p.spec.code;
+  *message = p.spec.message;
+  *delay_us = p.spec.delay_us;
+  return true;
+}
+
+Status FailpointRegistry::Evaluate(const char* name) {
+  StatusCode code;
+  std::string message;
+  uint32_t delay_us = 0;
+  if (!Decide(name, &code, &message, &delay_us)) {
+    return Status::Ok();
+  }
+  if (delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+  return Status(code, "failpoint " + std::string(name) + ": " + message);
+}
+
+bool FailpointRegistry::Fired(const char* name) {
+  StatusCode code;
+  std::string message;
+  uint32_t delay_us = 0;
+  if (!Decide(name, &code, &message, &delay_us)) {
+    return false;
+  }
+  if (delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+  return true;
+}
+
+uint64_t SeedFromEnv(uint64_t fallback) {
+  const char* env = std::getenv("SOFTMEM_FAULT_SEED");
+  if (env == nullptr || *env == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 0);
+  if (end == env || (end != nullptr && *end != '\0')) {
+    return fallback;
+  }
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace fail
+}  // namespace softmem

@@ -1,0 +1,182 @@
+// Deterministic fault-injection failpoints.
+//
+// A failpoint is a named site compiled into production code paths (SMA
+// commit/budget/reclaim, SMD grants, IPC send/recv) that tests can *arm* to
+// inject an error, drop a message, delay, or abort a pass — with a seeded
+// PRNG deciding when, so a failing schedule replays exactly from its seed.
+// This generalizes the old SimPageSource-only commit_limit injection into
+// shared infrastructure for every layer.
+//
+// Cost when nothing is armed: one relaxed atomic load per site (no lock, no
+// string lookup), so the sites stay compiled into release builds.
+//
+// Usage in code under test (site):
+//
+//   Status PageSource::Commit(PageRun run) {
+//     SOFTMEM_INJECT_FAULT("sma.commit");   // early-returns the armed Status
+//     ...
+//   }
+//
+//   if (SOFTMEM_FAULT_FIRED("ipc.send.drop")) {
+//     return Status::Ok();                  // pretend success, lose the message
+//   }
+//
+// Usage in a test (armer):
+//
+//   fail::FailSpec spec;
+//   spec.probability = 0.05;                // 5% of hits fire ...
+//   spec.code = StatusCode::kResourceExhausted;
+//   fail::ScopedFailpoint fp("sma.commit", spec);
+//   fail::Registry().Seed(schedule_seed);   // ... decided reproducibly
+//
+// Registered site names (grep for SOFTMEM_INJECT_FAULT / SOFTMEM_FAULT_FIRED):
+//   sma.commit            page commit fails (kResourceExhausted-style)
+//   sma.decommit          page decommit fails
+//   sma.budget.request    SMA->SMD budget RPC fails before reaching the daemon
+//   sma.reclaim.mid_sds   reclamation pass aborts between two SDS contexts
+//   smd.grant.deny        daemon denies a budget request outright
+//   ipc.send.drop         transport silently loses one message
+//   ipc.send.fail         transport Send returns the armed error
+//   ipc.recv.timeout      transport Recv times out despite pending data
+//   bug.realloc.leak_tail planted accounting bug (mutation-checks the
+//                         invariant harness; never arm outside tests)
+
+#ifndef SOFTMEM_SRC_TESTING_FAILPOINT_H_
+#define SOFTMEM_SRC_TESTING_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace softmem {
+namespace fail {
+
+// What an armed failpoint does when a hit "fires". Hit number h (1-based,
+// counted while armed) fires iff
+//   h > skip  &&  (max_fires == 0 || fires_so_far < max_fires)
+//   &&  seeded-PRNG draw < probability.
+struct FailSpec {
+  // Error returned by SOFTMEM_INJECT_FAULT sites when firing.
+  StatusCode code = StatusCode::kUnavailable;
+  std::string message = "injected fault";
+
+  // Chance that an eligible hit fires; 1.0 = every eligible hit.
+  double probability = 1.0;
+
+  // Ignore the first `skip` hits (N-th-hit-only: skip = N-1, max_fires = 1).
+  uint64_t skip = 0;
+
+  // Stop firing after this many fires. 0 = unlimited.
+  uint64_t max_fires = 0;
+
+  // Sleep this long on each fire before acting (races/timeout windows).
+  uint32_t delay_us = 0;
+};
+
+class FailpointRegistry {
+ public:
+  // The process-global registry used by all SOFTMEM_* site macros.
+  static FailpointRegistry& Global();
+
+  // Arms (or re-arms, resetting hit/fire counters) the named failpoint.
+  void Arm(const std::string& name, FailSpec spec);
+
+  // Disarms one failpoint. Counters for it are kept until re-armed.
+  void Disarm(const std::string& name);
+
+  // Disarms everything and clears all counters. Tests call this in teardown.
+  void DisarmAll();
+
+  // Reseeds the PRNG driving probability draws. Together with a fixed op
+  // sequence this makes the whole fault schedule a pure function of the seed.
+  void Seed(uint64_t seed);
+
+  // Observability: evaluations while armed / times actually fired.
+  uint64_t hits(const std::string& name) const;
+  uint64_t fires(const std::string& name) const;
+
+  // True when at least one failpoint is armed (the macros' fast-path gate).
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  // Site entry points (called through the macros, not directly).
+  // Returns the armed error when the site fires, Ok otherwise.
+  Status Evaluate(const char* name);
+  // Boolean form for sites whose effect is not an error return (drop a
+  // message, abort a loop). Applies the same spec; code/message are unused.
+  bool Fired(const char* name);
+
+ private:
+  struct Point {
+    FailSpec spec;
+    bool armed = false;
+    uint64_t hit_count = 0;
+    uint64_t fire_count = 0;
+  };
+
+  FailpointRegistry();
+  ~FailpointRegistry() = delete;  // process-global
+
+  // Decides a hit; returns whether it fired and fills `*delay_us`.
+  bool Decide(const char* name, StatusCode* code, std::string* message,
+              uint32_t* delay_us);
+
+  static std::atomic<int> armed_count_;
+
+  struct Impl;
+  Impl* impl_;  // never destroyed (usable during static teardown)
+};
+
+// Convenience accessor: fail::Registry().Arm(...).
+inline FailpointRegistry& Registry() { return FailpointRegistry::Global(); }
+
+// Reads SOFTMEM_FAULT_SEED from the environment; `fallback` if unset/invalid.
+// Stress harnesses use this so a printed failing seed replays exactly.
+uint64_t SeedFromEnv(uint64_t fallback);
+
+// RAII arm/disarm for tests.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, FailSpec spec) : name_(std::move(name)) {
+    FailpointRegistry::Global().Arm(name_, std::move(spec));
+  }
+  ~ScopedFailpoint() { FailpointRegistry::Global().Disarm(name_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace fail
+}  // namespace softmem
+
+// Early-returns the armed Status out of the enclosing function when the named
+// failpoint fires. For functions returning Status or Result<T>.
+#define SOFTMEM_INJECT_FAULT(name)                                        \
+  do {                                                                    \
+    if (::softmem::fail::FailpointRegistry::AnyArmed()) {                 \
+      ::softmem::Status _softmem_fp =                                     \
+          ::softmem::fail::FailpointRegistry::Global().Evaluate(name);    \
+      if (!_softmem_fp.ok()) {                                            \
+        return _softmem_fp;                                               \
+      }                                                                   \
+    }                                                                     \
+  } while (0)
+
+// Boolean site: true when the named failpoint fires on this hit.
+#define SOFTMEM_FAULT_FIRED(name)                     \
+  (::softmem::fail::FailpointRegistry::AnyArmed() &&  \
+   ::softmem::fail::FailpointRegistry::Global().Fired(name))
+
+// Expression form: the armed Status when firing, Ok otherwise.
+#define SOFTMEM_FAULT_STATUS(name)                   \
+  (::softmem::fail::FailpointRegistry::AnyArmed()    \
+       ? ::softmem::fail::FailpointRegistry::Global().Evaluate(name) \
+       : ::softmem::Status::Ok())
+
+#endif  // SOFTMEM_SRC_TESTING_FAILPOINT_H_

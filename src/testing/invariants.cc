@@ -1,0 +1,195 @@
+#include "src/testing/invariants.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace softmem {
+namespace testing {
+
+namespace {
+
+std::string Ptr(const void* p) {
+  std::ostringstream os;
+  os << p;
+  return os.str();
+}
+
+// Cheap deterministic byte stream (splitmix-style) for fill patterns.
+uint64_t NextWord(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Status ShadowHeap::OnAlloc(void* p, size_t requested, ContextId ctx,
+                           uint64_t pattern) {
+  auto [it, inserted] = live_.emplace(p, ShadowAlloc{requested, ctx, pattern});
+  if (!inserted) {
+    return InternalError("shadow: allocator returned live address " + Ptr(p) +
+                         " twice (overlapping allocation)");
+  }
+  return Status::Ok();
+}
+
+Status ShadowHeap::OnFree(void* p) {
+  if (live_.erase(p) != 1) {
+    return InternalError("shadow: free of unknown pointer " + Ptr(p) +
+                         " (double free?)");
+  }
+  return Status::Ok();
+}
+
+Status ShadowHeap::OnRealloc(void* old_p, void* new_p, size_t requested,
+                             uint64_t pattern) {
+  auto it = live_.find(old_p);
+  if (it == live_.end()) {
+    return InternalError("shadow: realloc of unknown pointer " + Ptr(old_p));
+  }
+  const ContextId ctx = it->second.ctx;
+  live_.erase(it);
+  auto [it2, inserted] =
+      live_.emplace(new_p, ShadowAlloc{requested, ctx, pattern});
+  if (!inserted) {
+    return InternalError("shadow: realloc returned live address " +
+                         Ptr(new_p));
+  }
+  return Status::Ok();
+}
+
+const ShadowAlloc* ShadowHeap::Find(const void* p) const {
+  auto it = live_.find(const_cast<void*>(p));
+  return it != live_.end() ? &it->second : nullptr;
+}
+
+std::vector<void*> ShadowHeap::LivePointers() const {
+  std::vector<void*> out;
+  out.reserve(live_.size());
+  for (const auto& [p, a] : live_) {
+    out.push_back(p);
+  }
+  return out;
+}
+
+void FillPattern(void* p, size_t n, uint64_t seed) {
+  uint64_t state = seed;
+  auto* dst = static_cast<unsigned char*>(p);
+  size_t i = 0;
+  while (i + 8 <= n) {
+    const uint64_t w = NextWord(&state);
+    std::memcpy(dst + i, &w, 8);
+    i += 8;
+  }
+  if (i < n) {
+    const uint64_t w = NextWord(&state);
+    std::memcpy(dst + i, &w, n - i);
+  }
+}
+
+Status CheckPattern(const void* p, size_t n, uint64_t seed) {
+  uint64_t state = seed;
+  const auto* src = static_cast<const unsigned char*>(p);
+  size_t i = 0;
+  while (i + 8 <= n) {
+    const uint64_t w = NextWord(&state);
+    if (std::memcmp(src + i, &w, 8) != 0) {
+      return InternalError("pattern corrupt at " + Ptr(p) + "+" +
+                           std::to_string(i));
+    }
+    i += 8;
+  }
+  if (i < n) {
+    const uint64_t w = NextWord(&state);
+    if (std::memcmp(src + i, &w, n - i) != 0) {
+      return InternalError("pattern corrupt at " + Ptr(p) + "+" +
+                           std::to_string(i) + " (tail)");
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckSmaInvariants(SoftMemoryAllocator* sma, const ShadowHeap& shadow,
+                          const InvariantOptions& options) {
+  const SmaStats s = sma->GetStats();
+
+  // I1: soft usage never exceeds the budget.
+  if (s.committed_pages > s.budget_pages) {
+    return InternalError("I1: committed " + std::to_string(s.committed_pages) +
+                         " pages > budget " + std::to_string(s.budget_pages));
+  }
+  // I2: every committed page is pooled or in use, never both or neither.
+  if (s.committed_pages != s.pooled_pages + s.in_use_pages) {
+    return InternalError(
+        "I2: committed " + std::to_string(s.committed_pages) + " != pooled " +
+        std::to_string(s.pooled_pages) + " + in_use " +
+        std::to_string(s.in_use_pages));
+  }
+  // I3: in-use pages are exactly the pages context heaps own.
+  {
+    size_t owned = 0;
+    size_t found = 0;
+    for (uint32_t id = 0; id < 0x10000 && found < s.context_count; ++id) {
+      auto cs = sma->GetContextStats(static_cast<ContextId>(id));
+      if (cs.ok()) {
+        owned += cs->owned_pages;
+        ++found;
+      }
+    }
+    if (owned != s.in_use_pages) {
+      return InternalError("I3: context heaps own " + std::to_string(owned) +
+                           " pages but pool says in_use " +
+                           std::to_string(s.in_use_pages));
+    }
+  }
+  // I4: cumulative counters conserve live allocations (magazine drains must
+  // neither create nor lose frees).
+  if (s.total_allocs - s.total_frees != s.live_allocations) {
+    return InternalError(
+        "I4: total_allocs " + std::to_string(s.total_allocs) + " - frees " +
+        std::to_string(s.total_frees) + " != live " +
+        std::to_string(s.live_allocations));
+  }
+
+  // I5 (+ optional I8): every shadow allocation is live with a big-enough
+  // slot, and its bytes are untouched.
+  size_t slot_bytes = 0;
+  for (const auto& [p, a] : shadow.live()) {
+    if (!sma->Owns(p)) {
+      return InternalError("I5: shadow-live pointer " + Ptr(p) +
+                           " not owned by the SMA");
+    }
+    const size_t slot = sma->AllocationSize(p);
+    if (slot < a.requested) {
+      return InternalError("I5: slot of " + Ptr(p) + " is " +
+                           std::to_string(slot) + " bytes < requested " +
+                           std::to_string(a.requested));
+    }
+    slot_bytes += slot;
+    if (options.check_patterns && a.pattern != 0) {
+      SOFTMEM_RETURN_IF_ERROR(CheckPattern(p, a.requested, a.pattern));
+    }
+  }
+
+  if (options.shadow_is_complete) {
+    // I7: the allocator agrees with the shadow on what is live.
+    if (s.live_allocations != shadow.live_count()) {
+      return InternalError("I7: allocator reports " +
+                           std::to_string(s.live_allocations) +
+                           " live allocations, shadow has " +
+                           std::to_string(shadow.live_count()));
+    }
+    // I6: slot-size accounting balances to the byte.
+    if (s.allocated_bytes != slot_bytes) {
+      return InternalError("I6: allocator reports " +
+                           std::to_string(s.allocated_bytes) +
+                           " allocated bytes, shadow slots sum to " +
+                           std::to_string(slot_bytes));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace testing
+}  // namespace softmem

@@ -1,0 +1,99 @@
+// Allocator invariant checking against a shadow model.
+//
+// The fault-stress harness mirrors every SoftMalloc/SoftFree it performs in a
+// ShadowHeap (traditional memory), fills each allocation with a seed-derived
+// byte pattern, and after every step asks CheckSmaInvariants to prove the
+// allocator state still reconciles exactly:
+//
+//   I1  committed_pages <= budget_pages            (soft usage within budget)
+//   I2  committed_pages == pooled + in_use          (exact page accounting)
+//   I3  in_use_pages == sum of context owned_pages  (no page leaked/orphaned)
+//   I4  total_allocs - total_frees == live_allocations
+//                                     (stats conservation across cache drains)
+//   I5  every shadow allocation is Owns()-live with AllocationSize >= request
+//   I6  allocated_bytes == sum of AllocationSize over shadow allocations
+//                                     (only when the shadow sees every alloc)
+//   I7  shadow live count == live_allocations       (ditto; no double-free)
+//   I8  byte patterns intact (optional sweep: no cross-allocation scribbling)
+//
+// Checks return Status (not assertions) so mutation tests can arm a planted
+// accounting bug and assert the checker *catches* it.
+
+#ifndef SOFTMEM_SRC_TESTING_INVARIANTS_H_
+#define SOFTMEM_SRC_TESTING_INVARIANTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sma/context.h"
+#include "src/sma/soft_memory_allocator.h"
+
+namespace softmem {
+namespace testing {
+
+// One allocation the harness believes is live.
+struct ShadowAlloc {
+  size_t requested = 0;  // bytes asked of SoftMalloc/SoftRealloc
+  ContextId ctx = 0;
+  uint64_t pattern = 0;  // seed of the fill pattern (0 = unpatterned)
+};
+
+// Traditional-memory mirror of the harness's live allocations.
+class ShadowHeap {
+ public:
+  // Records a successful allocation. Aborts (kInternal) on address reuse
+  // without an intervening free — that would mean the SMA double-allocated.
+  Status OnAlloc(void* p, size_t requested, ContextId ctx, uint64_t pattern);
+
+  // Records a free (user-initiated or observed through a reclaim callback).
+  // kInternal if `p` is not live in the shadow — a harness bug or a
+  // double-free the SMA failed to reject.
+  Status OnFree(void* p);
+
+  // Realloc bookkeeping: moves `old_p`'s entry to `new_p` (which may equal
+  // old_p) with the new request size and pattern.
+  Status OnRealloc(void* old_p, void* new_p, size_t requested,
+                   uint64_t pattern);
+
+  bool Contains(const void* p) const {
+    return live_.find(const_cast<void*>(p)) != live_.end();
+  }
+  const ShadowAlloc* Find(const void* p) const;
+  size_t live_count() const { return live_.size(); }
+
+  const std::unordered_map<void*, ShadowAlloc>& live() const { return live_; }
+
+  // Deterministic n-th live pointer (iteration order is hash-map order, so
+  // harnesses keep their own insertion-ordered vector; this is for sweeps).
+  std::vector<void*> LivePointers() const;
+
+ private:
+  std::unordered_map<void*, ShadowAlloc> live_;
+};
+
+// Fills `p[0..n)` with a pattern derived from `seed` (xor-shifted stream).
+void FillPattern(void* p, size_t n, uint64_t seed);
+
+// Verifies a FillPattern region; kInternal with the first corrupt offset.
+Status CheckPattern(const void* p, size_t n, uint64_t seed);
+
+struct InvariantOptions {
+  // The shadow sees every allocation of the SMA (no SDS containers sharing
+  // it): enables the exact liveness invariants I6/I7.
+  bool shadow_is_complete = true;
+  // Also verify every shadow allocation's byte pattern (I8). O(live bytes).
+  bool check_patterns = false;
+};
+
+// Runs the invariant sweep; Ok or kInternal naming the violated invariant.
+// GetStats() drains thread caches, so counts are exact at the check point.
+Status CheckSmaInvariants(SoftMemoryAllocator* sma, const ShadowHeap& shadow,
+                          const InvariantOptions& options = {});
+
+}  // namespace testing
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_TESTING_INVARIANTS_H_

@@ -1,0 +1,881 @@
+// Deterministic fault-injection stress harness (the framework's flagship
+// consumer): seeded random op schedules — soft malloc/free/realloc, SDS
+// container traffic, budget churn, forced reclaim, daemon disconnects — run
+// against two SMAs sharing one daemon while failpoints inject commit
+// failures, denied grants, dropped RPCs and aborted reclaim passes at
+// PRNG-chosen points. After every step the allocator must reconcile exactly
+// against a traditional-memory shadow model (src/testing/invariants.h).
+//
+// Everything is a pure function of the schedule seed: a failure prints the
+// seed, and SOFTMEM_FAULT_SEED=<n> replays the exact op/fault schedule.
+// SameSeedSameTrace pins this property; the mutation tests prove the
+// invariant checker actually catches a planted accounting bug (the PR 1
+// realloc tail-page leak, re-introduced behind `bug.realloc.leak_tail`).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/ipc/channel.h"
+#include "src/sds/sds.h"
+#include "src/sma/soft_memory_allocator.h"
+#include "src/smd/soft_memory_daemon.h"
+#include "src/testing/failpoint.h"
+#include "src/testing/invariants.h"
+
+namespace softmem {
+namespace {
+
+namespace ft = ::softmem::testing;
+
+constexpr uint64_t kBaseSeed = 0xA11C0000ULL;
+constexpr int kSteps = 280;
+
+// Direct SMA -> in-process daemon adapter with a connectivity toggle, so
+// schedules can sever and restore the daemon link mid-run.
+class FlakyDaemonChannel : public SmdChannel {
+ public:
+  explicit FlakyDaemonChannel(SoftMemoryDaemon* daemon) : daemon_(daemon) {}
+
+  void set_process(ProcessId id) { id_ = id; }
+  void set_connected(bool connected) { connected_ = connected; }
+  bool connected() const { return connected_; }
+
+  Result<size_t> RequestBudget(size_t pages) override {
+    if (!connected_) {
+      return UnavailableError("daemon disconnected");
+    }
+    return daemon_->HandleBudgetRequest(id_, pages);
+  }
+  void ReleaseBudget(size_t pages) override {
+    if (connected_) {
+      daemon_->HandleBudgetRelease(id_, pages);
+    }
+  }
+  void ReportUsage(size_t soft_pages, size_t traditional_bytes) override {
+    if (connected_) {
+      daemon_->HandleUsageReport(id_, soft_pages, traditional_bytes);
+    }
+  }
+
+ private:
+  SoftMemoryDaemon* daemon_;
+  ProcessId id_ = 0;
+  bool connected_ = true;
+};
+
+class SmaReclaimSink : public ReclaimSink {
+ public:
+  void set_sma(SoftMemoryAllocator* sma) { sma_ = sma; }
+  size_t DemandReclaim(size_t pages) override {
+    return sma_ != nullptr ? sma_->HandleReclaimDemand(pages) : 0;
+  }
+
+ private:
+  SoftMemoryAllocator* sma_ = nullptr;
+};
+
+struct ScheduleOutcome {
+  uint64_t seed = 0;
+  Status harness = Status::Ok();    // shadow-bookkeeping failure (test bug)
+  Status violation = Status::Ok();  // first allocator invariant violation
+  std::vector<std::string> trace;   // deterministic op/outcome record
+};
+
+// Runs one seeded schedule. With `plant_realloc_bug`, the PR 1 realloc
+// tail-page accounting bug is re-introduced via its failpoint so the
+// invariant checker can prove it catches the mutation.
+ScheduleOutcome RunSchedule(uint64_t seed, bool plant_realloc_bug) {
+  ScheduleOutcome out;
+  out.seed = seed;
+  fail::Registry().DisarmAll();
+  fail::Registry().Seed(seed);
+
+  const auto arm_bug = [] {
+    fail::FailSpec bug;
+    bug.probability = 1.0;
+    fail::Registry().Arm("bug.realloc.leak_tail", bug);
+  };
+  if (plant_realloc_bug) {
+    arm_bug();
+  }
+
+  SmdOptions so;
+  so.capacity_pages = 1024;
+  so.max_reclaim_targets = 2;
+  so.over_reclaim_factor = 0.25;
+  so.initial_grant_pages = 48;
+  SoftMemoryDaemon daemon(so);
+
+  struct Proc {
+    std::unique_ptr<FlakyDaemonChannel> channel;
+    SmaReclaimSink sink;
+    std::unique_ptr<SoftMemoryAllocator> sma;
+    ContextId ctx_none = 0;  // kNone: cacheable, never revoked
+    ContextId ctx_old = 0;   // kOldestFirst: revoked via callback
+    ft::ShadowHeap shadow;
+    std::vector<void*> live;  // insertion order (deterministic victim picks)
+  };
+  Proc procs[2];
+
+  const auto harness = [&](const Status& s) {
+    if (out.harness.ok() && !s.ok()) {
+      out.harness = s;
+    }
+  };
+
+  for (int i = 0; i < 2; ++i) {
+    Proc& p = procs[i];
+    p.channel = std::make_unique<FlakyDaemonChannel>(&daemon);
+    SmaOptions o;
+    o.region_pages = 4096;
+    o.initial_budget_pages = 48;
+    o.budget_chunk_pages = 16;
+    o.heap_retain_empty_pages = 1;
+    o.use_mmap = false;
+    o.allow_self_reclaim = (i == 0) && (seed & 1) != 0;
+    auto sma = SoftMemoryAllocator::Create(o, p.channel.get());
+    if (!sma.ok()) {
+      harness(sma.status());
+      return out;
+    }
+    p.sma = std::move(sma).value();
+    p.sink.set_sma(p.sma.get());
+    auto pid = daemon.RegisterProcess(i == 0 ? "stress-a" : "stress-b",
+                                      &p.sink);
+    if (!pid.ok()) {
+      harness(pid.status());
+      return out;
+    }
+    p.channel->set_process(*pid);
+
+    ContextOptions none_opts;
+    none_opts.name = "stress-none";
+    none_opts.priority = 2;
+    none_opts.mode = ReclaimMode::kNone;
+    auto c1 = p.sma->CreateContext(none_opts);
+    ContextOptions old_opts;
+    old_opts.name = "stress-old";
+    old_opts.priority = 1;
+    old_opts.mode = ReclaimMode::kOldestFirst;
+    old_opts.callback = [&p, &out](void* ptr, size_t) {
+      // A reclaimed allocation leaves the shadow through the last-chance
+      // callback, exactly as an application would observe it.
+      if (out.harness.ok()) {
+        Status s = p.shadow.OnFree(ptr);
+        if (!s.ok()) {
+          out.harness = s;
+        }
+      }
+      auto it = std::find(p.live.begin(), p.live.end(), ptr);
+      if (it != p.live.end()) {
+        p.live.erase(it);
+      }
+      out.trace.push_back("rc");
+    };
+    auto c2 = p.sma->CreateContext(old_opts);
+    if (!c1.ok() || !c2.ok()) {
+      harness(!c1.ok() ? c1.status() : c2.status());
+      return out;
+    }
+    p.ctx_none = *c1;
+    p.ctx_old = *c2;
+  }
+
+  // A third of the schedules run SDS containers on proc 0 alongside the raw
+  // allocations; its shadow is then incomplete (I6/I7 off) while the SDS
+  // element counts are checked against their own shadow models.
+  const bool with_sds = (seed % 3) == 0;
+  std::optional<SoftHashTable<int, int>> table;
+  std::optional<SoftQueue<int>> queue;
+  std::optional<SoftLruCache<int, int>> lru;
+  std::optional<SoftBloomFilter> bloom;
+  std::set<int> table_expected;
+  std::map<int, int> lru_expected;  // superset: pressure evictions are silent
+  std::set<int> bloom_added;
+  size_t queue_pushed = 0;
+  size_t queue_popped = 0;
+  size_t queue_dropped = 0;
+  if (with_sds) {
+    typename SoftHashTable<int, int>::Options to;
+    to.priority = 0;
+    to.on_reclaim = [&](const int& k, const int&) { table_expected.erase(k); };
+    table.emplace(procs[0].sma.get(), to);
+    typename SoftQueue<int>::Options qo;
+    qo.priority = 0;
+    qo.on_reclaim = [&](const int&) { ++queue_dropped; };
+    queue.emplace(procs[0].sma.get(), qo);
+    typename SoftLruCache<int, int>::Options lo;
+    lo.priority = 3;
+    lo.on_reclaim = [&](const int& k, const int&) { lru_expected.erase(k); };
+    lru.emplace(procs[0].sma.get(), lo);
+    SoftBloomFilter::Options bo;
+    bo.priority = 0;
+    bo.on_reclaim = [&] { bloom_added.clear(); };
+    bloom.emplace(procs[0].sma.get(), 4096, 0.01, bo);
+  }
+
+  const auto check = [&](int step, bool patterns) {
+    if (!out.violation.ok()) {
+      return;
+    }
+    for (int i = 0; i < 2; ++i) {
+      ft::InvariantOptions io;
+      io.shadow_is_complete = (i == 1) || !with_sds;
+      io.check_patterns = patterns;
+      const Status s =
+          ft::CheckSmaInvariants(procs[i].sma.get(), procs[i].shadow, io);
+      if (!s.ok()) {
+        out.violation =
+            Status(s.code(), "seed " + std::to_string(seed) + " step " +
+                                 std::to_string(step) + " proc " +
+                                 std::to_string(i) + ": " + s.message());
+        return;
+      }
+    }
+  };
+
+  const auto sds_check = [&](int step) {
+    if (!with_sds || !out.violation.ok()) {
+      return;
+    }
+    const auto fail = [&](const std::string& what) {
+      out.violation = InternalError("seed " + std::to_string(seed) +
+                                    " step " + std::to_string(step) +
+                                    ": sds shadow mismatch: " + what);
+    };
+    if (table->size() != table_expected.size()) {
+      fail("table size " + std::to_string(table->size()) + " != " +
+           std::to_string(table_expected.size()));
+      return;
+    }
+    for (const int k : table_expected) {
+      int* v = table->Get(k);
+      if (v == nullptr || *v != k * 3) {
+        fail("table lost or corrupted key " + std::to_string(k));
+        return;
+      }
+    }
+    if (queue->size() != queue_pushed - queue_popped - queue_dropped) {
+      fail("queue count equation");
+      return;
+    }
+    if (lru->size() > lru_expected.size()) {
+      fail("lru grew beyond its shadow");
+      return;
+    }
+    for (const auto& [k, v] : lru_expected) {
+      int* g = lru->Get(k);  // pressure evictions make misses legitimate
+      if (g != nullptr && *g != v) {
+        fail("lru value corrupted for key " + std::to_string(k));
+        return;
+      }
+    }
+    if (bloom->valid()) {
+      for (const int k : bloom_added) {
+        if (!bloom->MayContain(std::to_string(k))) {
+          fail("bloom false negative for key " + std::to_string(k));
+          return;
+        }
+      }
+    }
+  };
+
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+
+  for (int step = 0; step < kSteps && out.violation.ok() && out.harness.ok();
+       ++step) {
+    const uint64_t op = rng.NextBounded(100);
+    Proc& p = procs[rng.NextBool(0.7) ? 0 : 1];
+
+    if (op < 28) {  // small malloc
+      const size_t size = 1 + rng.NextBounded(512);
+      const ContextId ctx = rng.NextBool(0.5) ? p.ctx_none : p.ctx_old;
+      void* q = p.sma->SoftMalloc(ctx, size);
+      if (q != nullptr) {
+        const uint64_t pat = rng.NextU64() | 1;
+        ft::FillPattern(q, size, pat);
+        harness(p.shadow.OnAlloc(q, size, ctx, pat));
+        p.live.push_back(q);
+        out.trace.push_back("m" + std::to_string(size) + "=" +
+                            std::to_string(p.sma->AllocationSize(q)));
+      } else {
+        out.trace.push_back("m" + std::to_string(size) + "=F");
+      }
+    } else if (op < 36) {  // large malloc (page runs)
+      const size_t size =
+          (2 + rng.NextBounded(7)) * kPageSize - rng.NextBounded(64);
+      const ContextId ctx = rng.NextBool(0.5) ? p.ctx_none : p.ctx_old;
+      void* q = p.sma->SoftMalloc(ctx, size);
+      if (q != nullptr) {
+        const uint64_t pat = rng.NextU64() | 1;
+        ft::FillPattern(q, size, pat);
+        harness(p.shadow.OnAlloc(q, size, ctx, pat));
+        p.live.push_back(q);
+        out.trace.push_back("M" + std::to_string(size) + "=" +
+                            std::to_string(p.sma->AllocationSize(q)));
+      } else {
+        out.trace.push_back("M" + std::to_string(size) + "=F");
+      }
+    } else if (op < 56) {  // free
+      if (!p.live.empty()) {
+        const size_t idx = rng.NextBounded(p.live.size());
+        void* q = p.live[idx];
+        p.live.erase(p.live.begin() + static_cast<ptrdiff_t>(idx));
+        p.sma->SoftFree(q);
+        harness(p.shadow.OnFree(q));
+        out.trace.push_back("f" + std::to_string(idx));
+      }
+    } else if (op < 68) {  // realloc (small<->large, grow and shrink)
+      if (!p.live.empty()) {
+        const size_t idx = rng.NextBounded(p.live.size());
+        void* old = p.live[idx];
+        const size_t ns = rng.NextBool(0.5)
+                              ? 1 + rng.NextBounded(768)
+                              : kPageSize + rng.NextBounded(8 * kPageSize);
+        void* np = p.sma->SoftRealloc(old, ns);
+        if (np != nullptr) {
+          const uint64_t pat = rng.NextU64() | 1;
+          harness(p.shadow.OnRealloc(old, np, ns, pat));
+          ft::FillPattern(np, ns, pat);
+          // SoftRealloc may have triggered self-reclaim, whose callbacks
+          // erase entries from p.live and shift indices — re-find the slot.
+          auto it = std::find(p.live.begin(), p.live.end(), old);
+          if (it != p.live.end()) {
+            *it = np;
+          } else {
+            p.live.push_back(np);
+          }
+          out.trace.push_back("r" + std::to_string(ns) + "=" +
+                              std::to_string(p.sma->AllocationSize(np)));
+        } else {
+          out.trace.push_back("r" + std::to_string(ns) + "=F");
+        }
+      }
+    } else if (op < 72) {  // forced reclaim demand
+      const size_t want = 1 + rng.NextBounded(8);
+      const size_t got = p.sma->HandleReclaimDemand(want);
+      out.trace.push_back("d" + std::to_string(want) + "=" +
+                          std::to_string(got));
+    } else if (op < 75) {  // budget churn: trim + voluntary release
+      out.trace.push_back("t=" + std::to_string(p.sma->TrimAndReleaseBudget()));
+    } else if (op < 78) {  // daemon disconnect / reconnect
+      FlakyDaemonChannel* ch = procs[0].channel.get();
+      ch->set_connected(!ch->connected());
+      out.trace.push_back(ch->connected() ? "conn" : "disc");
+    } else if (op < 80) {  // traditional-usage report (weight-policy input)
+      p.sma->ReportTraditionalUsage(rng.NextBounded(1 << 20));
+    } else if (op < 90) {  // arm / disarm failpoints
+      const uint64_t sub = rng.NextBounded(8);
+      fail::FailSpec spec;
+      switch (sub) {
+        case 0:
+          spec.code = StatusCode::kResourceExhausted;
+          spec.probability = 0.4;
+          spec.max_fires = 1 + rng.NextBounded(3);
+          fail::Registry().Arm("sma.commit", spec);
+          out.trace.push_back("a:commit");
+          break;
+        case 1:
+          spec.code = StatusCode::kInternal;
+          spec.probability = 0.3;
+          spec.max_fires = 1 + rng.NextBounded(2);
+          fail::Registry().Arm("sma.decommit", spec);
+          out.trace.push_back("a:decommit");
+          break;
+        case 2:
+          spec.probability = 0.6;
+          spec.max_fires = 1 + rng.NextBounded(2);
+          fail::Registry().Arm("smd.grant.deny", spec);
+          out.trace.push_back("a:deny");
+          break;
+        case 3:
+          spec.code = StatusCode::kUnavailable;
+          spec.probability = 0.5;
+          spec.max_fires = 2;
+          fail::Registry().Arm("sma.budget.request", spec);
+          out.trace.push_back("a:rpc");
+          break;
+        case 4:
+          spec.probability = 0.5;
+          spec.max_fires = 1 + rng.NextBounded(2);
+          fail::Registry().Arm("sma.reclaim.mid_sds", spec);
+          out.trace.push_back("a:midsds");
+          break;
+        default:
+          fail::Registry().DisarmAll();
+          if (plant_realloc_bug) {
+            arm_bug();
+          }
+          out.trace.push_back("a:clear");
+          break;
+      }
+    } else if (with_sds) {  // SDS container traffic (proc 0)
+      const uint64_t sub = rng.NextBounded(10);
+      const int key = static_cast<int>(rng.NextBounded(2000));
+      if (sub < 3) {
+        if (table->Put(key, key * 3)) {
+          table_expected.insert(key);
+        }
+      } else if (sub == 3) {
+        table->Remove(key);
+        table_expected.erase(key);
+      } else if (sub < 6) {
+        if (lru->Put(key, key * 5)) {
+          lru_expected[key] = key * 5;
+        }
+      } else if (sub == 6) {
+        lru->Remove(key);
+        lru_expected.erase(key);
+      } else if (sub == 7) {
+        if (bloom->valid()) {
+          bloom->Add(std::to_string(key));
+          bloom_added.insert(key);
+        } else {
+          bloom->Restore();
+        }
+      } else if (sub == 8) {
+        if (queue->push(key)) {
+          ++queue_pushed;
+        }
+      } else if (!queue->empty()) {
+        queue->pop();
+        ++queue_popped;
+      }
+      out.trace.push_back("s" + std::to_string(sub));
+    } else {  // no SDS in this schedule: extra small malloc in ctx_old
+      void* q = p.sma->SoftMalloc(p.ctx_old, 64);
+      if (q != nullptr) {
+        const uint64_t pat = rng.NextU64() | 1;
+        ft::FillPattern(q, 64, pat);
+        harness(p.shadow.OnAlloc(q, 64, p.ctx_old, pat));
+        p.live.push_back(q);
+      }
+    }
+
+    check(step, /*patterns=*/step % 32 == 31);
+    if (step % 50 == 49) {
+      sds_check(step);
+    }
+  }
+
+  // Teardown under the invariant microscope: no fault noise, full pattern
+  // sweep, then drain everything and require exact zero balances.
+  fail::Registry().DisarmAll();
+  check(kSteps, /*patterns=*/true);
+  sds_check(kSteps);
+  for (Proc& p : procs) {
+    while (!p.live.empty()) {
+      void* q = p.live.back();
+      p.live.pop_back();
+      p.sma->SoftFree(q);
+      harness(p.shadow.OnFree(q));
+    }
+  }
+  check(kSteps + 1, /*patterns=*/false);
+  if (out.violation.ok() && out.harness.ok() &&
+      procs[1].shadow.live_count() != 0) {
+    out.harness = InternalError("teardown left shadow entries behind");
+  }
+  return out;
+}
+
+// ---- The seeded schedule sweep (the ≥200 deterministic schedules) ---------
+
+class FaultScheduleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultScheduleTest, Run) {
+  const uint64_t seed = fail::SeedFromEnv(kBaseSeed + GetParam());
+  SCOPED_TRACE("schedule seed " + std::to_string(seed) +
+               " — replay with SOFTMEM_FAULT_SEED=" + std::to_string(seed));
+  const ScheduleOutcome out = RunSchedule(seed, /*plant_realloc_bug=*/false);
+  EXPECT_TRUE(out.harness.ok()) << out.harness;
+  EXPECT_TRUE(out.violation.ok()) << out.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(fault_stress, FaultScheduleTest,
+                         ::testing::Range(0, 200));
+
+// ---- Determinism: the whole schedule is a pure function of the seed -------
+
+TEST(FaultStressDeterminism, SameSeedSameTrace) {
+  const uint64_t seed = kBaseSeed + 7;  // arbitrary; any seed must replay
+  const ScheduleOutcome a = RunSchedule(seed, false);
+  const ScheduleOutcome b = RunSchedule(seed, false);
+  ASSERT_TRUE(a.harness.ok()) << a.harness;
+  ASSERT_TRUE(a.violation.ok()) << a.violation;
+  ASSERT_GT(a.trace.size(), 100u) << "schedule did too little to be a test";
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(FaultStressDeterminism, DifferentSeedsDiverge) {
+  const ScheduleOutcome a = RunSchedule(kBaseSeed + 11, false);
+  const ScheduleOutcome b = RunSchedule(kBaseSeed + 12, false);
+  EXPECT_NE(a.trace, b.trace);
+}
+
+TEST(FaultStressDeterminism, SeedFromEnvParsesReplayVariable) {
+  ASSERT_EQ(::setenv("SOFTMEM_FAULT_SEED", "4242", 1), 0);
+  EXPECT_EQ(fail::SeedFromEnv(7), 4242u);
+  ASSERT_EQ(::setenv("SOFTMEM_FAULT_SEED", "0x10", 1), 0);
+  EXPECT_EQ(fail::SeedFromEnv(7), 16u);
+  ASSERT_EQ(::setenv("SOFTMEM_FAULT_SEED", "bogus", 1), 0);
+  EXPECT_EQ(fail::SeedFromEnv(7), 7u);
+  ASSERT_EQ(::unsetenv("SOFTMEM_FAULT_SEED"), 0);
+  EXPECT_EQ(fail::SeedFromEnv(7), 7u);
+}
+
+// ---- Mutation checks: the invariant checker must catch a planted bug ------
+
+TEST(FaultStressMutation, PlantedReallocBugCaughtDirectly) {
+  fail::Registry().DisarmAll();
+  fail::FailSpec bug;
+  bug.probability = 1.0;
+  fail::ScopedFailpoint fp("bug.realloc.leak_tail", bug);
+
+  SmaOptions o;
+  o.region_pages = 1024;
+  o.initial_budget_pages = 64;
+  o.use_mmap = false;
+  auto sma = SoftMemoryAllocator::Create(o);
+  ASSERT_TRUE(sma.ok());
+  ft::ShadowHeap shadow;
+  void* p = (*sma)->SoftMalloc(8 * kPageSize);
+  ASSERT_NE(p, nullptr);
+  ASSERT_TRUE(shadow.OnAlloc(p, 8 * kPageSize, 0, 0).ok());
+  // In-place large shrink: with the bug armed, the tail pages go back to the
+  // pool but stay counted as heap-owned — exactly the PR 1 accounting bug.
+  void* q = (*sma)->SoftRealloc(p, 2 * kPageSize);
+  ASSERT_EQ(q, p);
+  ASSERT_TRUE(shadow.OnRealloc(p, q, 2 * kPageSize, 0).ok());
+  const Status s = ft::CheckSmaInvariants(sma->get(), shadow);
+  EXPECT_FALSE(s.ok()) << "invariant checker missed the planted tail leak";
+  // Clean up without tripping the allocator's own internal assertions.
+  fail::Registry().DisarmAll();
+}
+
+TEST(FaultStressMutation, PlantedReallocBugCaughtWithinDefaultSeedSet) {
+  bool caught = false;
+  int schedules_run = 0;
+  for (int i = 0; i < 10 && !caught; ++i) {
+    const ScheduleOutcome out =
+        RunSchedule(kBaseSeed + i, /*plant_realloc_bug=*/true);
+    ASSERT_TRUE(out.harness.ok()) << out.harness;
+    ++schedules_run;
+    caught = !out.violation.ok();
+  }
+  EXPECT_TRUE(caught) << "planted realloc tail-page bug survived "
+                      << schedules_run << " default-seed schedules";
+  fail::Registry().DisarmAll();
+}
+
+// ---- Failpoint framework mechanics ----------------------------------------
+
+TEST(FailpointTest, NothingArmedIsInert) {
+  fail::Registry().DisarmAll();
+  EXPECT_FALSE(fail::FailpointRegistry::AnyArmed());
+  EXPECT_FALSE(SOFTMEM_FAULT_FIRED("test.nowhere"));
+  EXPECT_TRUE(SOFTMEM_FAULT_STATUS("test.nowhere").ok());
+}
+
+TEST(FailpointTest, SkipAndMaxFiresSelectTheNthHit) {
+  fail::Registry().DisarmAll();
+  fail::FailSpec spec;
+  spec.probability = 1.0;
+  spec.skip = 2;       // ignore hits 1 and 2 ...
+  spec.max_fires = 1;  // ... fire exactly once (the 3rd hit)
+  fail::Registry().Arm("test.nth", spec);
+  std::vector<bool> fired;
+  for (int i = 0; i < 5; ++i) {
+    fired.push_back(SOFTMEM_FAULT_FIRED("test.nth"));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false}));
+  EXPECT_EQ(fail::Registry().hits("test.nth"), 5u);
+  EXPECT_EQ(fail::Registry().fires("test.nth"), 1u);
+  fail::Registry().DisarmAll();
+}
+
+TEST(FailpointTest, SeededProbabilityStreamIsReproducible) {
+  fail::Registry().DisarmAll();
+  fail::FailSpec spec;
+  spec.probability = 0.5;
+  const auto draw = [&] {
+    fail::Registry().Arm("test.coin", spec);
+    fail::Registry().Seed(99);
+    std::vector<bool> v;
+    for (int i = 0; i < 64; ++i) {
+      v.push_back(SOFTMEM_FAULT_FIRED("test.coin"));
+    }
+    return v;
+  };
+  const std::vector<bool> a = draw();
+  const std::vector<bool> b = draw();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+  fail::Registry().DisarmAll();
+}
+
+TEST(FailpointTest, EvaluateReturnsTheArmedStatus) {
+  fail::Registry().DisarmAll();
+  fail::FailSpec spec;
+  spec.code = StatusCode::kResourceExhausted;
+  spec.message = "no pages for you";
+  fail::ScopedFailpoint fp("test.status", spec);
+  const Status s = SOFTMEM_FAULT_STATUS("test.status");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.message().find("test.status"), std::string::npos);
+  EXPECT_NE(s.message().find("no pages for you"), std::string::npos);
+}
+
+// ---- Targeted per-site behavior -------------------------------------------
+
+TEST(SiteTest, CommitFailureFailsTheAllocationCleanly) {
+  fail::Registry().DisarmAll();
+  SmaOptions o;
+  o.region_pages = 1024;
+  o.initial_budget_pages = 64;
+  o.use_mmap = false;
+  auto sma = SoftMemoryAllocator::Create(o);
+  ASSERT_TRUE(sma.ok());
+  ft::ShadowHeap shadow;
+
+  fail::FailSpec spec;
+  spec.code = StatusCode::kResourceExhausted;
+  spec.max_fires = 1;
+  fail::Registry().Arm("sma.commit", spec);
+  EXPECT_EQ((*sma)->SoftMalloc(4 * kPageSize), nullptr);
+  EXPECT_TRUE(ft::CheckSmaInvariants(sma->get(), shadow).ok());
+  fail::Registry().DisarmAll();
+
+  void* p = (*sma)->SoftMalloc(4 * kPageSize);  // recovers after the fault
+  ASSERT_NE(p, nullptr);
+  ASSERT_TRUE(shadow.OnAlloc(p, 4 * kPageSize, 0, 0).ok());
+  EXPECT_TRUE(ft::CheckSmaInvariants(sma->get(), shadow).ok());
+}
+
+TEST(SiteTest, DeniedGrantFailsAllocationAndIsCounted) {
+  fail::Registry().DisarmAll();
+  SmdOptions so;
+  so.capacity_pages = 256;
+  SoftMemoryDaemon daemon(so);
+  FlakyDaemonChannel channel(&daemon);
+  SmaReclaimSink sink;
+  SmaOptions o;
+  o.region_pages = 1024;
+  o.initial_budget_pages = 4;
+  o.budget_chunk_pages = 8;
+  o.use_mmap = false;
+  auto sma = SoftMemoryAllocator::Create(o, &channel);
+  ASSERT_TRUE(sma.ok());
+  sink.set_sma(sma->get());
+  auto pid = daemon.RegisterProcess("deny-me", &sink);
+  ASSERT_TRUE(pid.ok());
+  channel.set_process(*pid);
+
+  fail::FailSpec spec;
+  fail::Registry().Arm("smd.grant.deny", spec);
+  EXPECT_EQ((*sma)->SoftMalloc(8 * kPageSize), nullptr);
+  fail::Registry().DisarmAll();
+  EXPECT_GE(daemon.GetStats().denied_requests, 1u);
+
+  EXPECT_NE((*sma)->SoftMalloc(8 * kPageSize), nullptr);  // grant works now
+  EXPECT_GE(daemon.GetStats().granted_requests, 1u);
+}
+
+TEST(SiteTest, MidSdsReclaimAbortKeepsAccountingExact) {
+  fail::Registry().DisarmAll();
+  SmaOptions o;
+  o.region_pages = 1024;
+  o.initial_budget_pages = 32;
+  o.heap_retain_empty_pages = 0;
+  o.use_mmap = false;
+  auto sma = SoftMemoryAllocator::Create(o);
+  ASSERT_TRUE(sma.ok());
+  ft::ShadowHeap shadow;
+  std::vector<void*> live;
+  ContextOptions co;
+  co.mode = ReclaimMode::kOldestFirst;
+  co.callback = [&](void* ptr, size_t) {
+    ASSERT_TRUE(shadow.OnFree(ptr).ok());
+    live.erase(std::find(live.begin(), live.end(), ptr));
+  };
+  auto ctx = (*sma)->CreateContext(co);
+  ASSERT_TRUE(ctx.ok());
+  for (int i = 0; i < 200; ++i) {
+    void* p = (*sma)->SoftMalloc(*ctx, 400);
+    ASSERT_NE(p, nullptr);
+    ASSERT_TRUE(shadow.OnAlloc(p, 400, *ctx, 0).ok());
+    live.push_back(p);
+  }
+
+  fail::FailSpec spec;
+  spec.max_fires = 1;
+  fail::Registry().Arm("sma.reclaim.mid_sds", spec);
+  const size_t got = (*sma)->HandleReclaimDemand(16);
+  fail::Registry().DisarmAll();
+  EXPECT_LE(got, 16u);  // aborted pass may under-deliver, never over
+  EXPECT_TRUE(ft::CheckSmaInvariants(sma->get(), shadow).ok());
+}
+
+TEST(SiteTest, IpcSendDropLosesExactlyOneMessage) {
+  fail::Registry().DisarmAll();
+  auto [a, b] = CreateLocalChannelPair();
+  Message m;
+  m.type = MsgType::kRegister;
+  m.seq = 1;
+  m.text = "hello";
+
+  fail::FailSpec spec;
+  spec.max_fires = 1;
+  fail::Registry().Arm("ipc.send.drop", spec);
+  ASSERT_TRUE(a->Send(m).ok());  // reports success, message is gone
+  auto lost = b->Recv(50);
+  ASSERT_FALSE(lost.ok());
+  EXPECT_EQ(lost.status().code(), StatusCode::kNotFound);
+
+  m.seq = 2;
+  ASSERT_TRUE(a->Send(m).ok());  // max_fires exhausted: delivered
+  auto got = b->Recv(1000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->seq, 2u);
+  fail::Registry().DisarmAll();
+}
+
+TEST(SiteTest, IpcRecvTimeoutInjectedDespitePendingData) {
+  fail::Registry().DisarmAll();
+  auto [a, b] = CreateLocalChannelPair();
+  Message m;
+  m.type = MsgType::kRegister;
+  m.seq = 7;
+  ASSERT_TRUE(a->Send(m).ok());
+
+  fail::FailSpec spec;
+  spec.max_fires = 1;
+  fail::Registry().Arm("ipc.recv.timeout", spec);
+  auto timed_out = b->Recv(1000);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kNotFound);
+  auto got = b->Recv(1000);  // message was never consumed
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->seq, 7u);
+  fail::Registry().DisarmAll();
+}
+
+// ---- Multi-threaded fault soak (runs under TSan via scripts/check.sh) -----
+
+TEST(FaultStressSoak, MultithreadedFaultSoak) {
+  fail::Registry().DisarmAll();
+  fail::Registry().Seed(fail::SeedFromEnv(kBaseSeed));
+  SmaOptions o;
+  o.region_pages = 8192;
+  o.initial_budget_pages = 512;
+  o.use_mmap = false;
+  auto sma_r = SoftMemoryAllocator::Create(o);
+  ASSERT_TRUE(sma_r.ok());
+  SoftMemoryAllocator* sma = sma_r->get();
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 4000;
+  std::vector<ContextId> ctxs(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ContextOptions co;
+    co.name = "soak-" + std::to_string(t);
+    co.mode = ReclaimMode::kNone;  // live data survives; caches revocable
+    auto c = sma->CreateContext(co);
+    ASSERT_TRUE(c.ok());
+    ctxs[t] = *c;
+  }
+
+  fail::FailSpec commit_spec;
+  commit_spec.code = StatusCode::kResourceExhausted;
+  commit_spec.probability = 0.05;
+  fail::Registry().Arm("sma.commit", commit_spec);
+  fail::FailSpec decommit_spec;
+  decommit_spec.code = StatusCode::kInternal;
+  decommit_spec.probability = 0.05;
+  fail::Registry().Arm("sma.decommit", decommit_spec);
+
+  std::vector<std::thread> threads;
+  std::vector<int> pattern_errors(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(kBaseSeed + static_cast<uint64_t>(t));
+      std::vector<std::pair<void*, uint64_t>> mine;  // (ptr, pattern seed)
+      std::vector<size_t> sizes;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t op = rng.NextBounded(100);
+        if (op < 55 || mine.empty()) {
+          const size_t size = 1 + rng.NextBounded(1024);
+          void* p = sma->SoftMalloc(ctxs[t], size);
+          if (p != nullptr) {
+            const uint64_t pat = rng.NextU64() | 1;
+            ft::FillPattern(p, size, pat);
+            mine.emplace_back(p, pat);
+            sizes.push_back(size);
+          }
+        } else if (op < 85) {
+          const size_t idx = rng.NextBounded(mine.size());
+          if (!ft::CheckPattern(mine[idx].first, sizes[idx], mine[idx].second)
+                   .ok()) {
+            ++pattern_errors[t];
+          }
+          sma->SoftFree(mine[idx].first);
+          mine[idx] = mine.back();
+          mine.pop_back();
+          sizes[idx] = sizes.back();
+          sizes.pop_back();
+        } else {
+          const size_t idx = rng.NextBounded(mine.size());
+          const size_t ns = 1 + rng.NextBounded(2048);
+          void* np = sma->SoftRealloc(mine[idx].first, ns);
+          if (np != nullptr) {
+            const uint64_t pat = rng.NextU64() | 1;
+            ft::FillPattern(np, ns, pat);
+            mine[idx] = {np, pat};
+            sizes[idx] = ns;
+          }
+        }
+      }
+      for (size_t i = 0; i < mine.size(); ++i) {
+        if (!ft::CheckPattern(mine[i].first, sizes[i], mine[i].second).ok()) {
+          ++pattern_errors[t];
+        }
+        sma->SoftFree(mine[i].first);
+      }
+    });
+  }
+  // Main thread churns reclaim demands (cache revocations) during the soak.
+  for (int i = 0; i < 40; ++i) {
+    sma->HandleReclaimDemand(1 + static_cast<size_t>(i) % 4);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  fail::Registry().DisarmAll();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(pattern_errors[t], 0) << "thread " << t << " saw corruption";
+  }
+  const SmaStats s = sma->GetStats();
+  EXPECT_EQ(s.live_allocations, 0u);
+  EXPECT_EQ(s.total_allocs, s.total_frees);
+  EXPECT_EQ(s.committed_pages, s.pooled_pages + s.in_use_pages);
+  EXPECT_LE(s.committed_pages, s.budget_pages);
+  EXPECT_EQ(s.allocated_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace softmem

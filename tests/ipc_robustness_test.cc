@@ -3,10 +3,16 @@
 
 #include <gtest/gtest.h>
 
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "src/ipc/channel.h"
@@ -150,6 +156,90 @@ TEST_F(RobustnessTest, ManyChurningConnections) {
   }
   EXPECT_TRUE(daemon_->GetStats().processes.empty());
   EXPECT_EQ(daemon_->free_pages(), 256u);
+}
+
+// ---- Signal interruption (EINTR) regression --------------------------------
+// poll()/recv()/send() return EINTR when a signal lands without SA_RESTART;
+// the transport must retry instead of surfacing a spurious kUnavailable.
+
+class SignalInterruptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    int fds[2] = {-1, -1};
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_SEQPACKET, 0, fds), 0);
+    a_ = std::make_unique<UnixSocketChannel>(fds[0]);
+    b_ = std::make_unique<UnixSocketChannel>(fds[1]);
+    // Deliberately no SA_RESTART: every SIGUSR1 interrupts a blocked syscall.
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = [](int) {};
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old_action_), 0);
+  }
+
+  void TearDown() override { ::sigaction(SIGUSR1, &old_action_, nullptr); }
+
+  std::unique_ptr<UnixSocketChannel> a_;
+  std::unique_ptr<UnixSocketChannel> b_;
+  struct sigaction old_action_;
+};
+
+TEST_F(SignalInterruptTest, BlockedRecvSurvivesSignalsAndStillDelivers) {
+  std::atomic<bool> receiving{false};
+  std::optional<Result<Message>> got;
+  std::thread receiver([&] {
+    receiving.store(true);
+    got.emplace(b_->Recv(10000));
+  });
+  while (!receiving.load()) {
+    std::this_thread::yield();
+  }
+  // Pepper the receiver while it is blocked in poll(): each signal makes the
+  // syscall return EINTR, which used to surface as kUnavailable.
+  for (int i = 0; i < 25; ++i) {
+    ::pthread_kill(receiver.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  Message m;
+  m.type = MsgType::kRegister;
+  m.seq = 42;
+  m.text = "eintr";
+  ASSERT_TRUE(a_->Send(m).ok());
+  receiver.join();
+  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got->ok()) << "Recv failed across EINTR: " << got->status();
+  EXPECT_EQ((*got)->seq, 42u);
+  EXPECT_EQ((*got)->text, "eintr");
+}
+
+TEST_F(SignalInterruptTest, InterruptedRecvKeepsItsDeadline) {
+  // Signals every 20 ms for longer than the 200 ms timeout: if each EINTR
+  // naively restarted the full poll timeout, this Recv would outlive the
+  // bombardment; with deadline recomputation it times out on schedule.
+  std::atomic<bool> done{false};
+  std::optional<Result<Message>> got;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread receiver([&] {
+    got.emplace(b_->Recv(200));
+    done.store(true);
+  });
+  while (!done.load()) {
+    ::pthread_kill(receiver.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (std::chrono::steady_clock::now() - t0 > std::chrono::seconds(10)) {
+      break;
+    }
+  }
+  receiver.join();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  ASSERT_TRUE(got.has_value());
+  ASSERT_FALSE(got->ok());
+  EXPECT_EQ(got->status().code(), StatusCode::kNotFound) << got->status();
+  EXPECT_GE(elapsed, 190);
+  EXPECT_LT(elapsed, 5000) << "EINTR restarted the timeout from scratch";
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -113,6 +115,184 @@ TEST_P(SdsPropertyTest, MixedWorkloadWithRandomReclaims) {
       ASSERT_EQ(seen, skip_expected.size());
       ASSERT_EQ(queue.size(), queue_pushed - queue_popped - queue_dropped);
       // Allocator accounting.
+      const SmaStats s = sma->GetStats();
+      ASSERT_LE(s.committed_pages, s.budget_pages);
+      ASSERT_EQ(s.committed_pages, s.pooled_pages + s.in_use_pages);
+    }
+  }
+}
+
+// The remaining containers — vector, array, linked list, Bloom filter, LRU
+// cache — under the same regime: every structure shadowed in traditional
+// memory, reclaim demands interleaved, agreement checked periodically.
+TEST_P(SdsPropertyTest, RemainingContainersWithRandomReclaims) {
+  const SweepParams param = GetParam();
+  SmaOptions o;
+  o.region_pages = 16 * 1024;
+  o.initial_budget_pages = param.budget_pages;
+  o.heap_retain_empty_pages = 1;
+  o.use_mmap = false;
+  auto sma_r = SoftMemoryAllocator::Create(o);
+  ASSERT_TRUE(sma_r.ok());
+  auto sma = std::move(sma_r).value();
+
+  // SoftVector: reclaim drops the whole block; the shadow empties with it.
+  std::vector<int> vec_expected;
+  typename SoftVector<int>::Options vo;
+  vo.priority = 1;
+  vo.on_reclaim = [&](int*, size_t) { vec_expected.clear(); };
+  SoftVector<int> vec(sma.get(), vo);
+
+  // SoftArray: fixed block, all-or-nothing; Restore() re-zeroes both sides.
+  constexpr size_t kArrayLen = 512;
+  std::vector<int> arr_expected(kArrayLen, 0);
+  bool arr_shadow_valid = true;
+  typename SoftArray<int>::Options ao;
+  ao.priority = 0;
+  ao.on_reclaim = [&](int*, size_t) { arr_shadow_valid = false; };
+  SoftArray<int> arr(sma.get(), kArrayLen, ao);
+
+  // SoftLinkedList: unique values make the (value -> node) map a bijection,
+  // so the age-ordered reclaim hook can keep an exact list-order mirror.
+  std::deque<int> list_expected;
+  typename SoftLinkedList<int>::Options llo;
+  llo.priority = 2;
+  llo.on_reclaim = [&](const int& v) {
+    auto it = std::find(list_expected.begin(), list_expected.end(), v);
+    ASSERT_NE(it, list_expected.end()) << "list reclaimed unknown value " << v;
+    list_expected.erase(it);
+  };
+  SoftLinkedList<int> list(sma.get(), llo);
+  int next_unique = 0;
+
+  // SoftBloomFilter: reclaim degrades to "maybe"; while valid, every added
+  // key must still answer MayContain (no false negatives, ever).
+  std::set<int> bloom_added;
+  SoftBloomFilter::Options bo;
+  bo.priority = 0;
+  bo.on_reclaim = [&] { bloom_added.clear(); };
+  SoftBloomFilter bloom(sma.get(), 4096, 0.01, bo);
+
+  // SoftLruCache: silent pressure evictions make the shadow a superset; the
+  // cache must stay a subset with value agreement.
+  std::map<int, int> lru_expected;
+  typename SoftLruCache<int, int>::Options co;
+  co.priority = 3;
+  co.on_reclaim = [&](const int& k, const int&) { lru_expected.erase(k); };
+  SoftLruCache<int, int> lru(sma.get(), co);
+
+  Rng rng(param.seed ^ 0x5d5ULL);
+  for (int step = 0; step < 12000; ++step) {
+    const uint64_t op = rng.NextBounded(100);
+    const int key = static_cast<int>(rng.NextBounded(1500));
+    if (op < 15) {
+      if (vec.push_back(key)) {
+        vec_expected.push_back(key);
+      }
+    } else if (op < 20) {
+      if (vec.valid() && !vec.empty()) {
+        vec.pop_back();
+        vec_expected.pop_back();
+      }
+    } else if (op < 25) {
+      if (vec.valid() && !vec.empty()) {
+        const size_t i = rng.NextBounded(vec.size());
+        vec[i] = key;
+        vec_expected[i] = key;
+      }
+    } else if (op < 35) {
+      if (arr.valid() && arr_shadow_valid) {
+        const size_t i = rng.NextBounded(kArrayLen);
+        arr[i] = key;
+        arr_expected[i] = key;
+      }
+    } else if (op < 40) {
+      if (!arr.valid() && arr.Restore().ok()) {
+        std::fill(arr_expected.begin(), arr_expected.end(), 0);
+        arr_shadow_valid = true;
+      }
+    } else if (op < 52) {
+      const int v = next_unique++;
+      if (list.push_back(v)) {
+        list_expected.push_back(v);
+      }
+    } else if (op < 58) {
+      const int v = next_unique++;
+      if (list.push_front(v)) {
+        list_expected.push_front(v);
+      }
+    } else if (op < 63) {
+      if (!list.empty()) {
+        ASSERT_EQ(list.front(), list_expected.front());
+        list.pop_front();
+        list_expected.pop_front();
+      }
+    } else if (op < 68) {
+      if (!list.empty()) {
+        ASSERT_EQ(list.back(), list_expected.back());
+        list.pop_back();
+        list_expected.pop_back();
+      }
+    } else if (op < 78) {
+      if (lru.Put(key, key * 11)) {
+        lru_expected[key] = key * 11;
+      }
+    } else if (op < 83) {
+      int* v = lru.Get(key);
+      if (v != nullptr) {
+        auto it = lru_expected.find(key);
+        ASSERT_NE(it, lru_expected.end());
+        ASSERT_EQ(*v, it->second);
+      }
+    } else if (op < 86) {
+      lru.Remove(key);
+      lru_expected.erase(key);
+    } else if (op < 92) {
+      if (bloom.valid()) {
+        bloom.Add(std::to_string(key));
+        bloom_added.insert(key);
+      } else {
+        bloom.Restore();
+      }
+    } else {
+      sma->HandleReclaimDemand(1 + rng.NextBounded(6));
+    }
+
+    if (step % 2000 == 0 || step == 11999) {
+      if (vec.valid()) {
+        ASSERT_EQ(vec.size(), vec_expected.size());
+        for (size_t i = 0; i < vec_expected.size(); ++i) {
+          ASSERT_EQ(vec[i], vec_expected[i]) << "vector slot " << i;
+        }
+      } else {
+        ASSERT_TRUE(vec_expected.empty());
+      }
+      if (arr.valid() && arr_shadow_valid) {
+        for (size_t i = 0; i < kArrayLen; ++i) {
+          ASSERT_EQ(arr[i], arr_expected[i]) << "array slot " << i;
+        }
+      }
+      ASSERT_EQ(list.size(), list_expected.size());
+      size_t li = 0;
+      list.ForEach([&](const int& v) {
+        ASSERT_LT(li, list_expected.size());
+        ASSERT_EQ(v, list_expected[li]) << "list position " << li;
+        ++li;
+      });
+      ASSERT_EQ(li, list_expected.size());
+      if (bloom.valid()) {
+        for (const int k : bloom_added) {
+          ASSERT_TRUE(bloom.MayContain(std::to_string(k)))
+              << "bloom false negative for " << k;
+        }
+      }
+      ASSERT_LE(lru.size(), lru_expected.size());
+      for (const auto& [k, v] : lru_expected) {
+        int* g = lru.Get(k);
+        if (g != nullptr) {
+          ASSERT_EQ(*g, v) << "lru value for key " << k;
+        }
+      }
       const SmaStats s = sma->GetStats();
       ASSERT_LE(s.committed_pages, s.budget_pages);
       ASSERT_EQ(s.committed_pages, s.pooled_pages + s.in_use_pages);
