@@ -8,6 +8,7 @@
 #include <string>
 
 #include "src/common/clock.h"
+#include "src/telemetry/metrics.h"
 
 namespace softmem {
 
@@ -40,6 +41,71 @@ inline void PrintRatioRow(const std::string& label, double seconds,
               seconds, seconds / baseline_seconds);
 }
 
+// ---- Telemetry snapshot in BENCH_*.json ------------------------------------
+// Every bench JSON carries the metric counters that were live during the
+// run, so regressions in (say) magazine hit rate or reclaim volume are
+// visible next to the timing numbers they explain.
+
+// Extracts the --benchmark_out=PATH value; "" if absent. Must run before
+// benchmark::Initialize (which strips recognized flags from argv).
+inline std::string BenchmarkOutPath(int argc, char** argv) {
+  const std::string prefix = "--benchmark_out=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return arg.substr(prefix.size());
+    }
+  }
+  return "";
+}
+
+// Rewrites the JSON-reporter output at `path` with a top-level "telemetry"
+// key holding the global registry snapshot. No-op on non-JSON output.
+inline void MergeTelemetryIntoBenchJson(const std::string& path) {
+  if (path.empty()) {
+    return;
+  }
+  std::string content;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    char buf[1 << 14];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      content.append(buf, n);
+    }
+    std::fclose(f);
+  } else {
+    return;
+  }
+  const size_t close = content.find_last_of('}');
+  if (content.empty() || content[0] != '{' || close == std::string::npos) {
+    return;  // console/CSV reporter — nothing to merge into
+  }
+  const std::string snapshot =
+      telemetry::MetricsRegistry::Global().RenderJson();
+  content.insert(close, ",\n  \"telemetry\": " + snapshot + "\n");
+  if (std::FILE* f = std::fopen(path.c_str(), "wb")) {
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+  }
+}
+
 }  // namespace softmem
+
+// Drop-in replacement for BENCHMARK_MAIN() that appends the telemetry
+// snapshot to the --benchmark_out file after the benchmarks finish.
+#define SOFTMEM_BENCHMARK_MAIN()                                           \
+  int main(int argc, char** argv) {                                        \
+    const std::string bench_out =                                          \
+        ::softmem::BenchmarkOutPath(argc, argv);                           \
+    ::benchmark::Initialize(&argc, argv);                                  \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {            \
+      return 1;                                                            \
+    }                                                                      \
+    ::benchmark::RunSpecifiedBenchmarks();                                 \
+    ::benchmark::Shutdown();                                               \
+    ::softmem::MergeTelemetryIntoBenchJson(bench_out);                     \
+    return 0;                                                              \
+  }                                                                        \
+  int main(int, char**)
 
 #endif  // SOFTMEM_BENCH_BENCH_UTIL_H_

@@ -4,19 +4,27 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/baseline/textbook_allocator.h"
 #include "src/common/units.h"
 #include "src/sma/soft_memory_allocator.h"
+#include "src/telemetry/metrics.h"
 
 namespace softmem {
 namespace {
 
-std::unique_ptr<SoftMemoryAllocator> MakeSma(size_t pages = 256 * 1024) {
+std::unique_ptr<SoftMemoryAllocator> MakeSma(size_t pages = 256 * 1024,
+                                             bool metrics = true) {
   SmaOptions o;
+  if (metrics) {
+    o.metrics = &telemetry::MetricsRegistry::Global();
+    o.metrics_instance = "micro";
+  }
   o.region_pages = pages;
   o.initial_budget_pages = pages;
   auto r = SoftMemoryAllocator::Create(o);
@@ -60,7 +68,76 @@ void BM_SoftMallocFree(benchmark::State& state) {
     sma->SoftFree(p);
   }
 }
-BENCHMARK(BM_SoftMallocFree)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_SoftMallocFree)->Arg(64)->Arg(1024)->Arg(16384)->Repetitions(9);
+
+// Same workload with SmaOptions::metrics = nullptr: the in-run control for
+// the cost of unarmed registry-backed metric sites. The two series should
+// agree within noise (<2%); comparing them inside one run sidesteps
+// machine-to-machine and run-to-run frequency variance. Both sides repeat
+// 9x (medians reported alongside the raw iterations) because single shots
+// on a shared machine swing by ±15%.
+void BM_SoftMallocFreeNoMetrics(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  auto sma = MakeSma(64 * 1024, /*metrics=*/false);
+  for (auto _ : state) {
+    void* p = sma->SoftMalloc(size);
+    benchmark::DoNotOptimize(p);
+    sma->SoftFree(p);
+  }
+}
+BENCHMARK(BM_SoftMallocFreeNoMetrics)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Repetitions(9);
+
+// Paired measurement of the same question: one iteration times a batch of
+// ops on the metrics-wired allocator and a batch on the nullptr-metrics
+// allocator back-to-back (order alternating), so machine noise — which
+// swings absolute numbers here by ±15% — cancels out of the ratio. The
+// `overhead_pct` counter is the <2% claim in BENCH_micro_allocator.json.
+void BM_MetricSiteOverhead(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  auto with = MakeSma(64 * 1024, /*metrics=*/true);
+  auto without = MakeSma(64 * 1024, /*metrics=*/false);
+  constexpr int kBatch = 4096;
+  auto run_batch = [size](SoftMemoryAllocator* sma) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kBatch; ++i) {
+      void* p = sma->SoftMalloc(size);
+      benchmark::DoNotOptimize(p);
+      sma->SoftFree(p);
+    }
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  int64_t with_ns = 0;
+  int64_t without_ns = 0;
+  bool flip = false;
+  for (auto _ : state) {
+    if (flip) {
+      without_ns += run_batch(without.get());
+      with_ns += run_batch(with.get());
+    } else {
+      with_ns += run_batch(with.get());
+      without_ns += run_batch(without.get());
+    }
+    flip = !flip;
+  }
+  const double ops = static_cast<double>(state.iterations()) * kBatch;
+  state.counters["with_ns_per_op"] = static_cast<double>(with_ns) / ops;
+  state.counters["without_ns_per_op"] = static_cast<double>(without_ns) / ops;
+  state.counters["overhead_pct"] =
+      100.0 * (static_cast<double>(with_ns) / static_cast<double>(without_ns) -
+               1.0);
+  state.SetItemsProcessed(state.iterations() * 2 * kBatch);
+}
+BENCHMARK(BM_MetricSiteOverhead)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Repetitions(9);  // fresh allocator pair per rep; median cancels layout luck
 
 // Steady-state churn: N live allocations, replace one per iteration.
 void BM_SoftChurn(benchmark::State& state) {
@@ -95,6 +172,8 @@ ContextId g_mt_ctx[kMaxBenchThreads];
 
 void MtSetupImpl(bool thread_cache) {
   SmaOptions o;
+  o.metrics = &telemetry::MetricsRegistry::Global();
+  o.metrics_instance = thread_cache ? "micro_mt" : "micro_mt_biglock";
   o.region_pages = 256 * 1024;
   o.initial_budget_pages = 256 * 1024;
   o.thread_cache = thread_cache;
@@ -170,6 +249,8 @@ class GrantAllChannel : public SmdChannel {
 void BM_ReclaimPerPage(benchmark::State& state) {
   static GrantAllChannel channel;
   SmaOptions o;
+  o.metrics = &telemetry::MetricsRegistry::Global();
+  o.metrics_instance = "micro_reclaim";
   o.region_pages = 64 * 1024;
   o.initial_budget_pages = 2048;
   o.heap_retain_empty_pages = 0;
@@ -203,4 +284,4 @@ BENCHMARK(BM_ReclaimPerPage)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace softmem
 
-BENCHMARK_MAIN();
+SOFTMEM_BENCHMARK_MAIN();

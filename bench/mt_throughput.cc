@@ -25,9 +25,11 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/sma/soft_memory_allocator.h"
+#include "src/telemetry/metrics.h"
 
 namespace softmem {
 namespace {
@@ -41,6 +43,8 @@ ContextId g_shared_ctx;
 
 void SetupImpl(bool thread_cache) {
   SmaOptions o;
+  o.metrics = &telemetry::MetricsRegistry::Global();
+  o.metrics_instance = thread_cache ? "mt_cached" : "mt_biglock";
   o.region_pages = 256 * 1024;
   o.initial_budget_pages = 256 * 1024;
   o.thread_cache = thread_cache;
@@ -140,4 +144,4 @@ BENCHMARK(BM_MtSharedCtx)
 }  // namespace
 }  // namespace softmem
 
-BENCHMARK_MAIN();
+SOFTMEM_BENCHMARK_MAIN();

@@ -2,16 +2,19 @@
 //
 // Usage:
 //   kv_server [--port N] [--daemon-socket PATH] [--budget-mib N]
+//             [--metrics-port N]
 //
 // Speaks RESP2 on 127.0.0.1:<port> (try it with `redis-cli -p <port>`:
-// SET/GET/DEL/EXISTS/DBSIZE/FLUSHALL/INFO/PING). With --daemon-socket it
-// registers with a running softmemd and its hash-table entries become
-// revocable soft memory — the full §5 deployment; without it, it runs on a
-// fixed stand-alone soft budget.
+// SET/GET/DEL/EXISTS/DBSIZE/FLUSHALL/INFO/PING, and METRICS for the
+// Prometheus text exposition). With --daemon-socket it registers with a
+// running softmemd and its hash-table entries become revocable soft memory —
+// the full §5 deployment; without it, it runs on a fixed stand-alone soft
+// budget. --metrics-port additionally serves /metrics over HTTP.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "src/common/units.h"
@@ -20,6 +23,8 @@
 #include "src/kv/kv_server.h"
 #include "src/kv/kv_store.h"
 #include "src/sma/soft_memory_allocator.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/metrics_http.h"
 
 namespace {
 
@@ -34,6 +39,7 @@ int main(int argc, char** argv) {
   uint16_t port = 6380;
   std::string daemon_socket;
   size_t budget_mib = 64;
+  int metrics_port = -1;  // -1 = disabled; 0 = kernel-assigned
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -49,13 +55,19 @@ int main(int argc, char** argv) {
       daemon_socket = next();
     } else if (arg == "--budget-mib") {
       budget_mib = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--metrics-port") {
+      metrics_port = static_cast<int>(std::strtol(next(), nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: kv_server [--port N] [--daemon-socket PATH]"
-                   " [--budget-mib N]\n");
+                   " [--budget-mib N] [--metrics-port N]\n");
       return 2;
     }
   }
+
+  // Production binaries arm the expensive (clock-reading) metric sites.
+  telemetry::SetArmed(true);
+  telemetry::MetricsRegistry* registry = &telemetry::MetricsRegistry::Global();
 
   // Optionally join a softmemd-managed machine.
   std::unique_ptr<DaemonClient> client;
@@ -77,6 +89,8 @@ int main(int argc, char** argv) {
   }
 
   SmaOptions o;
+  o.metrics = registry;
+  o.metrics_instance = "kv_server";
   o.region_pages = 256 * 1024;  // 1 GiB virtual
   o.initial_budget_pages = client != nullptr
                                ? client->initial_budget_pages()
@@ -114,6 +128,20 @@ int main(int argc, char** argv) {
               (*server)->port(),
               client != nullptr ? "daemon-managed" : "stand-alone",
               FormatBytes((*sma)->budget_pages() * kPageSize).c_str());
+
+  std::unique_ptr<telemetry::MetricsHttpServer> metrics_server;
+  if (metrics_port >= 0) {
+    auto listening = telemetry::MetricsHttpServer::ServeRegistry(
+        static_cast<uint16_t>(metrics_port), registry);
+    if (!listening.ok()) {
+      std::fprintf(stderr, "kv_server: metrics endpoint: %s\n",
+                   listening.status().ToString().c_str());
+      return 1;
+    }
+    metrics_server = std::move(listening).value();
+    std::printf("kv_server: metrics on http://127.0.0.1:%u/metrics\n",
+                metrics_server->port());
+  }
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);

@@ -2,17 +2,25 @@
 //
 // Usage:
 //   softmemd [--socket PATH] [--capacity-mib N] [--targets N]
-//            [--over-reclaim F] [--initial-grant-mib N] [--verbose]
+//            [--over-reclaim F] [--initial-grant-mib N]
+//            [--metrics-port N] [--metrics-dump PATH]
+//            [--metrics-dump-interval S] [--verbose]
 //
 // Processes connect over the Unix socket with ipc::DaemonClient (see the
 // kv_server example) and the daemon arbitrates soft memory between them.
-// SIGINT/SIGTERM shut it down cleanly, printing final statistics.
+// --metrics-port serves the Prometheus text exposition at /metrics and the
+// reclamation journal (JSON lines) at /journal; --metrics-dump rewrites a
+// file with the same exposition periodically. SIGINT/SIGTERM shut it down
+// cleanly, printing final statistics.
 
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "src/common/logging.h"
 #include "src/common/units.h"
@@ -20,6 +28,9 @@
 #include "src/ipc/unix_socket.h"
 #include "src/smd/soft_memory_daemon.h"
 #include "src/smd/stats_text.h"
+#include "src/telemetry/event_journal.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/metrics_http.h"
 
 namespace {
 
@@ -32,6 +43,9 @@ int main(int argc, char** argv) {
   using namespace softmem;
 
   std::string socket_path = "/tmp/softmemd.sock";
+  std::string metrics_dump_path;
+  unsigned metrics_dump_interval_s = 10;
+  int metrics_port = -1;  // -1 = disabled; 0 = kernel-assigned
   SmdOptions options;
   options.capacity_pages = 1024 * kMiB / kPageSize;  // 1 GiB default
   options.initial_grant_pages = 256;
@@ -61,6 +75,16 @@ int main(int argc, char** argv) {
       options.low_watermark_pages = std::strtoull(next(), nullptr, 10) * kMiB / kPageSize;
     } else if (arg == "--process-cap-mib") {
       options.default_process_cap_pages = std::strtoull(next(), nullptr, 10) * kMiB / kPageSize;
+    } else if (arg == "--metrics-port") {
+      metrics_port = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--metrics-dump") {
+      metrics_dump_path = next();
+    } else if (arg == "--metrics-dump-interval") {
+      metrics_dump_interval_s =
+          static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+      if (metrics_dump_interval_s == 0) {
+        metrics_dump_interval_s = 1;
+      }
     } else if (arg == "--verbose") {
       SetLogThreshold(LogLevel::kInfo);
     } else {
@@ -68,10 +92,18 @@ int main(int argc, char** argv) {
                    "usage: softmemd [--socket PATH] [--capacity-mib N]\n"
                    "                [--targets N] [--over-reclaim F]\n"
                    "                [--initial-grant-mib N] [--low-watermark-mib N]\n"
-                   "                [--process-cap-mib N] [--verbose]\n");
+                   "                [--process-cap-mib N] [--metrics-port N]\n"
+                   "                [--metrics-dump PATH] [--metrics-dump-interval S]\n"
+                   "                [--verbose]\n");
       return 2;
     }
   }
+
+  // Production binaries arm the expensive (clock-reading) metric sites.
+  telemetry::SetArmed(true);
+  telemetry::MetricsRegistry* registry = &telemetry::MetricsRegistry::Global();
+  options.metrics = registry;
+  options.metrics_instance = "softmemd";
 
   SoftMemoryDaemon daemon(options);
   DaemonServer server(&daemon);
@@ -88,11 +120,51 @@ int main(int argc, char** argv) {
               FormatBytes(options.capacity_pages * kPageSize).c_str(),
               options.max_reclaim_targets, options.over_reclaim_factor);
 
+  // Stats endpoint: /metrics (Prometheus text) and /journal (JSON lines).
+  std::unique_ptr<telemetry::MetricsHttpServer> metrics_server;
+  if (metrics_port >= 0) {
+    auto listening = telemetry::MetricsHttpServer::Listen(
+        static_cast<uint16_t>(metrics_port),
+        [registry, &daemon](const std::string& path)
+            -> std::pair<std::string, std::string> {
+          if (path == "/metrics" || path == "/") {
+            return {telemetry::kPrometheusContentType,
+                    registry->RenderPrometheus()};
+          }
+          if (path == "/journal") {
+            return {"application/jsonl",
+                    telemetry::RenderJournalJsonl(
+                        daemon.reclaim_journal().Snapshot())};
+          }
+          return {"", ""};
+        });
+    if (!listening.ok()) {
+      std::fprintf(stderr, "softmemd: metrics endpoint: %s\n",
+                   listening.status().ToString().c_str());
+      return 1;
+    }
+    metrics_server = std::move(listening).value();
+    std::printf("softmemd: metrics on http://127.0.0.1:%u/metrics\n",
+                metrics_server->port());
+  }
+
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  unsigned ticks = 0;
+  const unsigned dump_every = metrics_dump_interval_s * 5;  // 200ms ticks
   while (g_stop == 0) {
     ::usleep(200 * 1000);
     daemon.ProactiveReclaimTick();  // no-op unless --low-watermark-mib set
+    if (!metrics_dump_path.empty() && ++ticks % dump_every == 0) {
+      if (std::FILE* f = std::fopen(metrics_dump_path.c_str(), "w")) {
+        const std::string text = registry->RenderPrometheus();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+      } else {
+        std::fprintf(stderr, "softmemd: cannot write %s: %s\n",
+                     metrics_dump_path.c_str(), std::strerror(errno));
+      }
+    }
   }
 
   server.Stop();

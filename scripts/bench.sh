@@ -1,20 +1,34 @@
 #!/usr/bin/env bash
 # Runs the allocator microbenchmarks and writes their JSON next to the repo
 # root (BENCH_micro_allocator.json, BENCH_mt_throughput.json) so successive
-# PRs can track the perf curve. Usage: scripts/bench.sh [benchmark args...]
+# PRs can track the perf curve. Each JSON also carries a "telemetry" key with
+# the metric-registry snapshot from the run (see bench/bench_util.h).
+#
+# Usage: scripts/bench.sh [--smoke] [benchmark args...]
+#
+#   --smoke   fast run (short min_time) for the CI bench gate; pair with
+#             scripts/bench_gate.py to compare against the committed baseline.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+EXTRA=()
+for arg in "$@"; do
+  case "${arg}" in
+    --smoke) EXTRA+=(--benchmark_min_time=0.05) ;;
+    *) EXTRA+=("${arg}") ;;
+  esac
+done
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}" --target micro_allocator mt_throughput
 
 ./build/bench/micro_allocator \
   --benchmark_out=BENCH_micro_allocator.json \
-  --benchmark_out_format=json "$@"
+  --benchmark_out_format=json ${EXTRA[@]+"${EXTRA[@]}"}
 ./build/bench/mt_throughput \
   --benchmark_out=BENCH_mt_throughput.json \
-  --benchmark_out_format=json "$@"
+  --benchmark_out_format=json ${EXTRA[@]+"${EXTRA[@]}"}
 
 echo "wrote BENCH_micro_allocator.json and BENCH_mt_throughput.json"

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""CI bench gate: fail when throughput regresses against a committed baseline.
+
+Compares items_per_second per benchmark between a google-benchmark JSON
+(e.g. BENCH_mt_throughput.json from `scripts/bench.sh --smoke`) and a
+committed baseline (scripts/bench_baseline.json). The verdict uses the
+geometric mean of the per-benchmark current/baseline ratios, which absorbs
+single-benchmark noise while still catching a real across-the-board drop.
+
+Usage:
+  bench_gate.py --baseline scripts/bench_baseline.json \
+                --current BENCH_mt_throughput.json [--threshold 0.20]
+  bench_gate.py --update-baseline scripts/bench_baseline.json \
+                --current BENCH_mt_throughput.json
+  bench_gate.py --self-test
+
+Exit codes: 0 pass, 1 regression past threshold, 2 usage/data error.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def extract_throughput(bench_json):
+    """name -> items_per_second for every benchmark reporting one."""
+    out = {}
+    for b in bench_json.get("benchmarks", []):
+        ips = b.get("items_per_second")
+        if ips is not None and b.get("run_type", "iteration") == "iteration":
+            out[b["name"]] = float(ips)
+    return out
+
+
+def gate(baseline, current, threshold):
+    """Returns (ok, report_lines). baseline/current: name -> items/s."""
+    common = sorted(set(baseline) & set(current))
+    if not common:
+        return False, ["no common benchmarks between baseline and current"]
+    lines = []
+    log_sum = 0.0
+    for name in common:
+        ratio = current[name] / baseline[name]
+        log_sum += math.log(ratio)
+        lines.append(f"  {name}: {ratio:.3f}x "
+                     f"({current[name]:.3e} vs {baseline[name]:.3e} items/s)")
+    gmean = math.exp(log_sum / len(common))
+    ok = gmean >= 1.0 - threshold
+    lines.append(f"geometric-mean ratio {gmean:.3f} over {len(common)} "
+                 f"benchmarks (gate: >= {1.0 - threshold:.2f})")
+    return ok, lines
+
+
+def self_test():
+    baseline = {"BM_A/1": 1.0e6, "BM_A/4": 3.0e6, "BM_B": 2.0e6}
+    same = dict(baseline)
+    ok, _ = gate(baseline, same, 0.20)
+    assert ok, "identical throughput must pass the gate"
+
+    noisy = {k: v * 1.1 for k, v in baseline.items()}
+    noisy["BM_B"] = baseline["BM_B"] * 0.9
+    ok, _ = gate(baseline, noisy, 0.20)
+    assert ok, "mixed noise within threshold must pass the gate"
+
+    regressed = {k: v * 0.75 for k, v in baseline.items()}  # injected -25%
+    ok, lines = gate(baseline, regressed, 0.20)
+    assert not ok, "a 25% across-the-board regression must fail the gate"
+
+    disjoint = {"BM_other": 1.0}
+    ok, _ = gate(baseline, disjoint, 0.20)
+    assert not ok, "disjoint benchmark sets must fail the gate"
+
+    print("bench_gate self-test passed (25% injected regression caught):")
+    print("\n".join(lines))
+    return 0
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--baseline", help="committed baseline JSON")
+    p.add_argument("--current", help="fresh google-benchmark JSON")
+    p.add_argument("--threshold", type=float, default=0.20,
+                   help="max tolerated fractional drop (default 0.20)")
+    p.add_argument("--update-baseline", metavar="PATH",
+                   help="write PATH from --current instead of gating")
+    p.add_argument("--self-test", action="store_true",
+                   help="verify the gate catches an injected 25%% regression")
+    args = p.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    if not args.current:
+        p.error("--current is required unless --self-test")
+    with open(args.current) as f:
+        current = extract_throughput(json.load(f))
+    if not current:
+        print(f"bench_gate: no items_per_second in {args.current}",
+              file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        with open(args.update_baseline, "w") as f:
+            json.dump({"benchmarks": [{"name": n, "items_per_second": v,
+                                       "run_type": "iteration"}
+                                      for n, v in sorted(current.items())]},
+                      f, indent=2)
+            f.write("\n")
+        print(f"bench_gate: wrote {len(current)} baseline entries to "
+              f"{args.update_baseline}")
+        return 0
+
+    if not args.baseline:
+        p.error("--baseline is required unless --update-baseline/--self-test")
+    with open(args.baseline) as f:
+        baseline = extract_throughput(json.load(f))
+
+    ok, lines = gate(baseline, current, args.threshold)
+    print("\n".join(lines))
+    if not ok:
+        print(f"bench_gate: FAIL — throughput regressed more than "
+              f"{args.threshold:.0%} vs {args.baseline}", file=sys.stderr)
+        return 1
+    print("bench_gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

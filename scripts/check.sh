@@ -4,23 +4,44 @@
 #   plain  build + full ctest in the default configuration
 #   asan   rebuild under AddressSanitizer+UBSan, full ctest
 #   tsan   rebuild under ThreadSanitizer, concurrency + thread-cache +
-#          fault-soak suites (the multi-threaded ones — TSan's point)
+#          telemetry + fault-soak suites (the multi-threaded ones — TSan's
+#          point)
 #   all    (default) run plain, then asan, then tsan
 #
 # Each mode uses its own build directory so they can be cached separately.
+# If ccache is installed it is used as the compiler launcher in every mode.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
-MODE="${1:-all}"
-case "${MODE}" in
-  plain|asan|tsan|all) shift || true ;;
-  *) MODE=all ;;
-esac
+
+usage() {
+  sed -n '2,12p' "$0" | sed 's/^# \{0,1\}//'
+}
+
+MODE=all
+if [[ $# -gt 0 ]]; then
+  case "$1" in
+    plain|asan|tsan|all) MODE="$1"; shift ;;
+    -h|--help) usage; exit 0 ;;
+    -*) ;;  # no mode given; everything is extra ctest args
+    *)
+      echo "check.sh: unknown mode '$1'" >&2
+      usage >&2
+      exit 2
+      ;;
+  esac
+fi
+
+CMAKE_EXTRA=()
+if command -v ccache >/dev/null 2>&1; then
+  CMAKE_EXTRA+=(-DCMAKE_C_COMPILER_LAUNCHER=ccache
+                -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
 
 run_plain() {
   echo "==> plain build"
-  cmake -B build -S . >/dev/null
+  cmake -B build -S . ${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"} >/dev/null
   cmake --build build -j "${JOBS}"
   echo "==> plain ctest"
   ctest --test-dir build --output-on-failure -j "${JOBS}" "$@"
@@ -28,7 +49,8 @@ run_plain() {
 
 run_asan() {
   echo "==> asan+ubsan build"
-  cmake -B build-asan -S . -DSOFTMEM_SANITIZE=address,undefined >/dev/null
+  cmake -B build-asan -S . -DSOFTMEM_SANITIZE=address,undefined \
+        ${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"} >/dev/null
   cmake --build build-asan -j "${JOBS}"
   echo "==> asan+ubsan ctest"
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
@@ -38,12 +60,13 @@ run_asan() {
 
 run_tsan() {
   echo "==> tsan build"
-  cmake -B build-tsan -S . -DSOFTMEM_SANITIZE=thread >/dev/null
+  cmake -B build-tsan -S . -DSOFTMEM_SANITIZE=thread \
+        ${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"} >/dev/null
   cmake --build build-tsan -j "${JOBS}"
-  echo "==> tsan ctest (concurrency, thread-cache, fault-soak suites)"
+  echo "==> tsan ctest (concurrency, thread-cache, telemetry, fault-soak)"
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-          -R "Concurrency|ThreadCache|FaultStressSoak" "$@"
+          -R "Concurrency|ThreadCache|FaultStressSoak|Telemetry" "$@"
 }
 
 case "${MODE}" in

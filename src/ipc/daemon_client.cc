@@ -4,8 +4,40 @@
 
 #include "src/common/logging.h"
 #include "src/sma/soft_memory_allocator.h"
+#include "src/telemetry/metrics.h"
 
 namespace softmem {
+
+namespace {
+
+// Budget-RPC round-trip latency. The clock reads are gated on the arming
+// flag via ScopedLatencyTimer; the daemon round-trip itself is slow-path.
+telemetry::Histogram* RpcRttHist() {
+  static telemetry::Histogram* h =
+      telemetry::MetricsRegistry::Global().GetHistogram(
+          "softmem_ipc_rpc_rtt_ns", "Budget RPC round-trip latency.",
+          telemetry::Histogram::LatencyBoundsNs());
+  return h;
+}
+
+telemetry::Counter* RpcRetries() {
+  static telemetry::Counter* c =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "softmem_ipc_rpc_retries_total",
+          "Extra receive rounds within one budget RPC (stale replies and "
+          "interleaved reclaim demands).");
+  return c;
+}
+
+telemetry::Counter* DemandsServed() {
+  static telemetry::Counter* c =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "softmem_ipc_demands_served_total",
+          "Reclaim demands executed on behalf of the daemon.");
+  return c;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<DaemonClient>> DaemonClient::Register(
     std::unique_ptr<MessageChannel> channel, const std::string& name,
@@ -60,6 +92,7 @@ void DaemonClient::HandleDemand(const Message& demand) {
     given = sma_->HandleReclaimDemand(demand.pages);
   }
   demands_served_.fetch_add(1);
+  DemandsServed()->Inc();
   Message result;
   result.type = MsgType::kReclaimResult;
   result.seq = demand.seq;
@@ -69,6 +102,7 @@ void DaemonClient::HandleDemand(const Message& demand) {
 
 Result<size_t> DaemonClient::RequestBudget(size_t pages) {
   std::lock_guard<std::recursive_mutex> lock(io_mu_);
+  telemetry::ScopedLatencyTimer rtt(RpcRttHist());
   Message req;
   req.type = MsgType::kRequestBudget;
   req.seq = next_seq_++;
@@ -76,7 +110,10 @@ Result<size_t> DaemonClient::RequestBudget(size_t pages) {
   SOFTMEM_RETURN_IF_ERROR(channel_->Send(req));
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(options_.rpc_timeout_ms);
-  for (;;) {
+  for (bool first = true;; first = false) {
+    if (!first) {
+      RpcRetries()->Inc();
+    }
     const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
                           deadline - std::chrono::steady_clock::now())
                           .count();

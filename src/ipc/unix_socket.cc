@@ -10,11 +10,39 @@
 #include <cstring>
 #include <vector>
 
+#include "src/telemetry/metrics.h"
 #include "src/testing/failpoint.h"
 
 namespace softmem {
 
 namespace {
+
+// IPC series live in the process-wide registry: every channel shares them.
+// Fetched once — registration is lock-free but not worth repeating per op.
+telemetry::Counter* EintrRecoveries(const char* op) {
+  return telemetry::MetricsRegistry::Global().GetCounter(
+      "softmem_ipc_eintr_recoveries_total",
+      "Syscalls retried after an EINTR interruption.", {{"op", op}});
+}
+
+telemetry::Counter* MessagesSent() {
+  static telemetry::Counter* c = telemetry::MetricsRegistry::Global().GetCounter(
+      "softmem_ipc_messages_sent_total", "Datagrams sent over IPC channels.");
+  return c;
+}
+
+telemetry::Counter* MessagesReceived() {
+  static telemetry::Counter* c = telemetry::MetricsRegistry::Global().GetCounter(
+      "softmem_ipc_messages_received_total",
+      "Datagrams received over IPC channels.");
+  return c;
+}
+
+telemetry::Counter* RecvTimeouts() {
+  static telemetry::Counter* c = telemetry::MetricsRegistry::Global().GetCounter(
+      "softmem_ipc_recv_timeouts_total", "Receives that hit their deadline.");
+  return c;
+}
 
 Status MakeAddr(const std::string& path, sockaddr_un* addr) {
   if (path.size() + 1 > sizeof(addr->sun_path)) {
@@ -46,6 +74,8 @@ Status WaitReadable(int fd, int timeout_ms) {
     if (errno != EINTR) {
       return UnavailableError(std::string("poll: ") + std::strerror(errno));
     }
+    static telemetry::Counter* eintr = EintrRecoveries("poll");
+    eintr->Inc();
     if (timeout_ms >= 0) {
       const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
           deadline - std::chrono::steady_clock::now());
@@ -78,15 +108,18 @@ Status UnixSocketChannel::Send(const Message& m) {
   SOFTMEM_INJECT_FAULT("ipc.send.fail");
   const std::vector<uint8_t> bytes = EncodeMessage(m);
   ssize_t n;
-  do {
-    n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
-  } while (n < 0 && errno == EINTR);
+  while ((n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL)) < 0 &&
+         errno == EINTR) {
+    static telemetry::Counter* eintr = EintrRecoveries("send");
+    eintr->Inc();
+  }
   if (n < 0) {
     return UnavailableError(std::string("send: ") + std::strerror(errno));
   }
   if (static_cast<size_t>(n) != bytes.size()) {
     return InternalError("short send on seqpacket socket");
   }
+  MessagesSent()->Inc();
   return Status::Ok();
 }
 
@@ -95,20 +128,30 @@ Result<Message> UnixSocketChannel::Recv(int timeout_ms) {
     return UnavailableError("channel closed");
   }
   if (SOFTMEM_FAULT_FIRED("ipc.recv.timeout")) {
+    RecvTimeouts()->Inc();
     return NotFoundError("injected fault: ipc.recv.timeout");
   }
-  SOFTMEM_RETURN_IF_ERROR(WaitReadable(fd_, timeout_ms));
+  const Status readable = WaitReadable(fd_, timeout_ms);
+  if (!readable.ok()) {
+    if (readable.code() == StatusCode::kNotFound) {
+      RecvTimeouts()->Inc();
+    }
+    return readable;
+  }
   std::vector<uint8_t> buf(kMaxDatagram);
   ssize_t n;
-  do {
-    n = ::recv(fd_, buf.data(), buf.size(), 0);
-  } while (n < 0 && errno == EINTR);
+  while ((n = ::recv(fd_, buf.data(), buf.size(), 0)) < 0 &&
+         errno == EINTR) {
+    static telemetry::Counter* eintr = EintrRecoveries("recv");
+    eintr->Inc();
+  }
   if (n < 0) {
     return UnavailableError(std::string("recv: ") + std::strerror(errno));
   }
   if (n == 0) {
     return UnavailableError("peer closed");
   }
+  MessagesReceived()->Inc();
   return DecodeMessage(buf.data(), static_cast<size_t>(n));
 }
 
@@ -121,7 +164,10 @@ void UnixSocketChannel::Close() {
   }
 }
 
-UnixSocketListener::~UnixSocketListener() { Shutdown(); }
+UnixSocketListener::~UnixSocketListener() {
+  Shutdown();
+  ::close(fd_);
+}
 
 Result<std::unique_ptr<UnixSocketListener>> UnixSocketListener::Bind(
     const std::string& path) {
@@ -146,10 +192,13 @@ Result<std::unique_ptr<UnixSocketListener>> UnixSocketListener::Bind(
 
 Result<std::unique_ptr<MessageChannel>> UnixSocketListener::Accept(
     int timeout_ms) {
-  if (fd_ < 0) {
+  if (stopped_.load(std::memory_order_acquire)) {
     return UnavailableError("listener shut down");
   }
   SOFTMEM_RETURN_IF_ERROR(WaitReadable(fd_, timeout_ms));
+  if (stopped_.load(std::memory_order_acquire)) {
+    return UnavailableError("listener shut down");
+  }
   const int client = ::accept(fd_, nullptr, nullptr);
   if (client < 0) {
     return UnavailableError(std::string("accept: ") + std::strerror(errno));
@@ -159,10 +208,11 @@ Result<std::unique_ptr<MessageChannel>> UnixSocketListener::Accept(
 }
 
 void UnixSocketListener::Shutdown() {
-  if (fd_ >= 0) {
+  // Wake pending Accept()s but keep the fd alive until destruction: another
+  // thread may be blocked in poll()/accept() on it, and closing here would
+  // race with kernel fd reuse (the UnixSocketChannel::Close discipline).
+  if (!stopped_.exchange(true, std::memory_order_acq_rel)) {
     ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
     ::unlink(path_.c_str());
   }
 }

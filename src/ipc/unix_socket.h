@@ -4,6 +4,7 @@
 #ifndef SOFTMEM_SRC_IPC_UNIX_SOCKET_H_
 #define SOFTMEM_SRC_IPC_UNIX_SOCKET_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -57,8 +58,9 @@ class UnixSocketListener {
   UnixSocketListener(int fd, std::string path)
       : fd_(fd), path_(std::move(path)) {}
 
-  int fd_;
+  const int fd_;  // never mutated: Shutdown() flips stopped_ instead
   std::string path_;
+  std::atomic<bool> stopped_{false};
 };
 
 // Connects to a daemon listening at `path`.

@@ -30,8 +30,8 @@ bool ParseSeconds(const std::string& s, double* out) {
 }  // namespace
 
 KvStore::KvStore(SoftMemoryAllocator* sma, DictOptions dict_options,
-                 const Clock* clock)
-    : clock_(clock), dict_(sma, [&dict_options, this]() {
+                 const Clock* clock, telemetry::MetricsRegistry* metrics)
+    : clock_(clock), metrics_(metrics), dict_(sma, [&dict_options, this]() {
         // Chain our expiry cleanup in front of the user's reclaim hook: a
         // reclaimed key must not leave stale TTL metadata behind.
         auto user_hook = dict_options.on_reclaim;
@@ -223,11 +223,44 @@ bool KvStore::Persist(std::string_view key) {
   return expires_.erase(std::string(key)) > 0;
 }
 
+KvStore::CmdMetrics* KvStore::MetricsFor(const std::string& cmd) {
+  auto it = cmd_metrics_.find(cmd);
+  if (it != cmd_metrics_.end()) {
+    return &it->second;
+  }
+  const bool overflow = cmd_metrics_.size() >= 64;
+  const std::string key = overflow ? "OTHER" : cmd;
+  auto [slot, inserted] = cmd_metrics_.try_emplace(key);
+  if (inserted) {
+    slot->second.count =
+        metrics_->GetCounter("softmem_kv_commands_total",
+                             "RESP commands executed.", {{"cmd", key}});
+    slot->second.latency = metrics_->GetHistogram(
+        "softmem_kv_command_latency_ns", "RESP command execution latency.",
+        telemetry::Histogram::LatencyBoundsNs(), {{"cmd", key}});
+  }
+  return &slot->second;
+}
+
 RespValue KvStore::Execute(const std::vector<std::string>& argv) {
   if (argv.empty()) {
     return RespValue::Error("ERR empty command");
   }
   const std::string cmd = ToUpper(argv[0]);
+
+  if (cmd == "METRICS") {
+    if (metrics_ == nullptr) {
+      return RespValue::Error("ERR metrics disabled on this store");
+    }
+    return RespValue::Bulk(metrics_->RenderPrometheus());
+  }
+  CmdMetrics* cm = metrics_ != nullptr ? MetricsFor(cmd) : nullptr;
+  if (cm != nullptr && cm->count != nullptr) {
+    cm->count->Inc();
+  }
+  // Latency is only recorded while telemetry is armed (no clock read
+  // otherwise); the counter above is always live.
+  telemetry::ScopedLatencyTimer latency(cm != nullptr ? cm->latency : nullptr);
 
   if (cmd == "PING") {
     return argv.size() > 1 ? RespValue::Bulk(argv[1])

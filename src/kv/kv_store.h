@@ -19,6 +19,7 @@
 #include "src/kv/kv_types.h"
 #include "src/kv/resp.h"
 #include "src/sma/soft_memory_allocator.h"
+#include "src/telemetry/metrics.h"
 
 namespace softmem {
 
@@ -40,8 +41,12 @@ class KvStore {
  public:
   // `sma` == nullptr: traditional (baseline) mode. `clock` drives key
   // expiration (default: the real monotonic clock; tests pass a SimClock).
+  // `metrics` receives per-command counters/latency histograms and backs the
+  // METRICS command (nullptr disables both).
   explicit KvStore(SoftMemoryAllocator* sma, DictOptions dict_options = {},
-                   const Clock* clock = MonotonicClock::Get());
+                   const Clock* clock = MonotonicClock::Get(),
+                   telemetry::MetricsRegistry* metrics =
+                       &telemetry::MetricsRegistry::Global());
 
   KvStore(const KvStore&) = delete;
   KvStore& operator=(const KvStore&) = delete;
@@ -88,6 +93,8 @@ class KvStore {
   // STRLEN, KEYS, TYPE, INFO.
   // Lists:  LPUSH, RPUSH, LPOP, RPOP, LRANGE, LLEN.
   // Hashes: HSET, HGET, HDEL, HGETALL, HLEN.
+  // Telemetry: METRICS returns the registry's Prometheus text exposition as
+  // a bulk string (same payload as the daemon's /metrics endpoint).
   // Unknown commands yield a RESP error (never a crash).
   RespValue Execute(const std::vector<std::string>& argv);
 
@@ -99,7 +106,18 @@ class KvStore {
   // Deletes `key` if its TTL has elapsed. Returns true if it expired.
   bool ExpireIfDue(std::string_view key);
 
+  // Per-command series, resolved once per command name. Unknown command
+  // names are client-controlled, so cardinality is capped: past the cap all
+  // new names share one "OTHER" entry.
+  struct CmdMetrics {
+    telemetry::Counter* count = nullptr;
+    telemetry::Histogram* latency = nullptr;
+  };
+  CmdMetrics* MetricsFor(const std::string& cmd);
+
   const Clock* clock_;
+  telemetry::MetricsRegistry* metrics_;  // may be null (telemetry disabled)
+  std::unordered_map<std::string, CmdMetrics> cmd_metrics_;
   Dict dict_;
   ListRegistry lists_;
   HashRegistry hashes_;

@@ -64,16 +64,196 @@ SoftMemoryAllocator::SoftMemoryAllocator(const SmaOptions& options,
           g_instance_generation.fetch_add(1, std::memory_order_relaxed)),
       pool_(std::move(source)),
       metas_(pool_.total_pages()),
-      budget_pages_(options.initial_budget_pages) {
+      budget_pages_(options.initial_budget_pages),
+      reclaim_journal_(options.reclaim_journal_capacity) {
   page_descr_.reset(new std::atomic<uint32_t>[pool_.total_pages()]());
   ctx_flags_.reset(new std::atomic<uint8_t>[kMaxContexts]());
+  InitTelemetry();
   tcache_internal::OnAllocatorCreated(this, instance_generation_);
 }
 
 SoftMemoryAllocator::~SoftMemoryAllocator() {
+  // The collector captures `this`: it must be gone before any member is.
+  if (options_.metrics != nullptr && collector_id_ != 0) {
+    options_.metrics->RemoveCollector(collector_id_);
+  }
   // Threads still holding caches for this instance detect its death (or an
   // address reuse, via the generation) and drop them without flushing.
   tcache_internal::OnAllocatorDestroyed(this);
+}
+
+// ---- Telemetry --------------------------------------------------------------
+
+void SoftMemoryAllocator::InitTelemetry() {
+  telemetry::MetricsRegistry* reg = options_.metrics;
+  if (reg == nullptr) {
+    // No registry: counters are private members; GetStats/stats_text still
+    // read them through the same pointers.
+    total_allocs_ = &own_counters_.allocs;
+    total_frees_ = &own_counters_.frees;
+    budget_requests_ = &own_counters_.budget_requests;
+    budget_request_failures_ = &own_counters_.budget_failures;
+    reclaim_demands_ = &own_counters_.reclaim_demands;
+    reclaimed_pages_ = &own_counters_.reclaimed_pages;
+    reclaim_callbacks_ = &own_counters_.reclaim_callbacks;
+    self_reclaims_ = &own_counters_.self_reclaims;
+    cache_revocations_ = &own_counters_.cache_revocations;
+    cache_hits_ = &own_counters_.cache_hits;
+    cache_misses_ = &own_counters_.cache_misses;
+    pages_committed_ = &own_counters_.pages_committed;
+    pages_decommitted_ = &own_counters_.pages_decommitted;
+    return;
+  }
+  const telemetry::Labels labels = {{"instance", options_.metrics_instance}};
+  // GetCounter returns nullptr on a kind clash with a pre-existing series;
+  // fall back to the private member so the hot path never checks for null.
+  auto counter = [&](const char* name, const char* help,
+                     telemetry::Counter* fallback) {
+    telemetry::Counter* c = reg->GetCounter(name, help, labels);
+    return c != nullptr ? c : fallback;
+  };
+  total_allocs_ = counter("softmem_sma_allocs_total",
+                          "Soft allocations served (soft_malloc successes).",
+                          &own_counters_.allocs);
+  total_frees_ = counter("softmem_sma_frees_total",
+                         "Soft allocations released (soft_free calls).",
+                         &own_counters_.frees);
+  budget_requests_ =
+      counter("softmem_sma_budget_requests_total",
+              "Budget RPC round-trips to the daemon.",
+              &own_counters_.budget_requests);
+  budget_request_failures_ =
+      counter("softmem_sma_budget_request_failures_total",
+              "Budget RPCs denied or failed.", &own_counters_.budget_failures);
+  reclaim_demands_ =
+      counter("softmem_sma_reclaim_demands_total",
+              "Reclamation demands executed.", &own_counters_.reclaim_demands);
+  reclaimed_pages_ =
+      counter("softmem_sma_reclaimed_pages_total",
+              "Pages relinquished to the daemon.",
+              &own_counters_.reclaimed_pages);
+  reclaim_callbacks_ =
+      counter("softmem_sma_reclaim_callbacks_total",
+              "SDS reclaim callbacks invoked.",
+              &own_counters_.reclaim_callbacks);
+  self_reclaims_ =
+      counter("softmem_sma_self_reclaims_total",
+              "Self-reclamation passes after a budget denial.",
+              &own_counters_.self_reclaims);
+  cache_revocations_ =
+      counter("softmem_sma_cache_revocations_total",
+              "Magazine revocation waves (epoch bumps).",
+              &own_counters_.cache_revocations);
+  cache_hits_ = counter("softmem_sma_cache_hits_total",
+                        "Allocations served from a thread-local magazine.",
+                        &own_counters_.cache_hits);
+  cache_misses_ =
+      counter("softmem_sma_cache_misses_total",
+              "Magazine misses (central refill taken).",
+              &own_counters_.cache_misses);
+  pages_committed_ =
+      counter("softmem_sma_pages_committed_total",
+              "Fresh page commits against the budget.",
+              &own_counters_.pages_committed);
+  pages_decommitted_ =
+      counter("softmem_sma_pages_decommitted_total",
+              "Pages decommitted (reclamation and voluntary trims).",
+              &own_counters_.pages_decommitted);
+
+  reclaim_duration_hist_ = reg->GetHistogram(
+      "softmem_sma_reclaim_duration_ns",
+      "End-to-end latency of one reclamation demand.",
+      telemetry::Histogram::LatencyBoundsNs(), labels);
+  reclaim_pages_hist_ = reg->GetHistogram(
+      "softmem_sma_reclaim_pages",
+      "Pages produced per reclamation demand.",
+      telemetry::Histogram::PageCountBounds(), labels);
+  auto phase_hist = [&](const char* phase) {
+    telemetry::Labels l = labels;
+    l.emplace_back("phase", phase);
+    return reg->GetHistogram("softmem_sma_reclaim_phase_duration_ns",
+                             "Per-phase latency within a reclamation demand.",
+                             telemetry::Histogram::LatencyBoundsNs(), l);
+  };
+  phase_revoke_hist_ = phase_hist("revoke");
+  phase_slack_hist_ = phase_hist("slack");
+  phase_pool_hist_ = phase_hist("pool");
+  phase_sds_hist_ = phase_hist("sds");
+
+  collector_id_ = reg->AddCollector(
+      [this](std::vector<telemetry::Sample>* out) { CollectTelemetry(out); });
+}
+
+void SoftMemoryAllocator::CollectTelemetry(
+    std::vector<telemetry::Sample>* out) const {
+  const std::string& inst = options_.metrics_instance;
+  const SmaStats s = GetStats();
+  auto gauge = [&](const char* name, const char* help, double v) {
+    telemetry::Sample smp;
+    smp.name = name;
+    smp.help = help;
+    smp.kind = telemetry::MetricKind::kGauge;
+    smp.labels = {{"instance", inst}};
+    smp.value = v;
+    out->push_back(std::move(smp));
+  };
+  gauge("softmem_sma_budget_pages", "Current soft budget.",
+        static_cast<double>(s.budget_pages));
+  gauge("softmem_sma_committed_pages", "Physical pages currently held.",
+        static_cast<double>(s.committed_pages));
+  gauge("softmem_sma_pooled_pages", "Committed but unassigned pages.",
+        static_cast<double>(s.pooled_pages));
+  gauge("softmem_sma_in_use_pages", "Committed pages assigned to heaps.",
+        static_cast<double>(s.in_use_pages));
+  gauge("softmem_sma_contexts", "Live SDS contexts.",
+        static_cast<double>(s.context_count));
+  gauge("softmem_sma_live_allocations", "Live soft allocations.",
+        static_cast<double>(s.live_allocations));
+  gauge("softmem_sma_allocated_bytes", "Sum of live slot sizes.",
+        static_cast<double>(s.allocated_bytes));
+
+  CentralLock lock(this);
+  for (ContextId id = 0; id < contexts_.size(); ++id) {
+    const Context* c = contexts_[id].get();
+    if (!c->alive) {
+      continue;
+    }
+    telemetry::Labels l = {
+        {"context",
+         c->options.name.empty() ? "ctx" + std::to_string(id)
+                                 : c->options.name},
+        {"instance", inst}};
+    auto ctx_sample = [&](const char* name, const char* help,
+                          telemetry::MetricKind kind, double v) {
+      telemetry::Sample smp;
+      smp.name = name;
+      smp.help = help;
+      smp.kind = kind;
+      smp.labels = l;
+      smp.value = v;
+      out->push_back(std::move(smp));
+    };
+    using telemetry::MetricKind;
+    ctx_sample("softmem_sma_context_live_allocations",
+               "Live allocations of one SDS context.", MetricKind::kGauge,
+               static_cast<double>(c->heap.live_allocations));
+    ctx_sample("softmem_sma_context_allocated_bytes",
+               "Live bytes of one SDS context.", MetricKind::kGauge,
+               static_cast<double>(c->heap.allocated_bytes));
+    ctx_sample("softmem_sma_context_owned_pages",
+               "Pages owned by one SDS context.", MetricKind::kGauge,
+               static_cast<double>(c->heap.owned_pages));
+    ctx_sample("softmem_sma_context_priority",
+               "Reclamation priority (lower reclaims first).",
+               MetricKind::kGauge, static_cast<double>(c->options.priority));
+    ctx_sample("softmem_sma_context_reclaimed_allocations_total",
+               "Allocations revoked from one SDS context.",
+               MetricKind::kCounter,
+               static_cast<double>(c->reclaimed_allocations));
+    ctx_sample("softmem_sma_context_reclaimed_bytes_total",
+               "Bytes revoked from one SDS context.", MetricKind::kCounter,
+               static_cast<double>(c->reclaimed_bytes));
+  }
 }
 
 // ---- Contexts --------------------------------------------------------------
@@ -153,7 +333,7 @@ Status SoftMemoryAllocator::DestroyContext(ContextId id) {
     pool_.Release(PageRun{page, info.run_pages});
   }
 
-  total_frees_.fetch_add(h.live_allocations, std::memory_order_relaxed);
+  total_frees_->Inc(h.live_allocations);
   c->alive = false;
   c->heap = Heap{};
   c->order.clear();
@@ -260,7 +440,7 @@ void* SoftMemoryAllocator::SoftMalloc(ContextId ctx_id, size_t size) {
     if ((flags & (kCtxAlive | kCtxCacheable)) == (kCtxAlive | kCtxCacheable)) {
       void* p = CacheAlloc(ctx_id, SizeClassFor(size));
       if (p != nullptr) {
-        total_allocs_.fetch_add(1, std::memory_order_relaxed);
+        total_allocs_->Inc();
       }
       return p;
     }
@@ -278,7 +458,7 @@ void* SoftMemoryAllocator::SoftMalloc(ContextId ctx_id, size_t size) {
   if (ptr == nullptr) {
     return nullptr;
   }
-  total_allocs_.fetch_add(1, std::memory_order_relaxed);
+  total_allocs_->Inc();
   Context* c = contexts_[ctx_id].get();
   if (c->options.mode == ReclaimMode::kOldestFirst) {
     const uint64_t seq = c->next_seq++;
@@ -311,12 +491,14 @@ void* SoftMemoryAllocator::CacheAlloc(ContextId ctx_id, int cls) {
         if (!slots.empty()) {
           void* p = slots.back();
           slots.pop_back();
+          cache_hits_->Inc();
           return p;
         }
       }
     }
   }
 
+  cache_misses_->Inc();
   // Miss (or a reclamation wave passed): refill a half magazine under the
   // central lock. The thread-cache lock is NOT held across the central
   // batch allocation — AcquirePagesLocked may revoke every cache, including
@@ -601,7 +783,7 @@ bool SoftMemoryAllocator::TryCacheFree(void* ptr) {
       FreeLocked(overflow[i], /*count_op=*/false);
     }
   }
-  total_frees_.fetch_add(1, std::memory_order_relaxed);
+  total_frees_->Inc();
   return true;
 }
 
@@ -702,7 +884,7 @@ void SoftMemoryAllocator::FreeLocked(void* ptr, bool count_op) {
     c->live_seq.erase(ptr);
   }
   if (count_op) {
-    total_frees_.fetch_add(1, std::memory_order_relaxed);
+    total_frees_->Inc();
   }
 }
 
@@ -740,7 +922,7 @@ void SoftMemoryAllocator::RevokeThreadCachesLocked(bool bump_epoch) {
   uint64_t epoch = cache_epoch_.load(std::memory_order_relaxed);
   if (bump_epoch) {
     epoch = cache_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
-    cache_revocations_.fetch_add(1, std::memory_order_relaxed);
+    cache_revocations_->Inc();
   }
   std::lock_guard<std::mutex> reg(caches_mu_);
   for (ThreadCache* tc : caches_) {
@@ -831,7 +1013,7 @@ Result<PageRun> SoftMemoryAllocator::AcquirePagesLocked(ContextId ctx_id,
   // 2) Fresh commit requires budget headroom.
   if (pool_.committed_pages() + count > budget_pages_) {
     const size_t want = std::max(count, options_.budget_chunk_pages);
-    budget_requests_.fetch_add(1, std::memory_order_relaxed);
+    budget_requests_->Inc();
     // Failpoint: the budget RPC fails before reaching the daemon (transport
     // died, daemon crashed). The allocation must degrade exactly like a
     // denial: revoke caches, optionally self-reclaim, else fail cleanly.
@@ -860,7 +1042,7 @@ Result<PageRun> SoftMemoryAllocator::AcquirePagesLocked(ContextId ctx_id,
     if (granted.ok()) {
       budget_pages_ += *granted;
     } else {
-      budget_request_failures_.fetch_add(1, std::memory_order_relaxed);
+      budget_request_failures_->Inc();
     }
     // Re-check after the unlocked window: another thread may have used or
     // freed pages meanwhile.
@@ -879,7 +1061,7 @@ Result<PageRun> SoftMemoryAllocator::AcquirePagesLocked(ContextId ctx_id,
         options_.allow_self_reclaim) {
       // Make room under the existing budget by revoking this process's own
       // lower-priority soft memory (never the allocating context's).
-      self_reclaims_.fetch_add(1, std::memory_order_relaxed);
+      self_reclaims_->Inc();
       std::vector<ContextId> order;
       for (ContextId id = 0; id < contexts_.size(); ++id) {
         if (contexts_[id]->alive && id != ctx_id) {
@@ -909,7 +1091,11 @@ Result<PageRun> SoftMemoryAllocator::AcquirePagesLocked(ContextId ctx_id,
       return DeniedError("soft budget exhausted and daemon denied more");
     }
   }
-  return pool_.AcquireFresh(count);
+  auto fresh = pool_.AcquireFresh(count);
+  if (fresh.ok()) {
+    pages_committed_->Inc(count);
+  }
+  return fresh;
 }
 
 // ---- Reclamation ------------------------------------------------------------
@@ -944,7 +1130,7 @@ size_t SoftMemoryAllocator::ReclaimOldestFirstLocked(Context* c,
                             ? SizeClassBytes(metas_[page_idx].size_class)
                             : large_info_.at(static_cast<uint32_t>(page_idx)).bytes;
     if (c->options.callback) {
-      reclaim_callbacks_.fetch_add(1, std::memory_order_relaxed);
+      reclaim_callbacks_->Inc();
       c->options.callback(ptr, size);
     }
     FreeLocked(ptr);
@@ -985,12 +1171,22 @@ size_t SoftMemoryAllocator::ReclaimFromContextLocked(Context* c,
 }
 
 size_t SoftMemoryAllocator::HandleReclaimDemand(size_t pages) {
+  // The demand trace is always recorded: reclamation is orders of magnitude
+  // slower than the handful of clock reads that time its phases.
+  const Clock* clock = MonotonicClock::Get();
+  telemetry::ReclaimDemandTrace trace;
+  trace.start = clock->Now();
+  trace.demanded_pages = pages;
+  const uint64_t callbacks_before = reclaim_callbacks_->Value();
+
   CentralLock lock(this);
-  reclaim_demands_.fetch_add(1, std::memory_order_relaxed);
+  reclaim_demands_->Inc();
   // Revoke outstanding magazines first (epoch bump + synchronous drain):
   // slots parked in thread caches must count as free pages below, and
   // caches that refill during the wave self-flush on their next op.
   RevokeThreadCachesLocked(/*bump_epoch=*/true);
+  Nanos phase_end = clock->Now();
+  trace.revoke_ns = phase_end - trace.start;
   size_t produced = 0;
 
   // Tier 0a: budget slack — budget we hold but have not committed. Giving it
@@ -1000,13 +1196,20 @@ size_t SoftMemoryAllocator::HandleReclaimDemand(size_t pages) {
   const size_t slack_take = std::min(slack, pages);
   budget_pages_ -= slack_take;
   produced += slack_take;
+  trace.slack_pages = slack_take;
+  trace.slack_ns = clock->Now() - phase_end;
+  phase_end += trace.slack_ns;
 
   // Tier 0b: pooled free pages — decommit without disturbing any SDS.
   if (produced < pages) {
     const size_t d = pool_.DecommitPooled(pages - produced);
     budget_pages_ -= d;
     produced += d;
+    pages_decommitted_->Inc(d);
+    trace.pooled_pages = d;
   }
+  trace.pool_ns = clock->Now() - phase_end;
+  phase_end += trace.pool_ns;
 
   // Tiers 1+2: SDS contexts in ascending priority; each frees its own
   // allocations (callback per drop) until whole pages come free.
@@ -1035,15 +1238,32 @@ size_t SoftMemoryAllocator::HandleReclaimDemand(size_t pages) {
       if (contexts_[id]->pin_count > 0) {
         continue;  // a thread is actively accessing this context (§7)
       }
+      ++trace.contexts_visited;
       ReclaimFromContextLocked(contexts_[id].get(), pages - produced);
       const size_t d = pool_.DecommitPooled(pages - produced);
       budget_pages_ -= d;
       produced += d;
+      pages_decommitted_->Inc(d);
+      trace.sds_pages += d;
     }
   }
+  trace.sds_ns = clock->Now() - phase_end;
 
-  reclaimed_pages_.fetch_add(produced, std::memory_order_relaxed);
+  reclaimed_pages_->Inc(produced);
   ReportUsageLocked();
+
+  trace.produced_pages = produced;
+  trace.callbacks = reclaim_callbacks_->Value() - callbacks_before;
+  trace.total_ns = clock->Now() - trace.start;
+  reclaim_journal_.Append(trace);
+  if (reclaim_duration_hist_ != nullptr) {
+    reclaim_duration_hist_->Observe(static_cast<uint64_t>(trace.total_ns));
+    reclaim_pages_hist_->Observe(produced);
+    phase_revoke_hist_->Observe(static_cast<uint64_t>(trace.revoke_ns));
+    phase_slack_hist_->Observe(static_cast<uint64_t>(trace.slack_ns));
+    phase_pool_hist_->Observe(static_cast<uint64_t>(trace.pool_ns));
+    phase_sds_hist_->Observe(static_cast<uint64_t>(trace.sds_ns));
+  }
   return produced;
 }
 
@@ -1057,7 +1277,7 @@ size_t SoftMemoryAllocator::TrimAndReleaseBudget() {
     RevokeThreadCachesLocked(/*bump_epoch=*/true);
     // Decommit is physical only; the budget released is the resulting slack
     // (decommitted pages become slack, so counting both would double-count).
-    pool_.DecommitPooled(pool_.pooled_pages());
+    pages_decommitted_->Inc(pool_.DecommitPooled(pool_.pooled_pages()));
     const size_t committed = pool_.committed_pages();
     slack = budget_pages_ > committed ? budget_pages_ - committed : 0;
     budget_pages_ -= slack;
@@ -1106,16 +1326,19 @@ SmaStats SoftMemoryAllocator::GetStats() const {
       s.allocated_bytes += c->heap.allocated_bytes;
     }
   }
-  s.total_allocs = total_allocs_.load(std::memory_order_relaxed);
-  s.total_frees = total_frees_.load(std::memory_order_relaxed);
-  s.budget_requests = budget_requests_.load(std::memory_order_relaxed);
-  s.budget_request_failures =
-      budget_request_failures_.load(std::memory_order_relaxed);
-  s.reclaim_demands = reclaim_demands_.load(std::memory_order_relaxed);
-  s.reclaimed_pages = reclaimed_pages_.load(std::memory_order_relaxed);
-  s.reclaim_callbacks = reclaim_callbacks_.load(std::memory_order_relaxed);
-  s.self_reclaims = self_reclaims_.load(std::memory_order_relaxed);
-  s.cache_revocations = cache_revocations_.load(std::memory_order_relaxed);
+  s.total_allocs = total_allocs_->Value();
+  s.total_frees = total_frees_->Value();
+  s.budget_requests = budget_requests_->Value();
+  s.budget_request_failures = budget_request_failures_->Value();
+  s.reclaim_demands = reclaim_demands_->Value();
+  s.reclaimed_pages = reclaimed_pages_->Value();
+  s.reclaim_callbacks = reclaim_callbacks_->Value();
+  s.self_reclaims = self_reclaims_->Value();
+  s.cache_revocations = cache_revocations_->Value();
+  s.cache_hits = cache_hits_->Value();
+  s.cache_misses = cache_misses_->Value();
+  s.pages_committed = pages_committed_->Value();
+  s.pages_decommitted = pages_decommitted_->Value();
   return s;
 }
 

@@ -68,6 +68,8 @@
 #include "src/sma/size_classes.h"
 #include "src/sma/smd_channel.h"
 #include "src/sma/thread_cache.h"
+#include "src/telemetry/event_journal.h"
+#include "src/telemetry/metrics.h"
 
 namespace softmem {
 
@@ -101,6 +103,17 @@ struct SmaOptions {
   // through the central lock (the seed big-lock behavior; benchmarks use
   // this as the contention baseline).
   bool thread_cache = true;
+
+  // Registry this allocator's metrics register into (nullptr = keep the
+  // counters private to the instance; GetStats still works). When several
+  // allocators share one registry, give each a distinct metrics_instance —
+  // series are deduplicated by (name, labels), so two allocators with the
+  // same label would silently share counters.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  std::string metrics_instance = "sma";
+
+  // Bound on retained reclamation-trace records (see reclaim_journal()).
+  size_t reclaim_journal_capacity = 256;
 };
 
 // Snapshot of allocator-wide accounting.
@@ -123,6 +136,10 @@ struct SmaStats {
   size_t reclaim_callbacks = 0;      // allocations dropped via callback
   size_t self_reclaims = 0;
   size_t cache_revocations = 0;      // magazine drains forced by reclaim
+  size_t cache_hits = 0;             // magazine pops served locally
+  size_t cache_misses = 0;           // magazine refills from the central heap
+  size_t pages_committed = 0;        // cumulative fresh commits
+  size_t pages_decommitted = 0;      // cumulative decommits (reclaim + trim)
 };
 
 class SoftMemoryAllocator {
@@ -221,6 +238,13 @@ class SoftMemoryAllocator {
   // all completed SoftFree calls exactly (at the cost of briefly touching
   // each thread cache).
   SmaStats GetStats() const;
+
+  // Bounded ring of structured traces, one per executed reclamation demand
+  // (see telemetry/event_journal.h). Always recorded: the reclaim path is
+  // slow enough that two clock reads per phase are free.
+  const telemetry::SmaReclaimJournal& reclaim_journal() const {
+    return reclaim_journal_;
+  }
   Result<ContextStats> GetContextStats(ContextId id) const;
   size_t budget_pages() const;
   size_t committed_pages() const;
@@ -438,17 +462,52 @@ class SoftMemoryAllocator {
   mutable std::mutex caches_mu_;
   std::vector<ThreadCache*> caches_;
 
-  // Cumulative counters (see SmaStats); atomics so the magazine fast path
-  // never touches mu_.
-  std::atomic<size_t> total_allocs_{0};
-  std::atomic<size_t> total_frees_{0};
-  std::atomic<size_t> budget_requests_{0};
-  std::atomic<size_t> budget_request_failures_{0};
-  std::atomic<size_t> reclaim_demands_{0};
-  std::atomic<size_t> reclaimed_pages_{0};
-  std::atomic<size_t> reclaim_callbacks_{0};
-  std::atomic<size_t> self_reclaims_{0};
-  std::atomic<size_t> cache_revocations_{0};
+  // ---- Telemetry ----------------------------------------------------------
+
+  // Binds the counter pointers below and (when options_.metrics is set)
+  // registers the series + render-time collector. Called from the ctor.
+  void InitTelemetry();
+
+  // Collector body: snapshots the lock-guarded accounting (GetStats plus
+  // per-context figures) into gauge samples at render time.
+  void CollectTelemetry(std::vector<telemetry::Sample>* out) const;
+
+  // Cumulative counters (see SmaStats). telemetry::Counter is one relaxed
+  // atomic, so the magazine fast path never touches mu_. With a registry
+  // configured the pointers alias registry-owned series (single source of
+  // truth for GetStats, stats_text, and /metrics); otherwise they point
+  // into own_counters_, keeping instances fully independent.
+  struct CounterSet {
+    telemetry::Counter allocs, frees, budget_requests, budget_failures,
+        reclaim_demands, reclaimed_pages, reclaim_callbacks, self_reclaims,
+        cache_revocations, cache_hits, cache_misses, pages_committed,
+        pages_decommitted;
+  };
+  CounterSet own_counters_;
+  telemetry::Counter* total_allocs_ = nullptr;
+  telemetry::Counter* total_frees_ = nullptr;
+  telemetry::Counter* budget_requests_ = nullptr;
+  telemetry::Counter* budget_request_failures_ = nullptr;
+  telemetry::Counter* reclaim_demands_ = nullptr;
+  telemetry::Counter* reclaimed_pages_ = nullptr;
+  telemetry::Counter* reclaim_callbacks_ = nullptr;
+  telemetry::Counter* self_reclaims_ = nullptr;
+  telemetry::Counter* cache_revocations_ = nullptr;
+  telemetry::Counter* cache_hits_ = nullptr;
+  telemetry::Counter* cache_misses_ = nullptr;
+  telemetry::Counter* pages_committed_ = nullptr;
+  telemetry::Counter* pages_decommitted_ = nullptr;
+
+  // Reclaim latency distributions (registry-owned; null without a registry).
+  telemetry::Histogram* reclaim_duration_hist_ = nullptr;
+  telemetry::Histogram* reclaim_pages_hist_ = nullptr;
+  telemetry::Histogram* phase_revoke_hist_ = nullptr;
+  telemetry::Histogram* phase_slack_hist_ = nullptr;
+  telemetry::Histogram* phase_pool_hist_ = nullptr;
+  telemetry::Histogram* phase_sds_hist_ = nullptr;
+
+  telemetry::SmaReclaimJournal reclaim_journal_;
+  uint64_t collector_id_ = 0;  // 0 = no collector registered
 };
 
 }  // namespace softmem

@@ -15,7 +15,16 @@ std::string FormatSmaStats(const SmaStats& s) {
      << "  contexts: " << s.context_count << ", live allocations: "
      << s.live_allocations << " (" << FormatBytes(s.allocated_bytes) << ")\n"
      << "  ops: " << s.total_allocs << " allocs, " << s.total_frees
-     << " frees\n"
+     << " frees\n";
+  const size_t cache_ops = s.cache_hits + s.cache_misses;
+  if (cache_ops > 0) {
+    os << "  magazines: " << s.cache_hits << " hits / " << cache_ops
+       << " lookups ("
+       << (100 * s.cache_hits + cache_ops / 2) / cache_ops << "% hit rate), "
+       << s.cache_revocations << " revocations\n";
+  }
+  os << "  paging: " << s.pages_committed << " committed, "
+     << s.pages_decommitted << " decommitted (cumulative pages)\n"
      << "  daemon: " << s.budget_requests << " budget requests ("
      << s.budget_request_failures << " failed)\n"
      << "  reclamation: " << s.reclaim_demands << " demands, "

@@ -12,7 +12,128 @@ SoftMemoryDaemon::SoftMemoryDaemon(
     const SmdOptions& options, std::unique_ptr<ReclamationWeightPolicy> policy)
     : options_(options),
       policy_(policy != nullptr ? std::move(policy)
-                                : std::make_unique<PaperWeightPolicy>()) {}
+                                : std::make_unique<PaperWeightPolicy>()),
+      reclaim_journal_(options.reclaim_journal_capacity) {
+  InitTelemetry();
+}
+
+SoftMemoryDaemon::~SoftMemoryDaemon() {
+  if (options_.metrics != nullptr && collector_id_ != 0) {
+    options_.metrics->RemoveCollector(collector_id_);
+  }
+}
+
+void SoftMemoryDaemon::InitTelemetry() {
+  telemetry::MetricsRegistry* reg = options_.metrics;
+  if (reg == nullptr) {
+    total_requests_ = &own_counters_.requests;
+    granted_requests_ = &own_counters_.granted;
+    denied_requests_ = &own_counters_.denied;
+    reclamations_ = &own_counters_.reclamations;
+    reclaimed_pages_ = &own_counters_.reclaimed_pages;
+    proactive_reclaims_ = &own_counters_.proactive;
+    return;
+  }
+  const telemetry::Labels labels = {{"instance", options_.metrics_instance}};
+  auto counter = [&](const char* name, const char* help,
+                     telemetry::Counter* fallback) {
+    telemetry::Counter* c = reg->GetCounter(name, help, labels);
+    return c != nullptr ? c : fallback;
+  };
+  total_requests_ =
+      counter("softmem_smd_requests_total", "Budget requests received.",
+              &own_counters_.requests);
+  granted_requests_ =
+      counter("softmem_smd_requests_granted_total", "Budget requests granted.",
+              &own_counters_.granted);
+  denied_requests_ =
+      counter("softmem_smd_requests_denied_total", "Budget requests denied.",
+              &own_counters_.denied);
+  reclamations_ = counter("softmem_smd_reclamations_total",
+                          "Reclamation passes that disturbed a process.",
+                          &own_counters_.reclamations);
+  reclaimed_pages_ =
+      counter("softmem_smd_reclaimed_pages_total",
+              "Pages pulled back into the free pool.",
+              &own_counters_.reclaimed_pages);
+  proactive_reclaims_ =
+      counter("softmem_smd_proactive_reclaims_total",
+              "Watermark-triggered reclamation passes.",
+              &own_counters_.proactive);
+  pass_duration_hist_ = reg->GetHistogram(
+      "softmem_smd_reclaim_pass_duration_ns",
+      "Latency of one machine-wide reclamation pass.",
+      telemetry::Histogram::LatencyBoundsNs(), labels);
+  pass_pages_hist_ = reg->GetHistogram(
+      "softmem_smd_reclaim_pass_pages",
+      "Pages recovered per reclamation pass.",
+      telemetry::Histogram::PageCountBounds(), labels);
+  collector_id_ = reg->AddCollector(
+      [this](std::vector<telemetry::Sample>* out) { CollectTelemetry(out); });
+}
+
+void SoftMemoryDaemon::CollectTelemetry(
+    std::vector<telemetry::Sample>* out) const {
+  const std::string& inst = options_.metrics_instance;
+  const SmdStats s = GetStats();
+  auto gauge = [&](const char* name, const char* help, double v) {
+    telemetry::Sample smp;
+    smp.name = name;
+    smp.help = help;
+    smp.kind = telemetry::MetricKind::kGauge;
+    smp.labels = {{"instance", inst}};
+    smp.value = v;
+    out->push_back(std::move(smp));
+  };
+  gauge("softmem_smd_capacity_pages", "Machine-wide soft memory capacity.",
+        static_cast<double>(s.capacity_pages));
+  gauge("softmem_smd_assigned_pages", "Sum of granted budgets.",
+        static_cast<double>(s.assigned_pages));
+  gauge("softmem_smd_free_pages", "Unassigned soft capacity.",
+        static_cast<double>(s.free_pages));
+  gauge("softmem_smd_processes", "Registered processes.",
+        static_cast<double>(s.processes.size()));
+  for (const SmdProcessStats& p : s.processes) {
+    telemetry::Labels l = {{"instance", inst},
+                           {"pid", std::to_string(p.id)},
+                           {"process", p.name}};
+    auto proc_sample = [&](const char* name, const char* help,
+                           telemetry::MetricKind kind, double v) {
+      telemetry::Sample smp;
+      smp.name = name;
+      smp.help = help;
+      smp.kind = kind;
+      smp.labels = l;
+      smp.value = v;
+      out->push_back(std::move(smp));
+    };
+    using telemetry::MetricKind;
+    proc_sample("softmem_smd_process_budget_pages",
+                "Soft budget granted to one process.", MetricKind::kGauge,
+                static_cast<double>(p.budget_pages));
+    proc_sample("softmem_smd_process_soft_pages",
+                "Soft pages a process last reported in use.",
+                MetricKind::kGauge, static_cast<double>(p.used_soft_pages));
+    proc_sample("softmem_smd_process_traditional_pages",
+                "Traditional memory a process last reported.",
+                MetricKind::kGauge, static_cast<double>(p.traditional_pages));
+    proc_sample("softmem_smd_process_weight",
+                "Current reclamation weight (higher reclaims first).",
+                MetricKind::kGauge, p.weight);
+    proc_sample("softmem_smd_process_times_targeted_total",
+                "How often this process was selected as a reclamation target.",
+                MetricKind::kCounter, static_cast<double>(p.times_targeted));
+    proc_sample("softmem_smd_process_pages_reclaimed_total",
+                "Pages taken back from this process.", MetricKind::kCounter,
+                static_cast<double>(p.pages_reclaimed));
+    proc_sample("softmem_smd_process_requests_granted_total",
+                "Budget requests granted to this process.",
+                MetricKind::kCounter, static_cast<double>(p.requests_granted));
+    proc_sample("softmem_smd_process_requests_denied_total",
+                "Budget requests denied to this process.",
+                MetricKind::kCounter, static_cast<double>(p.requests_denied));
+  }
+}
 
 Result<ProcessId> SoftMemoryDaemon::RegisterProcess(std::string name,
                                                     ReclaimSink* sink) {
@@ -63,18 +184,18 @@ Result<size_t> SoftMemoryDaemon::HandleBudgetRequest(ProcessId id,
   if (pages == 0) {
     return InvalidArgumentError("zero-page request");
   }
-  ++total_requests_;
+  total_requests_->Inc();
   // Failpoint: the daemon denies the grant outright (simulated machine-wide
   // pressure). Counted like any other denial so stats stay conserved.
   if (SOFTMEM_FAULT_FIRED("smd.grant.deny")) {
-    ++denied_requests_;
+    denied_requests_->Inc();
     ++it->second.requests_denied;
     return DeniedError("injected fault: smd.grant.deny");
   }
   if (it->second.cap_pages != 0 &&
       it->second.budget_pages + pages > it->second.cap_pages) {
     // Above the scheduler-imposed ceiling: deny without disturbing anyone.
-    ++denied_requests_;
+    denied_requests_->Inc();
     ++it->second.requests_denied;
     return DeniedError("request exceeds this process's soft budget cap");
   }
@@ -88,7 +209,7 @@ Result<size_t> SoftMemoryDaemon::HandleBudgetRequest(ProcessId id,
     // §3.3: if the page quota cannot be reached, the triggering request is
     // denied (never partially granted) — this caps the number of processes
     // disturbed per request.
-    ++denied_requests_;
+    denied_requests_->Inc();
     ++it->second.requests_denied;
     SOFTMEM_LOG(Info) << "smd: denied " << pages << "-page request from "
                       << id;
@@ -96,7 +217,7 @@ Result<size_t> SoftMemoryDaemon::HandleBudgetRequest(ProcessId id,
   }
   assigned_pages_ += pages;
   it->second.budget_pages += pages;
-  ++granted_requests_;
+  granted_requests_->Inc();
   ++it->second.requests_granted;
   return pages;
 }
@@ -125,12 +246,19 @@ Status SoftMemoryDaemon::HandleUsageReport(ProcessId id, size_t soft_pages,
   return Status::Ok();
 }
 
-size_t SoftMemoryDaemon::ReclaimLocked(size_t need, ProcessId requester) {
+size_t SoftMemoryDaemon::ReclaimLocked(size_t need, ProcessId requester,
+                                       bool proactive) {
+  const Clock* clock = MonotonicClock::Get();
+  telemetry::ReclaimPassTrace trace;
+  trace.start = clock->Now();
+  trace.need_pages = need;
+  trace.proactive = proactive;
   // Over-reclaim to amortize the cost of a pass over future requests (§4).
   const size_t quota =
       need + static_cast<size_t>(
                  std::ceil(options_.over_reclaim_factor *
                            static_cast<double>(need)));
+  trace.quota_pages = quota;
 
   // Rank candidates by descending reclamation weight and keep the top K —
   // the cap on how many processes one request may disturb.
@@ -186,6 +314,8 @@ size_t SoftMemoryDaemon::ReclaimLocked(size_t need, ProcessId requester) {
     }
     got = std::min(got, p.budget_pages);  // a sink cannot give up more than
                                           // the ledger says it holds
+    trace.targets.push_back(
+        telemetry::ReclaimPassTrace::Target{pid, p.name, demand, got});
     if (got > 0) {
       p.budget_pages -= got;
       assigned_pages_ -= got;
@@ -198,8 +328,15 @@ size_t SoftMemoryDaemon::ReclaimLocked(size_t need, ProcessId requester) {
     }
   }
   if (disturbed) {
-    ++reclamations_;
-    reclaimed_pages_ += recovered;
+    reclamations_->Inc();
+    reclaimed_pages_->Inc(recovered);
+  }
+  trace.recovered_pages = recovered;
+  trace.total_ns = clock->Now() - trace.start;
+  reclaim_journal_.Append(trace);
+  if (pass_duration_hist_ != nullptr) {
+    pass_duration_hist_->Observe(static_cast<uint64_t>(trace.total_ns));
+    pass_pages_hist_->Observe(recovered);
   }
   return recovered;
 }
@@ -223,9 +360,9 @@ size_t SoftMemoryDaemon::ProactiveReclaimTick() {
   const size_t need = options_.low_watermark_pages - FreePagesLocked();
   // Exclude nobody: there is no requester; the watermark speaks for future
   // ones. ProcessId 0 is never assigned (ids start at 1).
-  const size_t got = ReclaimLocked(need, /*requester=*/0);
+  const size_t got = ReclaimLocked(need, /*requester=*/0, /*proactive=*/true);
   if (got > 0) {
-    ++proactive_reclaims_;
+    proactive_reclaims_->Inc();
   }
   return got;
 }
@@ -236,12 +373,12 @@ SmdStats SoftMemoryDaemon::GetStats() const {
   s.capacity_pages = options_.capacity_pages;
   s.assigned_pages = assigned_pages_;
   s.free_pages = FreePagesLocked();
-  s.total_requests = total_requests_;
-  s.granted_requests = granted_requests_;
-  s.denied_requests = denied_requests_;
-  s.reclamations = reclamations_;
-  s.reclaimed_pages = reclaimed_pages_;
-  s.proactive_reclaims = proactive_reclaims_;
+  s.total_requests = total_requests_->Value();
+  s.granted_requests = granted_requests_->Value();
+  s.denied_requests = denied_requests_->Value();
+  s.reclamations = reclamations_->Value();
+  s.reclaimed_pages = reclaimed_pages_->Value();
+  s.proactive_reclaims = proactive_reclaims_->Value();
   for (const auto& [pid, p] : processes_) {
     SmdProcessStats ps;
     ps.id = pid;

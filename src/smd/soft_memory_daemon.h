@@ -31,6 +31,8 @@
 #include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/smd/weight_policy.h"
+#include "src/telemetry/event_journal.h"
+#include "src/telemetry/metrics.h"
 
 namespace softmem {
 
@@ -72,6 +74,14 @@ struct SmdOptions {
   // reactive — §3.3 "soft memory is a reactive abstraction" — this is the
   // obvious extension; the amortization bench quantifies the benefit.)
   size_t low_watermark_pages = 0;
+
+  // Registry for this daemon's metric series (nullptr = private counters;
+  // GetStats still works). See SmaOptions::metrics for the sharing caveat.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  std::string metrics_instance = "smd";
+
+  // Bound on retained reclamation-pass records (see reclaim_journal()).
+  size_t reclaim_journal_capacity = 256;
 };
 
 // Per-process view for introspection.
@@ -107,6 +117,7 @@ class SoftMemoryDaemon {
   explicit SoftMemoryDaemon(const SmdOptions& options,
                             std::unique_ptr<ReclamationWeightPolicy> policy =
                                 nullptr);
+  ~SoftMemoryDaemon();
 
   SoftMemoryDaemon(const SoftMemoryDaemon&) = delete;
   SoftMemoryDaemon& operator=(const SoftMemoryDaemon&) = delete;
@@ -146,6 +157,12 @@ class SoftMemoryDaemon {
   SmdStats GetStats() const;
   size_t free_pages() const;
 
+  // Bounded ring of structured traces, one per machine-wide reclamation
+  // pass (need/quota, targets in visit order, pages recovered, duration).
+  const telemetry::SmdReclaimJournal& reclaim_journal() const {
+    return reclaim_journal_;
+  }
+
   // Budget currently granted to `id`.
   Result<size_t> GetBudget(ProcessId id) const;
 
@@ -172,7 +189,13 @@ class SoftMemoryDaemon {
   // Runs one reclamation pass trying to free `need` pages of budget
   // (plus the over-reclamation margin), never touching `requester`.
   // Returns pages recovered into the free pool.
-  size_t ReclaimLocked(size_t need, ProcessId requester);
+  size_t ReclaimLocked(size_t need, ProcessId requester,
+                       bool proactive = false);
+
+  // Binds the counter pointers and (with a registry) registers the series
+  // plus the render-time collector. See the SMA's identical scheme.
+  void InitTelemetry();
+  void CollectTelemetry(std::vector<telemetry::Sample>* out) const;
 
   const SmdOptions options_;
   std::unique_ptr<ReclamationWeightPolicy> policy_;
@@ -181,12 +204,27 @@ class SoftMemoryDaemon {
   std::map<ProcessId, Process> processes_;
   ProcessId next_id_ = 1;
   size_t assigned_pages_ = 0;
-  size_t total_requests_ = 0;
-  size_t granted_requests_ = 0;
-  size_t denied_requests_ = 0;
-  size_t reclamations_ = 0;
-  size_t reclaimed_pages_ = 0;
-  size_t proactive_reclaims_ = 0;
+
+  // Cumulative counters (see SmdStats): registry-owned series when a
+  // registry is configured, private storage otherwise — one source of truth
+  // either way.
+  struct CounterSet {
+    telemetry::Counter requests, granted, denied, reclamations,
+        reclaimed_pages, proactive;
+  };
+  CounterSet own_counters_;
+  telemetry::Counter* total_requests_ = nullptr;
+  telemetry::Counter* granted_requests_ = nullptr;
+  telemetry::Counter* denied_requests_ = nullptr;
+  telemetry::Counter* reclamations_ = nullptr;
+  telemetry::Counter* reclaimed_pages_ = nullptr;
+  telemetry::Counter* proactive_reclaims_ = nullptr;
+
+  telemetry::Histogram* pass_duration_hist_ = nullptr;
+  telemetry::Histogram* pass_pages_hist_ = nullptr;
+
+  telemetry::SmdReclaimJournal reclaim_journal_;
+  uint64_t collector_id_ = 0;
 };
 
 }  // namespace softmem

@@ -1,0 +1,104 @@
+#include "src/telemetry/event_journal.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace softmem {
+namespace telemetry {
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderJournalJsonl(const std::vector<ReclaimDemandTrace>& traces) {
+  std::ostringstream os;
+  for (const auto& t : traces) {
+    os << "{\"kind\":\"sma_reclaim_demand\",\"seq\":" << t.seq
+       << ",\"start_ns\":" << t.start << ",\"demanded_pages\":"
+       << t.demanded_pages << ",\"produced_pages\":" << t.produced_pages
+       << ",\"slack_pages\":" << t.slack_pages << ",\"pooled_pages\":"
+       << t.pooled_pages << ",\"sds_pages\":" << t.sds_pages
+       << ",\"callbacks\":" << t.callbacks << ",\"contexts_visited\":"
+       << t.contexts_visited << ",\"revoke_ns\":" << t.revoke_ns
+       << ",\"slack_ns\":" << t.slack_ns << ",\"pool_ns\":" << t.pool_ns
+       << ",\"sds_ns\":" << t.sds_ns << ",\"total_ns\":" << t.total_ns
+       << "}\n";
+  }
+  return os.str();
+}
+
+std::string RenderJournalJsonl(const std::vector<ReclaimPassTrace>& traces) {
+  std::ostringstream os;
+  for (const auto& t : traces) {
+    os << "{\"kind\":\"smd_reclaim_pass\",\"seq\":" << t.seq
+       << ",\"start_ns\":" << t.start << ",\"need_pages\":" << t.need_pages
+       << ",\"quota_pages\":" << t.quota_pages << ",\"recovered_pages\":"
+       << t.recovered_pages << ",\"proactive\":"
+       << (t.proactive ? "true" : "false") << ",\"total_ns\":" << t.total_ns
+       << ",\"targets\":[";
+    for (size_t i = 0; i < t.targets.size(); ++i) {
+      const auto& tg = t.targets[i];
+      if (i > 0) {
+        os << ",";
+      }
+      os << "{\"pid\":" << tg.pid << ",\"name\":\"" << EscapeJson(tg.name)
+         << "\",\"demanded\":" << tg.demanded << ",\"got\":" << tg.got << "}";
+    }
+    os << "]}\n";
+  }
+  return os.str();
+}
+
+std::string RenderJournalText(const std::vector<ReclaimDemandTrace>& traces) {
+  std::ostringstream os;
+  for (const auto& t : traces) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "[%llu] demand %zu -> produced %zu (slack %zu, pool %zu, "
+                  "sds %zu) callbacks %zu ctxs %zu in %.3f ms "
+                  "(revoke %.3f, sds %.3f)\n",
+                  static_cast<unsigned long long>(t.seq), t.demanded_pages,
+                  t.produced_pages, t.slack_pages, t.pooled_pages, t.sds_pages,
+                  t.callbacks, t.contexts_visited,
+                  static_cast<double>(t.total_ns) / 1e6,
+                  static_cast<double>(t.revoke_ns) / 1e6,
+                  static_cast<double>(t.sds_ns) / 1e6);
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string RenderJournalText(const std::vector<ReclaimPassTrace>& traces) {
+  std::ostringstream os;
+  for (const auto& t : traces) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "[%llu] %spass need %zu quota %zu -> recovered %zu from "
+                  "%zu targets in %.3f ms:",
+                  static_cast<unsigned long long>(t.seq),
+                  t.proactive ? "proactive " : "", t.need_pages,
+                  t.quota_pages, t.recovered_pages, t.targets.size(),
+                  static_cast<double>(t.total_ns) / 1e6);
+    os << buf;
+    for (const auto& tg : t.targets) {
+      os << " " << tg.name << "(" << tg.got << "/" << tg.demanded << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace telemetry
+}  // namespace softmem

@@ -1,0 +1,125 @@
+// Structured reclamation tracing.
+//
+// Reclamation is the paper's cost center: a demand arrives, magazines are
+// revoked, budget slack and pooled pages are skimmed, then SDS contexts are
+// drained in priority order via their callbacks. Operators debugging tail
+// latency need the *shape* of each pass — which tier produced the pages and
+// how long each phase took — not just cumulative counters. The journal keeps
+// a bounded ring of per-pass records:
+//
+//   SMA side (ReclaimDemandTrace): demand received → caches revoked →
+//     slack released → pool decommitted → SDS callbacks → pages returned,
+//     with wall-clock start and per-phase durations.
+//   SMD side (ReclaimPassTrace): need/quota, targets selected in weight
+//     order, pages recovered per target, pass duration.
+//
+// Appends take a mutex — reclamation is already serialized and orders of
+// magnitude slower than an uncontended lock — and never allocate beyond the
+// ring's steady state. Records render as JSON lines (one object per pass)
+// for ingestion, or aligned text for humans.
+
+#ifndef SOFTMEM_SRC_TELEMETRY_EVENT_JOURNAL_H_
+#define SOFTMEM_SRC_TELEMETRY_EVENT_JOURNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace softmem {
+namespace telemetry {
+
+// One executed reclamation demand, as seen by the SMA that served it.
+struct ReclaimDemandTrace {
+  uint64_t seq = 0;           // assigned by the journal, monotonically
+  Nanos start = 0;            // wall clock (monotonic epoch) at demand entry
+  size_t demanded_pages = 0;  // what the daemon asked for
+  size_t produced_pages = 0;  // what the SMA relinquished in total
+  // Per-tier page yield.
+  size_t slack_pages = 0;     // tier 0a: uncommitted budget given back
+  size_t pooled_pages = 0;    // tier 0b: pooled free pages decommitted
+  size_t sds_pages = 0;       // tiers 1+2: pages freed out of SDS contexts
+  size_t callbacks = 0;       // reclaim callbacks invoked during this pass
+  size_t contexts_visited = 0;
+  // Per-phase wall-clock durations.
+  Nanos revoke_ns = 0;   // magazine revocation (epoch bump + drain)
+  Nanos slack_ns = 0;    // budget-slack accounting
+  Nanos pool_ns = 0;     // pooled-page decommit
+  Nanos sds_ns = 0;      // SDS context walk incl. callbacks + decommit
+  Nanos total_ns = 0;
+};
+
+// One machine-wide reclamation pass, as seen by the SMD that ran it.
+struct ReclaimPassTrace {
+  uint64_t seq = 0;
+  Nanos start = 0;
+  size_t need_pages = 0;       // shortfall that triggered the pass
+  size_t quota_pages = 0;      // need + over-reclamation margin
+  size_t recovered_pages = 0;  // total pulled back into the free pool
+  bool proactive = false;      // watermark tick rather than a request
+  Nanos total_ns = 0;
+  struct Target {
+    uint64_t pid = 0;
+    std::string name;
+    size_t demanded = 0;
+    size_t got = 0;
+  };
+  std::vector<Target> targets;
+};
+
+// Bounded ring of reclamation traces. TraceT is one of the structs above.
+template <typename TraceT>
+class ReclaimJournal {
+ public:
+  explicit ReclaimJournal(size_t capacity = 256) : capacity_(capacity) {}
+
+  // Stamps seq and appends, evicting the oldest record when full.
+  void Append(TraceT trace) {
+    std::lock_guard<std::mutex> lock(mu_);
+    trace.seq = next_seq_++;
+    if (ring_.size() == capacity_) {
+      ring_.pop_front();
+    }
+    ring_.push_back(std::move(trace));
+  }
+
+  std::vector<TraceT> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::vector<TraceT>(ring_.begin(), ring_.end());
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+  }
+  uint64_t total_appended() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_seq_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<TraceT> ring_;
+  uint64_t next_seq_ = 0;
+};
+
+using SmaReclaimJournal = ReclaimJournal<ReclaimDemandTrace>;
+using SmdReclaimJournal = ReclaimJournal<ReclaimPassTrace>;
+
+// JSON-lines rendering (one compact object per record; schema in DESIGN §8).
+std::string RenderJournalJsonl(const std::vector<ReclaimDemandTrace>& traces);
+std::string RenderJournalJsonl(const std::vector<ReclaimPassTrace>& traces);
+
+// Human-readable one-line-per-pass rendering.
+std::string RenderJournalText(const std::vector<ReclaimDemandTrace>& traces);
+std::string RenderJournalText(const std::vector<ReclaimPassTrace>& traces);
+
+}  // namespace telemetry
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_TELEMETRY_EVENT_JOURNAL_H_

@@ -1,0 +1,153 @@
+#include "src/telemetry/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/telemetry/metrics.h"
+
+namespace softmem {
+namespace telemetry {
+
+const char kPrometheusContentType[] = "text/plain; version=0.0.4";
+
+Result<std::unique_ptr<MetricsHttpServer>> MetricsHttpServer::Listen(
+    uint16_t port, Handler handler) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return UnavailableError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return UnavailableError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(fd, 16) < 0) {
+    ::close(fd);
+    return UnavailableError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  auto server = std::unique_ptr<MetricsHttpServer>(new MetricsHttpServer(
+      fd, ntohs(addr.sin_port), std::move(handler)));
+  server->accept_thread_ =
+      std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+Result<std::unique_ptr<MetricsHttpServer>> MetricsHttpServer::ServeRegistry(
+    uint16_t port, MetricsRegistry* registry) {
+  return Listen(port, [registry](const std::string& path)
+                          -> std::pair<std::string, std::string> {
+    if (path == "/metrics" || path == "/") {
+      return {kPrometheusContentType, registry->RenderPrometheus()};
+    }
+    return {"", ""};
+  });
+}
+
+MetricsHttpServer::MetricsHttpServer(int fd, uint16_t port, Handler handler)
+    : listen_fd_(fd), port_(port), handler_(std::move(handler)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+void MetricsHttpServer::Stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  ::close(listen_fd_);
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int n = ::poll(&p, 1, 200);
+    if (n <= 0) {
+      continue;
+    }
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (stopping_.load()) {
+        break;
+      }
+      continue;
+    }
+    // Scrapes are rare and tiny: serve inline on the accept thread.
+    ServeOne(client);
+    ::close(client);
+  }
+}
+
+void MetricsHttpServer::ServeOne(int fd) {
+  // Read until the end of the request head (or 2s / 8 KiB, whichever first).
+  std::string req;
+  char buf[2048];
+  while (req.find("\r\n\r\n") == std::string::npos && req.size() < 8192) {
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, 2000) <= 0) {
+      break;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;
+    }
+    req.append(buf, static_cast<size_t>(n));
+  }
+  // "GET <path> HTTP/1.x" — anything else is a 400.
+  std::string path;
+  if (req.rfind("GET ", 0) == 0) {
+    const size_t sp = req.find(' ', 4);
+    if (sp != std::string::npos) {
+      path = req.substr(4, sp - 4);
+      const size_t q = path.find('?');
+      if (q != std::string::npos) {
+        path.resize(q);
+      }
+    }
+  }
+  std::string status = "400 Bad Request";
+  std::string content_type = "text/plain";
+  std::string body = "bad request\n";
+  if (!path.empty()) {
+    auto [type, payload] = handler_(path);
+    if (type.empty()) {
+      status = "404 Not Found";
+      body = "not found\n";
+    } else {
+      status = "200 OK";
+      content_type = type;
+      body = std::move(payload);
+    }
+  }
+  requests_.fetch_add(1);
+  std::string resp = "HTTP/1.0 " + status +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n" + body;
+  size_t sent = 0;
+  while (sent < resp.size()) {
+    const ssize_t n =
+        ::send(fd, resp.data() + sent, resp.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      break;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace telemetry
+}  // namespace softmem

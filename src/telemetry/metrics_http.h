@@ -1,0 +1,70 @@
+// Minimal scrape endpoint: a TCP listener that answers HTTP/1.0 GETs with
+// the Prometheus text exposition format. Just enough HTTP for `curl` and a
+// Prometheus scraper — one request per connection, no keep-alive, no TLS.
+//
+// Paths are dispatched to a handler so binaries can serve both the metric
+// registry ("/metrics") and the reclamation journal ("/journal"); unknown
+// paths get 404. The daemon binary (softmemd) and the KV server both embed
+// one of these; see README "Scraping metrics".
+
+#ifndef SOFTMEM_SRC_TELEMETRY_METRICS_HTTP_H_
+#define SOFTMEM_SRC_TELEMETRY_METRICS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/common/status.h"
+
+namespace softmem {
+namespace telemetry {
+
+class MetricsHttpServer {
+ public:
+  // Returns (content_type, body) for `path`; empty content_type => 404.
+  using Handler =
+      std::function<std::pair<std::string, std::string>(const std::string&)>;
+
+  // Binds 127.0.0.1:`port` (0 = kernel-assigned, see port()).
+  static Result<std::unique_ptr<MetricsHttpServer>> Listen(uint16_t port,
+                                                           Handler handler);
+
+  // Convenience: serves RenderPrometheus() of `registry` at /metrics (and /).
+  static Result<std::unique_ptr<MetricsHttpServer>> ServeRegistry(
+      uint16_t port, class MetricsRegistry* registry);
+
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  uint16_t port() const { return port_; }
+  size_t requests_served() const { return requests_.load(); }
+
+  // Stops accepting and joins the serving thread. Idempotent.
+  void Stop();
+
+ private:
+  MetricsHttpServer(int fd, uint16_t port, Handler handler);
+
+  void AcceptLoop();
+  void ServeOne(int fd);
+
+  int listen_fd_;
+  uint16_t port_;
+  Handler handler_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> requests_{0};
+  std::thread accept_thread_;
+};
+
+// The exposition-format content type scrapers expect.
+extern const char kPrometheusContentType[];
+
+}  // namespace telemetry
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_TELEMETRY_METRICS_HTTP_H_
