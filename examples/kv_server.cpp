@@ -2,15 +2,19 @@
 //
 // Usage:
 //   kv_server [--port N] [--daemon-socket PATH] [--budget-mib N]
-//             [--metrics-port N]
+//             [--metrics-port N] [--io-threads N] [--stripes N]
 //
 // Speaks RESP2 on 127.0.0.1:<port> (try it with `redis-cli -p <port>`:
 // SET/GET/DEL/EXISTS/DBSIZE/FLUSHALL/INFO/PING, and METRICS for the
-// Prometheus text exposition). With --daemon-socket it registers with a
-// running softmemd and its hash-table entries become revocable soft memory —
-// the full §5 deployment; without it, it runs on a fixed stand-alone soft
+// Prometheus text exposition). Serving uses the multi-reactor epoll event
+// loop over a lock-striped store: --io-threads sets the reactor count
+// (default: one per hardware thread) and --stripes the store partition
+// count (default 16). With --daemon-socket it registers with a running
+// softmemd and its hash-table entries become revocable soft memory — the
+// full §5 deployment; without it, it runs on a fixed stand-alone soft
 // budget. --metrics-port additionally serves /metrics over HTTP.
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -20,8 +24,8 @@
 #include "src/common/units.h"
 #include "src/ipc/daemon_client.h"
 #include "src/ipc/unix_socket.h"
-#include "src/kv/kv_server.h"
-#include "src/kv/kv_store.h"
+#include "src/kv/event_loop.h"
+#include "src/kv/striped_store.h"
 #include "src/sma/soft_memory_allocator.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/metrics_http.h"
@@ -40,6 +44,8 @@ int main(int argc, char** argv) {
   std::string daemon_socket;
   size_t budget_mib = 64;
   int metrics_port = -1;  // -1 = disabled; 0 = kernel-assigned
+  size_t io_threads = 0;  // 0 = hardware concurrency
+  size_t stripes = 16;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -57,10 +63,15 @@ int main(int argc, char** argv) {
       budget_mib = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--metrics-port") {
       metrics_port = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--io-threads") {
+      io_threads = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--stripes") {
+      stripes = std::strtoull(next(), nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: kv_server [--port N] [--daemon-socket PATH]"
-                   " [--budget-mib N] [--metrics-port N]\n");
+                   " [--budget-mib N] [--metrics-port N] [--io-threads N]"
+                   " [--stripes N]\n");
       return 2;
     }
   }
@@ -108,26 +119,38 @@ int main(int argc, char** argv) {
     client->StartPoller();
   }
 
-  DictOptions dict_opts;
-  dict_opts.on_reclaim = [](std::string_view key, std::string_view) {
-    static size_t count = 0;
-    if (++count % 10000 == 0) {
+  StripedKvStoreOptions store_opts;
+  store_opts.stripes = stripes;
+  store_opts.metrics = registry;
+  // Reclaim callbacks fire on whichever thread triggered the pressure
+  // (any reactor, or the daemon poller), so the counter must be atomic.
+  store_opts.dict_options.on_reclaim = [](std::string_view key,
+                                          std::string_view) {
+    static std::atomic<size_t> count{0};
+    const size_t n = count.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n % 10000 == 0) {
       std::fprintf(stderr, "kv_server: %zu entries reclaimed so far"
                    " (latest: %.*s)\n",
-                   count, static_cast<int>(key.size()), key.data());
+                   n, static_cast<int>(key.size()), key.data());
     }
   };
-  KvStore store(sma->get(), dict_opts);
+  StripedKvStore store(sma->get(), store_opts);
 
-  auto server = KvServer::Listen(&store, port);
+  EventLoopOptions loop_opts;
+  loop_opts.port = port;
+  loop_opts.io_threads = io_threads;
+  loop_opts.metrics = registry;
+  auto server = EventLoopServer::Listen(&store, loop_opts);
   if (!server.ok()) {
     std::fprintf(stderr, "kv_server: %s\n", server.status().ToString().c_str());
     return 1;
   }
-  std::printf("kv_server: RESP on 127.0.0.1:%u (%s mode, budget %s)\n",
+  std::printf("kv_server: RESP on 127.0.0.1:%u (%s mode, budget %s,"
+              " %zu io threads, %zu stripes)\n",
               (*server)->port(),
               client != nullptr ? "daemon-managed" : "stand-alone",
-              FormatBytes((*sma)->budget_pages() * kPageSize).c_str());
+              FormatBytes((*sma)->budget_pages() * kPageSize).c_str(),
+              (*server)->io_threads(), store.stripes());
 
   std::unique_ptr<telemetry::MetricsHttpServer> metrics_server;
   if (metrics_port >= 0) {

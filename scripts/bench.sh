@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Runs the allocator microbenchmarks and writes their JSON next to the repo
-# root (BENCH_micro_allocator.json, BENCH_mt_throughput.json) so successive
-# PRs can track the perf curve. Each JSON also carries a "telemetry" key with
-# the metric-registry snapshot from the run (see bench/bench_util.h).
+# Runs the allocator and serving-path microbenchmarks and writes their JSON
+# next to the repo root (BENCH_micro_allocator.json, BENCH_mt_throughput.json,
+# BENCH_kv_throughput.json) so successive PRs can track the perf curve. Each
+# JSON also carries a "telemetry" key with the metric-registry snapshot from
+# the run (see bench/bench_util.h).
 #
 # Usage: scripts/bench.sh [--smoke] [benchmark args...]
 #
@@ -22,7 +23,7 @@ for arg in "$@"; do
 done
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "${JOBS}" --target micro_allocator mt_throughput
+cmake --build build -j "${JOBS}" --target micro_allocator mt_throughput kv_throughput
 
 ./build/bench/micro_allocator \
   --benchmark_out=BENCH_micro_allocator.json \
@@ -30,5 +31,8 @@ cmake --build build -j "${JOBS}" --target micro_allocator mt_throughput
 ./build/bench/mt_throughput \
   --benchmark_out=BENCH_mt_throughput.json \
   --benchmark_out_format=json ${EXTRA[@]+"${EXTRA[@]}"}
+./build/bench/kv_throughput \
+  --benchmark_out=BENCH_kv_throughput.json \
+  --benchmark_out_format=json ${EXTRA[@]+"${EXTRA[@]}"}
 
-echo "wrote BENCH_micro_allocator.json and BENCH_mt_throughput.json"
+echo "wrote BENCH_micro_allocator.json, BENCH_mt_throughput.json and BENCH_kv_throughput.json"

@@ -31,8 +31,15 @@ Dict::Dict(SoftMemoryAllocator* sma, DictOptions options)
     if (ctx.ok()) {
       ctx_ = *ctx;
       has_ctx_ = true;
-      sma_->SetCustomReclaim(
-          ctx_, [this](size_t target) { return ReclaimOldest(target); });
+      if (options_.reclaim_gate) {
+        sma_->SetCustomReclaim(ctx_, [this](size_t target) {
+          return options_.reclaim_gate(
+              [this, target] { return ReclaimOldest(target); });
+        });
+      } else {
+        sma_->SetCustomReclaim(
+            ctx_, [this](size_t target) { return ReclaimOldest(target); });
+      }
     }
   }
   size_t buckets = 4;

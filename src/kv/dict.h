@@ -37,6 +37,10 @@ struct DictOptions {
   // traditional memory is freed (the paper's last-chance callback).
   std::function<void(std::string_view key, std::string_view value)> on_reclaim;
   size_t initial_buckets = 4;
+  // Serializes the custom reclaim protocol against external access when the
+  // dict is shared across threads (see src/sma/context.h). Null = reclaim
+  // runs unguarded, the single-threaded default.
+  ReclaimGate reclaim_gate;
 };
 
 class Dict {
@@ -80,6 +84,11 @@ class Dict {
   // Soft bytes consumed by entry nodes (0 in traditional mode).
   size_t soft_entry_bytes() const { return soft_entry_bytes_; }
 
+  // FNV-1a. Buckets index with the LOW bits of this hash; anything layered
+  // on top (lock striping in striped_store.h) must partition on the HIGH
+  // bits or every stripe's dict would see only 1/stripes of its buckets.
+  static uint64_t HashKey(std::string_view key);
+
  private:
   struct Entry {
     Entry* next;       // bucket chain
@@ -99,8 +108,6 @@ class Dict {
     size_t mask = 0;
     size_t used = 0;       // entries
   };
-
-  static uint64_t HashKey(std::string_view key);
 
   Entry* AllocEntry();
   void FreeEntry(Entry* e);

@@ -1,0 +1,489 @@
+#include "src/kv/event_loop.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace softmem {
+
+namespace {
+
+constexpr size_t kMaxIov = 16;
+
+// Pipelined-commands-per-readable-event bucket bounds (powers of two).
+std::vector<uint64_t> PipelineBounds() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+int SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return -1;
+  }
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+EventLoopServer::EventLoopServer(CommandHandler* handler,
+                                 EventLoopOptions options)
+    : handler_(handler), options_(options) {
+  if (options_.metrics != nullptr) {
+    telemetry::MetricsRegistry* m = options_.metrics;
+    bytes_in_ = m->GetCounter("softmem_kv_net_bytes_in_total",
+                              "Bytes read from KV client sockets");
+    bytes_out_ = m->GetCounter("softmem_kv_net_bytes_out_total",
+                               "Bytes written to KV client sockets");
+    connections_total_ = m->GetCounter("softmem_kv_connections_total",
+                                       "KV connections accepted");
+    connections_gauge_ = m->GetGauge("softmem_kv_connections_open",
+                                     "KV connections currently open");
+    pipeline_depth_ = m->GetHistogram(
+        "softmem_kv_pipeline_depth",
+        "Complete commands executed per readable event", PipelineBounds());
+    epoll_wait_ns_ = m->GetHistogram(
+        "softmem_kv_epoll_wait_ns", "Nanoseconds spent blocked in epoll_wait",
+        telemetry::Histogram::LatencyBoundsNs());
+    dispatch_ns_ = m->GetHistogram(
+        "softmem_kv_dispatch_ns",
+        "Nanoseconds handling one epoll event batch",
+        telemetry::Histogram::LatencyBoundsNs());
+  }
+}
+
+Result<std::unique_ptr<EventLoopServer>> EventLoopServer::Listen(
+    CommandHandler* handler, EventLoopOptions options) {
+  if (handler == nullptr) {
+    return InvalidArgumentError("EventLoopServer: null handler");
+  }
+  const int listen_fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd < 0) {
+    return UnavailableError("socket() failed");
+  }
+  const int one = 1;
+  setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(listen_fd);
+    return UnavailableError("bind() failed: " +
+                            std::string(strerror(errno)));
+  }
+  if (listen(listen_fd, SOMAXCONN) != 0) {
+    close(listen_fd);
+    return UnavailableError("listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  if (SetNonBlocking(listen_fd) != 0) {
+    close(listen_fd);
+    return UnavailableError("fcntl(O_NONBLOCK) failed");
+  }
+
+  auto server = std::unique_ptr<EventLoopServer>(
+      new EventLoopServer(handler, options));
+  Status started = server->Start(listen_fd, ntohs(bound.sin_port));
+  if (!started.ok()) {
+    close(listen_fd);
+    return started;
+  }
+  return server;
+}
+
+Status EventLoopServer::Start(int listen_fd, uint16_t port) {
+  listen_fd_ = listen_fd;
+  port_ = port;
+  size_t n = options_.io_threads;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) {
+      n = 1;
+    }
+  }
+  reactors_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto r = std::make_unique<Reactor>();
+    r->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    r->wake_fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (r->epoll_fd < 0 || r->wake_fd < 0) {
+      // Unwind: no threads have started yet.
+      if (r->epoll_fd >= 0) close(r->epoll_fd);
+      if (r->wake_fd >= 0) close(r->wake_fd);
+      for (auto& prev : reactors_) {
+        close(prev->epoll_fd);
+        close(prev->wake_fd);
+      }
+      reactors_.clear();
+      return UnavailableError("epoll_create1/eventfd failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = r->wake_fd;
+    epoll_ctl(r->epoll_fd, EPOLL_CTL_ADD, r->wake_fd, &ev);
+    if (i == 0) {
+      ev.events = EPOLLIN;
+      ev.data.fd = listen_fd_;
+      epoll_ctl(r->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
+    }
+    if (options_.metrics != nullptr) {
+      r->iterations = options_.metrics->GetCounter(
+          "softmem_kv_reactor_iterations_total",
+          "Event loop iterations per reactor",
+          {{"reactor", std::to_string(i)}});
+    }
+    reactors_.push_back(std::move(r));
+  }
+  for (size_t i = 0; i < reactors_.size(); ++i) {
+    reactors_[i]->thread = std::thread([this, i] { ReactorLoop(i); });
+  }
+  return Status::Ok();
+}
+
+EventLoopServer::~EventLoopServer() { Stop(); }
+
+void EventLoopServer::Stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  for (auto& r : reactors_) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(r->wake_fd, &one, sizeof(one));
+  }
+  for (auto& r : reactors_) {
+    if (r->thread.joinable()) {
+      r->thread.join();
+    }
+  }
+  for (auto& r : reactors_) {
+    for (auto& [fd, conn] : r->conns) {
+      close(fd);
+      open_connections_.fetch_sub(1);
+      if (connections_gauge_ != nullptr) {
+        connections_gauge_->Add(-1);
+      }
+    }
+    r->conns.clear();
+    {
+      std::lock_guard<std::mutex> lock(r->mu);
+      for (int fd : r->incoming) {
+        close(fd);
+      }
+      r->incoming.clear();
+    }
+    close(r->epoll_fd);
+    close(r->wake_fd);
+  }
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void EventLoopServer::ReactorLoop(size_t index) {
+  Reactor* self = reactors_[index].get();
+
+  // writev has no MSG_NOSIGNAL equivalent; a peer that resets mid-write
+  // would raise SIGPIPE, so block it on reactor threads and rely on the
+  // EPIPE errno instead.
+  sigset_t pipe_set;
+  sigemptyset(&pipe_set);
+  sigaddset(&pipe_set, SIGPIPE);
+  pthread_sigmask(SIG_BLOCK, &pipe_set, nullptr);
+
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (self->iterations != nullptr) {
+      self->iterations->Inc();
+    }
+    int n;
+    {
+      telemetry::ScopedLatencyTimer wait_timer(epoll_wait_ns_);
+      n = epoll_wait(self->epoll_fd, events, kMaxEvents, -1);
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // epoll fd gone: shutting down
+    }
+    telemetry::ScopedLatencyTimer dispatch_timer(dispatch_ns_);
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == self->wake_fd) {
+        uint64_t drain;
+        while (read(self->wake_fd, &drain, sizeof(drain)) > 0) {
+        }
+        AdoptIncoming(self);
+        continue;
+      }
+      if (fd == listen_fd_) {
+        AcceptReady(self);
+        continue;
+      }
+      HandleEvent(self, fd, events[i].events);
+    }
+  }
+}
+
+void EventLoopServer::AcceptReady(Reactor* self) {
+  while (true) {
+    const int fd =
+        accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      return;  // EAGAIN (drained) or transient error: epoll re-arms
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_handled_.fetch_add(1);
+    open_connections_.fetch_add(1);
+    if (connections_total_ != nullptr) {
+      connections_total_->Inc();
+    }
+    if (connections_gauge_ != nullptr) {
+      connections_gauge_->Add(1);
+    }
+    // Round-robin handoff. Reactor 0 adopts its own share directly; other
+    // reactors get the fd via their incoming queue plus an eventfd nudge.
+    const size_t target =
+        next_reactor_.fetch_add(1, std::memory_order_relaxed) %
+        reactors_.size();
+    Reactor* r = reactors_[target].get();
+    if (r == self) {
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      Conn* c = conn.get();
+      r->conns.emplace(fd, std::move(conn));
+      c->interest = EPOLLIN;
+      epoll_event ev{};
+      ev.events = c->interest;
+      ev.data.fd = fd;
+      epoll_ctl(r->epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(r->mu);
+        r->incoming.push_back(fd);
+      }
+      const uint64_t nudge = 1;
+      [[maybe_unused]] ssize_t w = write(r->wake_fd, &nudge, sizeof(nudge));
+    }
+  }
+}
+
+void EventLoopServer::AdoptIncoming(Reactor* r) {
+  std::vector<int> adopted;
+  {
+    std::lock_guard<std::mutex> lock(r->mu);
+    adopted.swap(r->incoming);
+  }
+  for (int fd : adopted) {
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* c = conn.get();
+    r->conns.emplace(fd, std::move(conn));
+    c->interest = EPOLLIN;
+    epoll_event ev{};
+    ev.events = c->interest;
+    ev.data.fd = fd;
+    epoll_ctl(r->epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+void EventLoopServer::HandleEvent(Reactor* r, int fd, uint32_t events) {
+  auto it = r->conns.find(fd);
+  if (it == r->conns.end()) {
+    return;  // closed earlier in this batch
+  }
+  Conn* c = it->second.get();
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    CloseConn(r, c);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    if (!FlushOut(c)) {
+      CloseConn(r, c);
+      return;
+    }
+    if (c->out_bytes == 0 && c->close_after_flush) {
+      CloseConn(r, c);
+      return;
+    }
+    UpdateInterest(r, c);
+  }
+  if ((events & EPOLLIN) != 0 && (c->interest & EPOLLIN) != 0) {
+    ReadAndExecute(r, c);
+  }
+}
+
+void EventLoopServer::ReadAndExecute(Reactor* r, Conn* c) {
+  char buf[64 * 1024];
+  size_t total_read = 0;
+  bool peer_closed = false;
+  while (total_read < options_.max_read_per_event) {
+    const ssize_t n = recv(c->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c->parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      total_read += static_cast<size_t>(n);
+      if (static_cast<size_t>(n) < sizeof(buf)) {
+        break;  // socket drained
+      }
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    CloseConn(r, c);
+    return;
+  }
+  if (bytes_in_ != nullptr && total_read > 0) {
+    bytes_in_->Inc(total_read);
+  }
+
+  // Drain every complete command (pipelining), batching the encoded replies
+  // into one chunk so the socket sees a single contiguous burst.
+  std::string batch;
+  size_t commands = 0;
+  while (true) {
+    auto next = c->parser.Next();
+    if (!next.ok()) {
+      // Corrupt stream: tell the client, flush, then drop.
+      RespEncode(RespValue::Error("ERR protocol error: " +
+                                  next.status().message()),
+                 &batch);
+      c->close_after_flush = true;
+      break;
+    }
+    if (!next.value().has_value()) {
+      break;  // need more bytes
+    }
+    const std::vector<std::string>& argv = **next;
+    if (argv.empty()) {
+      continue;
+    }
+    RespEncode(handler_->Handle(argv), &batch);
+    ++commands;
+  }
+  if (pipeline_depth_ != nullptr && commands > 0) {
+    pipeline_depth_->Observe(commands);
+  }
+  if (!batch.empty()) {
+    c->out_bytes += batch.size();
+    c->out.push_back(std::move(batch));
+  }
+  if (!FlushOut(c)) {
+    CloseConn(r, c);
+    return;
+  }
+  if (c->out_bytes == 0 && (peer_closed || c->close_after_flush)) {
+    CloseConn(r, c);
+    return;
+  }
+  if (peer_closed) {
+    // Peer half-closed with replies still buffered: stop reading, finish
+    // the flush via EPOLLOUT, then drop.
+    c->close_after_flush = true;
+  }
+  UpdateInterest(r, c);
+}
+
+bool EventLoopServer::FlushOut(Conn* c) {
+  while (c->out_bytes > 0) {
+    iovec iov[kMaxIov];
+    size_t iov_count = 0;
+    size_t head = c->out_head;
+    for (const std::string& chunk : c->out) {
+      if (iov_count == kMaxIov) {
+        break;
+      }
+      iov[iov_count].iov_base = const_cast<char*>(chunk.data() + head);
+      iov[iov_count].iov_len = chunk.size() - head;
+      ++iov_count;
+      head = 0;
+    }
+    const ssize_t n = writev(c->fd, iov, static_cast<int>(iov_count));
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return true;  // kernel buffer full: EPOLLOUT will resume
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;  // EPIPE / ECONNRESET
+    }
+    if (bytes_out_ != nullptr) {
+      bytes_out_->Inc(static_cast<uint64_t>(n));
+    }
+    size_t written = static_cast<size_t>(n);
+    c->out_bytes -= written;
+    while (written > 0) {
+      const size_t front_left = c->out.front().size() - c->out_head;
+      if (written >= front_left) {
+        written -= front_left;
+        c->out.pop_front();
+        c->out_head = 0;
+      } else {
+        c->out_head += written;
+        written = 0;
+      }
+    }
+  }
+  return true;
+}
+
+void EventLoopServer::UpdateInterest(Reactor* r, Conn* c) {
+  uint32_t want = 0;
+  if (c->out_bytes > 0) {
+    want |= EPOLLOUT;
+  }
+  // Backpressure: a peer that sends commands without reading replies gets
+  // its reads paused at the high-watermark (and resumed at half of it)
+  // instead of growing the output queue without bound.
+  const bool paused = c->out_bytes >= options_.max_output_buffer ||
+                      ((c->interest & EPOLLIN) == 0 &&
+                       c->out_bytes > options_.max_output_buffer / 2);
+  if (!paused && !c->close_after_flush) {
+    want |= EPOLLIN;
+  }
+  if (want == c->interest) {
+    return;
+  }
+  c->interest = want;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.fd = c->fd;
+  epoll_ctl(r->epoll_fd, EPOLL_CTL_MOD, c->fd, &ev);
+}
+
+void EventLoopServer::CloseConn(Reactor* r, Conn* c) {
+  epoll_ctl(r->epoll_fd, EPOLL_CTL_DEL, c->fd, nullptr);
+  close(c->fd);
+  open_connections_.fetch_sub(1);
+  if (connections_gauge_ != nullptr) {
+    connections_gauge_->Add(-1);
+  }
+  r->conns.erase(c->fd);
+}
+
+}  // namespace softmem

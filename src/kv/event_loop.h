@@ -1,0 +1,151 @@
+// EventLoopServer — the scalable RESP serving path (multi-reactor epoll).
+//
+// Replaces the seed's thread-per-connection loop: N reactor threads (default
+// one per hardware thread) each run a level-triggered epoll loop over their
+// share of the connections. Per connection a non-blocking state machine
+// feeds an incremental RespParser, drains *every* complete command per
+// readable event (full pipelining), and batches the encoded replies into an
+// output queue flushed with writev. When the peer stops reading, EPOLLOUT
+// takes over draining and — past a high-watermark of buffered replies — the
+// reactor stops reading from that connection until the backlog shrinks
+// (backpressure instead of unbounded buffering). Shutdown is an eventfd
+// wakeup per reactor; there are no timed poll ticks anywhere, so an idle
+// server consumes zero CPU.
+//
+// Command execution is delegated to a CommandHandler, which owns its own
+// synchronization: StripedKvStore (striped_store.h) gives the scalable
+// lock-striped store, SerializedStoreHandler (kv_server.h) the one-big-lock
+// baseline used by the compat KvServer wrapper and the bench ablation.
+
+#ifndef SOFTMEM_SRC_KV_EVENT_LOOP_H_
+#define SOFTMEM_SRC_KV_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/kv/resp.h"
+#include "src/telemetry/metrics.h"
+
+namespace softmem {
+
+// Executes one RESP command and returns the reply. Called concurrently from
+// every reactor thread; implementations provide their own synchronization.
+class CommandHandler {
+ public:
+  virtual ~CommandHandler() = default;
+  virtual RespValue Handle(const std::vector<std::string>& argv) = 0;
+};
+
+struct EventLoopOptions {
+  uint16_t port = 0;  // 0 = kernel-assigned (see EventLoopServer::port())
+
+  // Reactor thread count; 0 = std::thread::hardware_concurrency().
+  size_t io_threads = 0;
+
+  // Backpressure high-watermark: once a connection has this many reply
+  // bytes buffered, the reactor stops reading from it (EPOLLIN off) until
+  // writev drains the backlog below half the watermark.
+  size_t max_output_buffer = 1 << 20;
+
+  // Per readable event, stop recv()ing new bytes past this budget so one
+  // fire-hose connection cannot starve its reactor siblings (level-triggered
+  // epoll re-arms immediately for the remainder).
+  size_t max_read_per_event = 256 * 1024;
+
+  // Registry for serving-path telemetry (loop iterations, epoll wait and
+  // dispatch histograms, pipelined-commands-per-event, bytes in/out, and a
+  // live-connection gauge). nullptr disables all of it.
+  telemetry::MetricsRegistry* metrics = nullptr;
+};
+
+class EventLoopServer {
+ public:
+  // Binds 127.0.0.1:options.port and starts the reactor threads. The
+  // handler is not owned and must outlive the server.
+  static Result<std::unique_ptr<EventLoopServer>> Listen(
+      CommandHandler* handler, EventLoopOptions options = {});
+
+  ~EventLoopServer();
+
+  EventLoopServer(const EventLoopServer&) = delete;
+  EventLoopServer& operator=(const EventLoopServer&) = delete;
+
+  uint16_t port() const { return port_; }
+  size_t io_threads() const { return reactors_.size(); }
+
+  // Stops accepting, wakes every reactor, joins threads, closes all
+  // connections. Idempotent.
+  void Stop();
+
+  size_t connections_handled() const { return connections_handled_.load(); }
+  size_t open_connections() const { return open_connections_.load(); }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    RespParser parser;
+    // Encoded replies awaiting the socket: a deque of chunks (one chunk per
+    // readable-event batch) gathered into a single writev.
+    std::deque<std::string> out;
+    size_t out_head = 0;   // bytes of out.front() already written
+    size_t out_bytes = 0;  // total unwritten bytes across chunks
+    uint32_t interest = 0;  // epoll mask currently registered
+    bool close_after_flush = false;  // protocol error: reply then drop
+  };
+
+  struct Reactor {
+    int epoll_fd = -1;
+    int wake_fd = -1;  // eventfd: shutdown + new-connection handoff
+    std::thread thread;
+    std::mutex mu;               // guards incoming
+    std::vector<int> incoming;   // accepted fds awaiting registration
+    // Owned exclusively by the reactor thread once registered.
+    std::unordered_map<int, std::unique_ptr<Conn>> conns;
+    telemetry::Counter* iterations = nullptr;
+  };
+
+  EventLoopServer(CommandHandler* handler, EventLoopOptions options);
+
+  Status Start(int listen_fd, uint16_t port);
+  void ReactorLoop(size_t index);
+  void AcceptReady(Reactor* self);
+  void AdoptIncoming(Reactor* r);
+  void HandleEvent(Reactor* r, int fd, uint32_t events);
+  void ReadAndExecute(Reactor* r, Conn* c);
+  // Returns false when the connection died mid-write.
+  bool FlushOut(Conn* c);
+  // Reconciles the epoll mask with the connection's buffer state.
+  void UpdateInterest(Reactor* r, Conn* c);
+  void CloseConn(Reactor* r, Conn* c);
+
+  CommandHandler* handler_;
+  const EventLoopOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> next_reactor_{0};
+  std::atomic<size_t> connections_handled_{0};
+  std::atomic<size_t> open_connections_{0};
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+
+  // Telemetry (null when options_.metrics is null).
+  telemetry::Counter* bytes_in_ = nullptr;
+  telemetry::Counter* bytes_out_ = nullptr;
+  telemetry::Counter* connections_total_ = nullptr;
+  telemetry::Gauge* connections_gauge_ = nullptr;
+  telemetry::Histogram* pipeline_depth_ = nullptr;
+  telemetry::Histogram* epoll_wait_ns_ = nullptr;
+  telemetry::Histogram* dispatch_ns_ = nullptr;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_KV_EVENT_LOOP_H_

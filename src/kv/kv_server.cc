@@ -3,15 +3,12 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <charconv>
 #include <cstring>
-
-#include "src/common/logging.h"
 
 namespace softmem {
 
@@ -34,119 +31,20 @@ Status SendAll(int fd, const std::string& data) {
 
 Result<std::unique_ptr<KvServer>> KvServer::Listen(KvStore* store,
                                                    uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) {
-    return UnavailableError(std::string("socket: ") + std::strerror(errno));
+  auto server = std::unique_ptr<KvServer>(new KvServer(store));
+  EventLoopOptions options;
+  options.port = port;
+  auto loop = EventLoopServer::Listen(&server->handler_, options);
+  if (!loop.ok()) {
+    return loop.status();
   }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    return UnavailableError(std::string("bind: ") + std::strerror(errno));
-  }
-  if (::listen(fd, 128) < 0) {
-    ::close(fd);
-    return UnavailableError(std::string("listen: ") + std::strerror(errno));
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
-  auto server = std::unique_ptr<KvServer>(
-      new KvServer(store, fd, ntohs(addr.sin_port)));
-  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  server->server_ = std::move(*loop);
   return server;
 }
 
-KvServer::KvServer(KvStore* store, int listen_fd, uint16_t port)
-    : store_(store), listen_fd_(listen_fd), port_(port) {}
-
 KvServer::~KvServer() { Stop(); }
 
-void KvServer::Stop() {
-  if (stopping_.exchange(true)) {
-    return;
-  }
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) {
-    accept_thread_.join();
-  }
-  ::close(listen_fd_);
-  std::lock_guard<std::mutex> lock(threads_mu_);
-  for (auto& t : conn_threads_) {
-    if (t.joinable()) {
-      t.join();
-    }
-  }
-  conn_threads_.clear();
-}
-
-void KvServer::AcceptLoop() {
-  while (!stopping_.load()) {
-    pollfd p{listen_fd_, POLLIN, 0};
-    const int n = ::poll(&p, 1, 200);
-    if (n <= 0) {
-      continue;
-    }
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) {
-      if (stopping_.load()) {
-        break;
-      }
-      continue;
-    }
-    connections_.fetch_add(1);
-    std::lock_guard<std::mutex> lock(threads_mu_);
-    conn_threads_.emplace_back([this, client] { ServeConnection(client); });
-  }
-}
-
-void KvServer::ServeConnection(int fd) {
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  RespParser parser;
-  char buf[16 * 1024];
-  while (!stopping_.load()) {
-    pollfd p{fd, POLLIN, 0};
-    const int pn = ::poll(&p, 1, 200);
-    if (pn == 0) {
-      continue;
-    }
-    if (pn < 0) {
-      break;
-    }
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) {
-      break;
-    }
-    parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
-    std::string replies;
-    for (;;) {
-      auto cmd = parser.Next();
-      if (!cmd.ok()) {
-        RespEncode(RespValue::Error("ERR protocol error"), &replies);
-        SendAll(fd, replies);
-        ::close(fd);
-        return;
-      }
-      if (!cmd->has_value()) {
-        break;
-      }
-      RespValue reply;
-      {
-        std::lock_guard<std::mutex> lock(store_mu_);
-        reply = store_->Execute(**cmd);
-      }
-      RespEncode(reply, &replies);
-    }
-    if (!replies.empty() && !SendAll(fd, replies).ok()) {
-      break;
-    }
-  }
-  ::close(fd);
-}
+void KvServer::Stop() { server_->Stop(); }
 
 // ---- KvClient --------------------------------------------------------------
 
@@ -174,6 +72,10 @@ KvClient::~KvClient() {
   }
 }
 
+Status KvClient::SendRaw(const std::string& bytes) {
+  return SendAll(fd_, bytes);
+}
+
 Result<RespValue> KvClient::Command(const std::vector<std::string>& argv) {
   std::vector<RespValue> parts;
   parts.reserve(argv.size());
@@ -183,6 +85,27 @@ Result<RespValue> KvClient::Command(const std::vector<std::string>& argv) {
   SOFTMEM_RETURN_IF_ERROR(
       SendAll(fd_, RespEncodeToString(RespValue::Array(std::move(parts)))));
   return ReadReply();
+}
+
+Result<std::vector<RespValue>> KvClient::Pipeline(
+    const std::vector<std::vector<std::string>>& commands) {
+  std::string wire;
+  for (const auto& argv : commands) {
+    std::vector<RespValue> parts;
+    parts.reserve(argv.size());
+    for (const auto& a : argv) {
+      parts.push_back(RespValue::Bulk(a));
+    }
+    RespEncode(RespValue::Array(std::move(parts)), &wire);
+  }
+  SOFTMEM_RETURN_IF_ERROR(SendAll(fd_, wire));
+  std::vector<RespValue> replies;
+  replies.reserve(commands.size());
+  for (size_t i = 0; i < commands.size(); ++i) {
+    SOFTMEM_ASSIGN_OR_RETURN(RespValue r, ReadReply());
+    replies.push_back(std::move(r));
+  }
+  return replies;
 }
 
 Result<std::string> KvClient::ReadLine() {

@@ -1,23 +1,46 @@
-// KvServer — serves a KvStore over TCP, speaking RESP2.
+// KvServer — serves one KvStore over TCP, speaking RESP2.
 //
-// Like Redis, command execution is serialized (one store lock); connections
-// are handled by lightweight threads that parse, execute, and reply. This is
-// the network face used by the kv_server example and the restart-cost bench.
+// Compatibility face over the event-loop serving path (event_loop.h): the
+// seed's thread-per-connection loop (one thread per client, 200ms poll
+// ticks, an unbounded thread vector) is gone; KvServer now runs an
+// EventLoopServer over a SerializedStoreHandler — the one-big-lock
+// execution model the seed had, kept for callers with a single plain
+// KvStore (tests, the restart-cost bench) and as the ablation baseline
+// against StripedKvStore (striped_store.h). New code that wants the
+// scalable path should use EventLoopServer + StripedKvStore directly; the
+// kv_server example does.
 
 #ifndef SOFTMEM_SRC_KV_KV_SERVER_H_
 #define SOFTMEM_SRC_KV_KV_SERVER_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <thread>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/kv/event_loop.h"
 #include "src/kv/kv_store.h"
 
 namespace softmem {
+
+// Serializes every command behind one mutex — the seed's execution model
+// and the "big lock" arm of the bench ablation. The store is not owned.
+class SerializedStoreHandler : public CommandHandler {
+ public:
+  explicit SerializedStoreHandler(KvStore* store) : store_(store) {}
+
+  RespValue Handle(const std::vector<std::string>& argv) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_->Execute(argv);
+  }
+
+ private:
+  KvStore* store_;
+  std::mutex mu_;
+};
 
 class KvServer {
  public:
@@ -30,28 +53,20 @@ class KvServer {
   KvServer(const KvServer&) = delete;
   KvServer& operator=(const KvServer&) = delete;
 
-  uint16_t port() const { return port_; }
+  uint16_t port() const { return server_->port(); }
 
   // Stops accepting, closes all connections, joins threads. Idempotent.
   void Stop();
 
-  size_t connections_handled() const { return connections_.load(); }
+  size_t connections_handled() const {
+    return server_->connections_handled();
+  }
 
  private:
-  KvServer(KvStore* store, int listen_fd, uint16_t port);
+  KvServer(KvStore* store) : handler_(store) {}
 
-  void AcceptLoop();
-  void ServeConnection(int fd);
-
-  KvStore* store_;
-  std::mutex store_mu_;
-  int listen_fd_;
-  uint16_t port_;
-  std::atomic<bool> stopping_{false};
-  std::atomic<size_t> connections_{0};
-  std::thread accept_thread_;
-  std::mutex threads_mu_;
-  std::vector<std::thread> conn_threads_;
+  SerializedStoreHandler handler_;
+  std::unique_ptr<EventLoopServer> server_;
 };
 
 // Minimal blocking RESP client for tests and examples.
@@ -66,6 +81,18 @@ class KvClient {
   // Sends argv as a RESP array and reads one reply. The reply's `str` holds
   // bulk/simple/error payloads; integers land in `integer`.
   Result<RespValue> Command(const std::vector<std::string>& argv);
+
+  // Pipelining: writes `commands` back-to-back without waiting, then reads
+  // exactly one reply per command, in order.
+  Result<std::vector<RespValue>> Pipeline(
+      const std::vector<std::vector<std::string>>& commands);
+
+  // Raw transport access, for tests that exercise partial writes and
+  // protocol errors. `SendRaw` pushes bytes as-is; `ReadReplyPublic` pulls
+  // the next reply off the wire.
+  Status SendRaw(const std::string& bytes);
+  Result<RespValue> ReadReplyPublic() { return ReadReply(); }
+  int fd() const { return fd_; }
 
   // Convenience wrappers.
   Status Set(const std::string& key, const std::string& value);

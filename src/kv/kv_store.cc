@@ -31,7 +31,9 @@ bool ParseSeconds(const std::string& s, double* out) {
 
 KvStore::KvStore(SoftMemoryAllocator* sma, DictOptions dict_options,
                  const Clock* clock, telemetry::MetricsRegistry* metrics)
-    : clock_(clock), metrics_(metrics), dict_(sma, [&dict_options, this]() {
+    : clock_(clock), metrics_(metrics),
+      reclaim_gate_(dict_options.reclaim_gate),
+      dict_(sma, [&dict_options, this]() {
         // Chain our expiry cleanup in front of the user's reclaim hook: a
         // reclaimed key must not leave stale TTL metadata behind.
         auto user_hook = dict_options.on_reclaim;
@@ -44,8 +46,8 @@ KvStore::KvStore(SoftMemoryAllocator* sma, DictOptions dict_options,
         };
         return std::move(dict_options);
       }()),
-      lists_(sma),
-      hashes_(sma) {}
+      lists_(sma, reclaim_gate_),
+      hashes_(sma, reclaim_gate_) {}
 
 bool KvStore::ExpireIfDue(std::string_view key) {
   auto it = expires_.find(std::string(key));

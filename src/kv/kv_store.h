@@ -118,6 +118,9 @@ class KvStore {
   const Clock* clock_;
   telemetry::MetricsRegistry* metrics_;  // may be null (telemetry disabled)
   std::unordered_map<std::string, CmdMetrics> cmd_metrics_;
+  // Copied out of DictOptions before dict_ consumes them (member order
+  // matters: lists_/hashes_ receive this gate after dict_options is moved).
+  ReclaimGate reclaim_gate_;
   Dict dict_;
   ListRegistry lists_;
   HashRegistry hashes_;

@@ -15,7 +15,9 @@ ListRegistry::List* ListRegistry::FindOrCreate(std::string_view key) {
   if (List* found = Find(key); found != nullptr) {
     return found;
   }
-  auto list = std::make_unique<List>(sma_);
+  List::Options options;
+  options.reclaim_gate = reclaim_gate_;
+  auto list = std::make_unique<List>(sma_, std::move(options));
   List* raw = list.get();
   lists_.emplace(std::string(key), std::move(list));
   return raw;
@@ -116,7 +118,9 @@ HashRegistry::Hash* HashRegistry::FindOrCreate(std::string_view key) {
   if (Hash* found = Find(key); found != nullptr) {
     return found;
   }
-  auto hash = std::make_unique<Hash>(sma_);
+  Hash::Options options;
+  options.reclaim_gate = reclaim_gate_;
+  auto hash = std::make_unique<Hash>(sma_, std::move(options));
   Hash* raw = hash.get();
   hashes_.emplace(std::string(key), std::move(hash));
   return raw;

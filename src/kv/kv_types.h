@@ -22,10 +22,13 @@
 namespace softmem {
 
 // Registry of LIST values. All operations are Redis-shaped; out-of-memory
-// surfaces as false/failure rather than a crash.
+// surfaces as false/failure rather than a crash. `reclaim_gate` (may be
+// null) is installed on every list created through the registry so their
+// reclamation serializes against external access (see src/sma/context.h).
 class ListRegistry {
  public:
-  explicit ListRegistry(SoftMemoryAllocator* sma) : sma_(sma) {}
+  explicit ListRegistry(SoftMemoryAllocator* sma, ReclaimGate reclaim_gate = {})
+      : sma_(sma), reclaim_gate_(std::move(reclaim_gate)) {}
 
   // Appends to the left/right of the list, creating it if needed. Returns
   // the new length, or an error when soft memory is unavailable.
@@ -57,13 +60,15 @@ class ListRegistry {
   void DropIfEmpty(std::string_view key);
 
   SoftMemoryAllocator* sma_;
+  ReclaimGate reclaim_gate_;
   std::map<std::string, std::unique_ptr<List>, std::less<>> lists_;
 };
 
 // Registry of HASH values.
 class HashRegistry {
  public:
-  explicit HashRegistry(SoftMemoryAllocator* sma) : sma_(sma) {}
+  explicit HashRegistry(SoftMemoryAllocator* sma, ReclaimGate reclaim_gate = {})
+      : sma_(sma), reclaim_gate_(std::move(reclaim_gate)) {}
 
   // Sets one field. Returns 1 if the field is new, 0 if overwritten, or an
   // error when soft memory is unavailable.
@@ -92,6 +97,7 @@ class HashRegistry {
   void DropIfEmpty(std::string_view key);
 
   SoftMemoryAllocator* sma_;
+  ReclaimGate reclaim_gate_;
   std::map<std::string, std::unique_ptr<Hash>, std::less<>> hashes_;
 };
 

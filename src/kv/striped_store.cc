@@ -1,0 +1,319 @@
+#include "src/kv/striped_store.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "src/kv/dict.h"
+
+namespace softmem {
+
+namespace {
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return out;
+}
+
+bool IsMultiKey(const std::string& cmd) {
+  return cmd == "DEL" || cmd == "EXISTS" || cmd == "MGET" || cmd == "MSET";
+}
+
+bool IsAggregate(const std::string& cmd) {
+  return cmd == "DBSIZE" || cmd == "FLUSHALL" || cmd == "KEYS" ||
+         cmd == "INFO";
+}
+
+}  // namespace
+
+// ---- Locking ----------------------------------------------------------------
+
+StripedKvStore::StripeGuard::StripeGuard(Stripe* s) : s_(s) {
+  const auto self = std::this_thread::get_id();
+  if (s_->owner.load(std::memory_order_relaxed) == self) {
+    owned_ = false;  // re-entry: an outer frame on this thread holds mu
+    return;
+  }
+  s_->mu.lock();
+  s_->owner.store(self, std::memory_order_relaxed);
+  owned_ = true;
+}
+
+StripedKvStore::StripeGuard::~StripeGuard() {
+  if (owned_) {
+    s_->owner.store(std::thread::id(), std::memory_order_relaxed);
+    s_->mu.unlock();
+  }
+}
+
+StripedKvStore::AllStripesGuard::AllStripesGuard(StripedKvStore* store) {
+  guards_.reserve(store->stripes_.size());
+  for (auto& stripe : store->stripes_) {
+    guards_.push_back(std::make_unique<StripeGuard>(stripe.get()));
+  }
+}
+
+// Reverse acquisition order, though any order would be deadlock-free here.
+StripedKvStore::AllStripesGuard::~AllStripesGuard() {
+  while (!guards_.empty()) {
+    guards_.pop_back();
+  }
+}
+
+// ---- Construction -----------------------------------------------------------
+
+StripedKvStore::StripedKvStore(SoftMemoryAllocator* sma,
+                               StripedKvStoreOptions options)
+    : metrics_(options.metrics) {
+  const size_t n = std::max<size_t>(options.stripes, 1);
+  stripes_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto stripe = std::make_unique<Stripe>();
+    Stripe* s = stripe.get();
+    DictOptions dict_options = options.dict_options;
+    // The gate runs the stripe's reclaim protocol only when the stripe lock
+    // can be taken without blocking (or is already held by this thread);
+    // otherwise it reports 0 bytes and the SMA reclaims elsewhere. See the
+    // file comment in striped_store.h for the deadlock this prevents.
+    dict_options.reclaim_gate =
+        [s](const std::function<size_t()>& fn) -> size_t {
+      const auto self = std::this_thread::get_id();
+      if (s->owner.load(std::memory_order_relaxed) == self) {
+        return fn();  // pressure from our own mutation of this stripe
+      }
+      for (int attempt = 0; attempt < 128; ++attempt) {
+        if (s->mu.try_lock()) {
+          s->owner.store(self, std::memory_order_relaxed);
+          const size_t freed = fn();
+          s->owner.store(std::thread::id(), std::memory_order_relaxed);
+          s->mu.unlock();
+          return freed;
+        }
+        if ((attempt & 15) == 15) {
+          std::this_thread::yield();
+        }
+      }
+      return 0;  // stripe too contended: take the bytes from elsewhere
+    };
+    stripe->store = std::make_unique<KvStore>(sma, std::move(dict_options),
+                                              options.clock, options.metrics);
+    stripes_.push_back(std::move(stripe));
+  }
+}
+
+size_t StripedKvStore::StripeFor(std::string_view key) const {
+  // High bits: the stripe's own dict buckets consume the low bits of the
+  // same hash (Dict::HashKey comment).
+  return (Dict::HashKey(key) >> 48) % stripes_.size();
+}
+
+// ---- Command routing --------------------------------------------------------
+
+RespValue StripedKvStore::Handle(const std::vector<std::string>& argv) {
+  if (argv.empty()) {
+    return RespValue::Error("ERR empty command");
+  }
+  const std::string cmd = ToUpper(argv[0]);
+
+  // Connection-level commands never touch a stripe.
+  if (cmd == "PING") {
+    return argv.size() > 1 ? RespValue::Bulk(argv[1])
+                           : RespValue::Simple("PONG");
+  }
+  if (cmd == "ECHO") {
+    if (argv.size() != 2) {
+      return RespValue::Error("ERR wrong number of arguments for 'echo'");
+    }
+    return RespValue::Bulk(argv[1]);
+  }
+  if (cmd == "COMMAND") {
+    return RespValue::Array({});
+  }
+  if (cmd == "METRICS") {
+    if (metrics_ == nullptr) {
+      return RespValue::Error("ERR metrics disabled on this store");
+    }
+    return RespValue::Bulk(metrics_->RenderPrometheus());
+  }
+
+  if (IsMultiKey(cmd)) {
+    return HandleMultiKey(cmd, argv);
+  }
+  if (IsAggregate(cmd)) {
+    return HandleAggregate(cmd, argv);
+  }
+
+  // Everything else operates on argv[1] as the key. Commands arriving with
+  // no key (wrong arity, unknown names) go to stripe 0 so the underlying
+  // store produces its usual error reply.
+  Stripe* s = argv.size() >= 2 ? StripeForKey(argv[1]) : stripes_[0].get();
+  StripeGuard guard(s);
+  return s->store->Execute(argv);
+}
+
+RespValue StripedKvStore::HandleMultiKey(const std::string& cmd,
+                                         const std::vector<std::string>& argv) {
+  if (cmd == "DEL" || cmd == "EXISTS") {
+    if (argv.size() < 2) {
+      return RespValue::Error("ERR wrong number of arguments for '" +
+                              (cmd == "DEL" ? std::string("del")
+                                            : std::string("exists")) +
+                              "'");
+    }
+    int64_t total = 0;
+    for (size_t i = 1; i < argv.size(); ++i) {
+      Stripe* s = StripeForKey(argv[i]);
+      StripeGuard guard(s);
+      RespValue r = s->store->Execute({cmd, argv[i]});
+      if (r.type == RespType::kInteger) {
+        total += r.integer;
+      }
+    }
+    return RespValue::Integer(total);
+  }
+  if (cmd == "MGET") {
+    if (argv.size() < 2) {
+      return RespValue::Error("ERR wrong number of arguments for 'mget'");
+    }
+    std::vector<RespValue> values;
+    values.reserve(argv.size() - 1);
+    for (size_t i = 1; i < argv.size(); ++i) {
+      Stripe* s = StripeForKey(argv[i]);
+      StripeGuard guard(s);
+      values.push_back(s->store->Execute({"GET", argv[i]}));
+    }
+    return RespValue::Array(std::move(values));
+  }
+  // MSET
+  if (argv.size() < 3 || argv.size() % 2 == 0) {
+    return RespValue::Error("ERR wrong number of arguments for 'mset'");
+  }
+  for (size_t i = 1; i + 1 < argv.size(); i += 2) {
+    Stripe* s = StripeForKey(argv[i]);
+    StripeGuard guard(s);
+    RespValue r = s->store->Execute({"SET", argv[i], argv[i + 1]});
+    if (r.type == RespType::kError) {
+      return r;
+    }
+  }
+  return RespValue::Simple("OK");
+}
+
+RespValue StripedKvStore::HandleAggregate(
+    const std::string& cmd, const std::vector<std::string>& argv) {
+  AllStripesGuard guard(this);
+  if (cmd == "DBSIZE") {
+    size_t total = 0;
+    for (auto& s : stripes_) {
+      total += s->store->DbSize();
+    }
+    return RespValue::Integer(static_cast<int64_t>(total));
+  }
+  if (cmd == "FLUSHALL") {
+    for (auto& s : stripes_) {
+      s->store->FlushAll();
+    }
+    return RespValue::Simple("OK");
+  }
+  if (cmd == "KEYS") {
+    if (argv.size() != 2) {
+      return RespValue::Error("ERR wrong number of arguments for 'keys'");
+    }
+    std::vector<RespValue> out;
+    for (auto& s : stripes_) {
+      for (auto& key : s->store->Keys(argv[1])) {
+        out.push_back(RespValue::Bulk(std::move(key)));
+      }
+    }
+    return RespValue::Array(std::move(out));
+  }
+  // INFO: merge per-stripe stats into one report (same shape as the
+  // single store's InfoString, plus the stripe count).
+  KvStoreStats sum;
+  for (auto& s : stripes_) {
+    const KvStoreStats st = s->store->GetStats();
+    sum.sets += st.sets;
+    sum.gets += st.gets;
+    sum.hits += st.hits;
+    sum.misses += st.misses;
+    sum.dels += st.dels;
+    sum.reclaimed += st.reclaimed;
+    sum.set_failures += st.set_failures;
+    sum.expired += st.expired;
+    sum.keys += st.keys;
+    sum.traditional_bytes += st.traditional_bytes;
+    sum.soft_entry_bytes += st.soft_entry_bytes;
+  }
+  std::ostringstream os;
+  os << "# softmem-kv\r\n"
+     << "stripes:" << stripes_.size() << "\r\n"
+     << "keys:" << sum.keys << "\r\n"
+     << "sets:" << sum.sets << "\r\n"
+     << "gets:" << sum.gets << "\r\n"
+     << "hits:" << sum.hits << "\r\n"
+     << "misses:" << sum.misses << "\r\n"
+     << "reclaimed:" << sum.reclaimed << "\r\n"
+     << "set_failures:" << sum.set_failures << "\r\n"
+     << "expired:" << sum.expired << "\r\n"
+     << "traditional_bytes:" << sum.traditional_bytes << "\r\n"
+     << "soft_entry_bytes:" << sum.soft_entry_bytes << "\r\n";
+  return RespValue::Bulk(os.str());
+}
+
+// ---- Direct conveniences ----------------------------------------------------
+
+bool StripedKvStore::Set(std::string_view key, std::string_view value) {
+  Stripe* s = StripeForKey(key);
+  StripeGuard guard(s);
+  return s->store->Set(key, value);
+}
+
+std::optional<std::string> StripedKvStore::Get(std::string_view key) {
+  Stripe* s = StripeForKey(key);
+  StripeGuard guard(s);
+  auto v = s->store->Get(key);
+  if (!v.has_value()) {
+    return std::nullopt;
+  }
+  return std::string(*v);  // copied under the lock: views die with it
+}
+
+size_t StripedKvStore::DbSize() {
+  AllStripesGuard guard(this);
+  size_t total = 0;
+  for (auto& s : stripes_) {
+    total += s->store->DbSize();
+  }
+  return total;
+}
+
+void StripedKvStore::FlushAll() {
+  AllStripesGuard guard(this);
+  for (auto& s : stripes_) {
+    s->store->FlushAll();
+  }
+}
+
+KvStoreStats StripedKvStore::GetStats() {
+  AllStripesGuard guard(this);
+  KvStoreStats sum;
+  for (auto& s : stripes_) {
+    const KvStoreStats st = s->store->GetStats();
+    sum.sets += st.sets;
+    sum.gets += st.gets;
+    sum.hits += st.hits;
+    sum.misses += st.misses;
+    sum.dels += st.dels;
+    sum.reclaimed += st.reclaimed;
+    sum.set_failures += st.set_failures;
+    sum.expired += st.expired;
+    sum.keys += st.keys;
+    sum.traditional_bytes += st.traditional_bytes;
+    sum.soft_entry_bytes += st.soft_entry_bytes;
+  }
+  return sum;
+}
+
+}  // namespace softmem

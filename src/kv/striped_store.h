@@ -1,0 +1,129 @@
+// StripedKvStore — lock-striped command handler over S independent KvStores.
+//
+// The seed serialized every command behind one store mutex, so reactor
+// threads spent their time queueing instead of executing. Here the keyspace
+// is partitioned by the HIGH bits of the dict hash (the dict's buckets use
+// the low bits of the same FNV-1a hash — see Dict::HashKey) into S stripes,
+// each a full KvStore behind its own mutex. Single-key commands touch one
+// stripe; multi-key commands (MGET/MSET/DEL/EXISTS) visit each key's stripe
+// in turn; aggregates (DBSIZE, FLUSHALL, KEYS, INFO) lock all stripes in
+// ascending index order (the only multi-stripe hold, so no lock-order
+// cycles are possible).
+//
+// Reclamation is the hard part: the SMA invokes a stripe's custom-reclaim
+// callback under its own central lock, from *any* thread — the daemon
+// poller, or a thread that holds a DIFFERENT stripe while allocating. A
+// blocking stripe acquire there deadlocks (stripe→SMA lock vs SMA→stripe
+// lock). Each stripe therefore installs a ReclaimGate (src/sma/context.h):
+// if the calling thread already owns the stripe, reclaim runs inline
+// (self-inflicted pressure while mutating that stripe); otherwise the gate
+// try-locks with a bounded spin and on failure returns 0, telling the SMA
+// to take its bytes from a less contended context. Reclaim never blocks on
+// a stripe, so the SMA lock never waits on a stripe lock.
+
+#ifndef SOFTMEM_SRC_KV_STRIPED_STORE_H_
+#define SOFTMEM_SRC_KV_STRIPED_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/kv/event_loop.h"
+#include "src/kv/kv_store.h"
+
+namespace softmem {
+
+struct StripedKvStoreOptions {
+  // Stripe count; clamped to >= 1. Diminishing returns past the reactor
+  // thread count; 16 keeps contention negligible at default thread counts.
+  size_t stripes = 16;
+
+  // Template applied to every stripe's dict (priority, on_reclaim,
+  // initial_buckets). The reclaim_gate field is ignored: each stripe gets
+  // its own gate bound to its own lock.
+  DictOptions dict_options;
+
+  const Clock* clock = MonotonicClock::Get();
+  telemetry::MetricsRegistry* metrics = &telemetry::MetricsRegistry::Global();
+};
+
+class StripedKvStore : public CommandHandler {
+ public:
+  explicit StripedKvStore(SoftMemoryAllocator* sma,
+                          StripedKvStoreOptions options = {});
+
+  // Thread-safe from any number of threads (the event loop's reactors).
+  RespValue Handle(const std::vector<std::string>& argv) override;
+
+  size_t stripes() const { return stripes_.size(); }
+  size_t StripeFor(std::string_view key) const;
+
+  // Direct thread-safe conveniences (tests, benches).
+  bool Set(std::string_view key, std::string_view value);
+  std::optional<std::string> Get(std::string_view key);
+  size_t DbSize();
+  void FlushAll();
+
+  // Sums per-stripe stats (locks each stripe in turn).
+  KvStoreStats GetStats();
+
+  // The stripe's store, for tests that need to poke internals. The caller
+  // must not race it against Handle() from other threads.
+  KvStore* stripe(size_t i) { return stripes_[i]->store.get(); }
+
+ private:
+  struct Stripe {
+    std::mutex mu;
+    // The thread currently holding mu (default id = none): lets the
+    // reclaim gate detect self-inflicted pressure and re-enter, mirroring
+    // the SMA's CentralLock.
+    std::atomic<std::thread::id> owner{};
+    std::unique_ptr<KvStore> store;
+  };
+
+  // Owner-aware stripe lock: no-op when this thread already holds the
+  // stripe (re-entry), otherwise a plain scoped lock that publishes owner.
+  class StripeGuard {
+   public:
+    explicit StripeGuard(Stripe* s);
+    ~StripeGuard();
+    StripeGuard(const StripeGuard&) = delete;
+    StripeGuard& operator=(const StripeGuard&) = delete;
+
+   private:
+    Stripe* s_;
+    bool owned_;
+  };
+
+  // Locks every stripe in ascending index order for aggregate commands.
+  class AllStripesGuard {
+   public:
+    explicit AllStripesGuard(StripedKvStore* store);
+    ~AllStripesGuard();
+    AllStripesGuard(const AllStripesGuard&) = delete;
+    AllStripesGuard& operator=(const AllStripesGuard&) = delete;
+
+   private:
+    std::vector<std::unique_ptr<StripeGuard>> guards_;
+  };
+
+  Stripe* StripeForKey(std::string_view key) {
+    return stripes_[StripeFor(key)].get();
+  }
+
+  RespValue HandleMultiKey(const std::string& cmd,
+                           const std::vector<std::string>& argv);
+  RespValue HandleAggregate(const std::string& cmd,
+                            const std::vector<std::string>& argv);
+
+  telemetry::MetricsRegistry* metrics_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_KV_STRIPED_STORE_H_

@@ -37,6 +37,9 @@ class SoftHashTable {
     size_t initial_buckets = 16;
     // Invoked on each entry just before memory pressure drops it.
     std::function<void(const K&, const V&)> on_reclaim;
+    // Serializes reclamation against external access when the table is
+    // shared across threads (see src/sma/context.h). Null = unguarded.
+    ReclaimGate reclaim_gate;
   };
 
   explicit SoftHashTable(SoftMemoryAllocator* sma, Options options = {})
@@ -49,8 +52,15 @@ class SoftHashTable {
     if (ctx.ok()) {
       ctx_ = *ctx;
       has_ctx_ = true;
-      sma_->SetCustomReclaim(
-          ctx_, [this](size_t target) { return ReclaimOldest(target); });
+      if (options_.reclaim_gate) {
+        sma_->SetCustomReclaim(ctx_, [this](size_t target) {
+          return options_.reclaim_gate(
+              [this, target] { return ReclaimOldest(target); });
+        });
+      } else {
+        sma_->SetCustomReclaim(
+            ctx_, [this](size_t target) { return ReclaimOldest(target); });
+      }
     }
     AllocateBuckets(options_.initial_buckets);
   }

@@ -30,6 +30,9 @@ class SoftLinkedList {
     size_t priority = 0;
     // Invoked on each element just before it is reclaimed.
     std::function<void(const T&)> on_reclaim;
+    // Serializes reclamation against external access when the list is shared
+    // across threads (see src/sma/context.h). Null = unguarded.
+    ReclaimGate reclaim_gate;
   };
 
   explicit SoftLinkedList(SoftMemoryAllocator* sma, Options options = {})
@@ -42,8 +45,15 @@ class SoftLinkedList {
     if (ctx.ok()) {
       ctx_ = *ctx;
       has_ctx_ = true;
-      sma_->SetCustomReclaim(
-          ctx_, [this](size_t target) { return ReclaimOldest(target); });
+      if (options_.reclaim_gate) {
+        sma_->SetCustomReclaim(ctx_, [this](size_t target) {
+          return options_.reclaim_gate(
+              [this, target] { return ReclaimOldest(target); });
+        });
+      } else {
+        sma_->SetCustomReclaim(
+            ctx_, [this](size_t target) { return ReclaimOldest(target); });
+      }
     }
   }
 

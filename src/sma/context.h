@@ -29,6 +29,18 @@ using ReclaimCallback = std::function<void(void* ptr, size_t size)>;
 // (0 = nothing left to give). Registered by SDS implementations.
 using CustomReclaimFn = std::function<size_t(size_t target_bytes)>;
 
+// Serializes a custom reclaim protocol against external users of the owning
+// data structure. Reclamation runs under the SMA's central lock and may fire
+// on any thread (an allocating thread, a daemon poller), so an SDS shared
+// across threads must not mutate its own structure concurrently. A gate is
+// called with a thunk that performs the reclamation; it either runs the
+// thunk under the structure's own lock and returns the bytes freed, or
+// returns 0 *without* running it when the lock cannot be taken safely
+// (reclamation then moves on to other contexts — it must never block on a
+// lock whose holder may be waiting on the SMA, or the lock order
+// structure-then-SMA would deadlock against SMA-then-structure).
+using ReclaimGate = std::function<size_t(const std::function<size_t()>& fn)>;
+
 // How a context's live allocations may be reclaimed.
 enum class ReclaimMode : uint8_t {
   // Live allocations are never revoked; only the context's empty pages can

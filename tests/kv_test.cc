@@ -9,9 +9,11 @@
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/kv/dict.h"
+#include "src/kv/event_loop.h"
 #include "src/kv/kv_server.h"
 #include "src/kv/kv_store.h"
 #include "src/kv/resp.h"
+#include "src/kv/striped_store.h"
 #include "src/sma/soft_memory_allocator.h"
 
 namespace softmem {
@@ -420,6 +422,188 @@ TEST(KvServerTest, ManyClientsManyKeys) {
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(store.DbSize(), static_cast<size_t>(kClients * kKeys));
   (*server)->Stop();
+}
+
+// ---- StripedKvStore ---------------------------------------------------------
+
+TEST(StripedKvStoreTest, RoutesSingleKeyCommandsByHighHashBits) {
+  auto sma = MakeSma();
+  StripedKvStoreOptions o;
+  o.stripes = 8;
+  StripedKvStore store(sma.get(), o);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key:" + std::to_string(i);
+    EXPECT_EQ(store.Handle({"SET", key, "v" + std::to_string(i)}).str, "OK");
+  }
+  // Keys spread across stripes (high-bit striping, not all in one).
+  size_t populated = 0;
+  for (size_t s = 0; s < store.stripes(); ++s) {
+    if (store.stripe(s)->DbSize() > 0) {
+      ++populated;
+    }
+  }
+  EXPECT_GT(populated, 1u);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key:" + std::to_string(i);
+    EXPECT_EQ(store.Handle({"GET", key}).str, "v" + std::to_string(i));
+    EXPECT_EQ(store.StripeFor(key), store.StripeFor(key));  // stable
+  }
+}
+
+TEST(StripedKvStoreTest, MultiKeyCommandsSpanStripes) {
+  auto sma = MakeSma();
+  StripedKvStore store(sma.get());
+  EXPECT_EQ(store.Handle({"MSET", "a", "1", "b", "2", "c", "3"}).str, "OK");
+  RespValue mget = store.Handle({"MGET", "a", "b", "missing", "c"});
+  ASSERT_EQ(mget.array.size(), 4u);
+  EXPECT_EQ(mget.array[0].str, "1");
+  EXPECT_EQ(mget.array[1].str, "2");
+  EXPECT_EQ(mget.array[2].type, RespType::kNull);
+  EXPECT_EQ(mget.array[3].str, "3");
+  EXPECT_EQ(store.Handle({"EXISTS", "a", "b", "missing"}).integer, 2);
+  EXPECT_EQ(store.Handle({"DEL", "a", "c", "missing"}).integer, 2);
+  EXPECT_EQ(store.Handle({"DBSIZE"}).integer, 1);
+}
+
+TEST(StripedKvStoreTest, AggregatesLockAllStripes) {
+  auto sma = MakeSma();
+  StripedKvStore store(sma.get());
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(store.Set("agg:" + std::to_string(i), "v"));
+  }
+  EXPECT_EQ(store.Handle({"DBSIZE"}).integer, 64);
+  EXPECT_EQ(store.Handle({"KEYS", "agg:*"}).array.size(), 64u);
+  const std::string info = store.Handle({"INFO"}).str;
+  EXPECT_NE(info.find("stripes:"), std::string::npos);
+  EXPECT_NE(info.find("keys:64"), std::string::npos);
+  EXPECT_EQ(store.Handle({"FLUSHALL"}).str, "OK");
+  EXPECT_EQ(store.DbSize(), 0u);
+}
+
+TEST(StripedKvStoreTest, ReclaimDemandShedsEntriesThroughGates) {
+  auto sma = MakeSma();
+  StripedKvStore store(sma.get());
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(store.Set("key:" + std::to_string(i), "value"));
+  }
+  // Daemon-style external pressure: reclaim flows through each stripe's
+  // try-lock gate (uncontended here, so it must succeed).
+  EXPECT_GT(DemandFromSds(sma.get(), 8), 0u);
+  const KvStoreStats s = store.GetStats();
+  EXPECT_GT(s.reclaimed, 0u);
+  EXPECT_LT(store.DbSize(), 5000u);
+  // Survivors still read correctly; the store still accepts writes.
+  EXPECT_TRUE(store.Set("new", "key"));
+  EXPECT_EQ(*store.Get("new"), "key");
+}
+
+// ---- EventLoopServer: pipelining and partial I/O ----------------------------
+
+TEST(EventLoopTest, PipelinedBurstInOneWrite) {
+  auto sma = MakeSma();
+  StripedKvStore store(sma.get());
+  auto server = EventLoopServer::Listen(&store);
+  ASSERT_TRUE(server.ok()) << server.status();
+  auto client = KvClient::Connect((*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  // 200 commands in a single write; replies must come back 1:1, in order.
+  std::vector<std::vector<std::string>> commands;
+  for (int i = 0; i < 100; ++i) {
+    commands.push_back({"SET", "p:" + std::to_string(i), std::to_string(i)});
+    commands.push_back({"GET", "p:" + std::to_string(i)});
+  }
+  auto replies = (*client)->Pipeline(commands);
+  ASSERT_TRUE(replies.ok()) << replies.status();
+  ASSERT_EQ(replies->size(), 200u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ((*replies)[2 * i].str, "OK");
+    EXPECT_EQ((*replies)[2 * i + 1].str, std::to_string(i));
+  }
+}
+
+TEST(EventLoopTest, ByteAtATimeTrickleParsesIncrementally) {
+  auto sma = MakeSma();
+  StripedKvStore store(sma.get());
+  auto server = EventLoopServer::Listen(&store);
+  ASSERT_TRUE(server.ok());
+  auto client = KvClient::Connect((*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  const std::string wire =
+      "*3\r\n$3\r\nSET\r\n$7\r\ntrickle\r\n$5\r\ndrops\r\n";
+  for (char c : wire) {
+    ASSERT_TRUE((*client)->SendRaw(std::string(1, c)).ok());
+  }
+  auto reply = (*client)->ReadReplyPublic();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->str, "OK");
+
+  auto got = (*client)->Get("trickle");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, "drops");
+}
+
+TEST(EventLoopTest, StalledReaderHitsBackpressureThenDrains) {
+  auto sma = MakeSma();
+  StripedKvStore store(sma.get());
+  EventLoopOptions o;
+  o.max_output_buffer = 8 * 1024;  // tiny watermark: force EPOLLOUT mode
+  auto server = EventLoopServer::Listen(&store, o);
+  ASSERT_TRUE(server.ok());
+  auto client = KvClient::Connect((*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  const std::string value(4096, 'x');
+  ASSERT_TRUE((*client)->Set("big", value).ok());
+
+  // Stuff hundreds of GETs down the pipe without reading a single reply:
+  // ~2 MiB of replies against an 8 KiB watermark. The server must stop
+  // reading (bounded memory), keep the connection alive, and deliver every
+  // reply once we start draining.
+  constexpr int kBursts = 500;
+  std::string burst;
+  for (int i = 0; i < kBursts; ++i) {
+    burst += "*2\r\n$3\r\nGET\r\n$3\r\nbig\r\n";
+  }
+  ASSERT_TRUE((*client)->SendRaw(burst).ok());
+  for (int i = 0; i < kBursts; ++i) {
+    auto reply = (*client)->ReadReplyPublic();
+    ASSERT_TRUE(reply.ok()) << "reply " << i << ": " << reply.status();
+    ASSERT_EQ(reply->str.size(), value.size()) << "reply " << i;
+  }
+}
+
+TEST(EventLoopTest, ProtocolErrorRepliesThenCloses) {
+  auto sma = MakeSma();
+  StripedKvStore store(sma.get());
+  auto server = EventLoopServer::Listen(&store);
+  ASSERT_TRUE(server.ok());
+  auto client = KvClient::Connect((*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  ASSERT_TRUE((*client)->SendRaw("*1\r\n$abc\r\n").ok());
+  auto reply = (*client)->ReadReplyPublic();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, RespType::kError);
+  // The server drops the connection after the error reply.
+  auto next = (*client)->ReadReplyPublic();
+  EXPECT_FALSE(next.ok());
+}
+
+TEST(EventLoopTest, ServesBigLockHandlerForAblation) {
+  auto sma = MakeSma();
+  KvStore store(sma.get());
+  SerializedStoreHandler handler(&store);
+  auto server = EventLoopServer::Listen(&handler);
+  ASSERT_TRUE(server.ok());
+  auto client = KvClient::Connect((*server)->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Set("k", "v").ok());
+  auto got = (*client)->Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, "v");
+  EXPECT_EQ((*server)->connections_handled(), 1u);
 }
 
 }  // namespace
