@@ -2,7 +2,8 @@
 //
 // Usage:
 //   kv_server [--port N] [--daemon-socket PATH] [--budget-mib N]
-//             [--metrics-port N] [--io-threads N] [--stripes N]
+//             [--reconnect-backoff MS] [--metrics-port N] [--io-threads N]
+//             [--stripes N]
 //
 // Speaks RESP2 on 127.0.0.1:<port> (try it with `redis-cli -p <port>`:
 // SET/GET/DEL/EXISTS/DBSIZE/FLUSHALL/INFO/PING, and METRICS for the
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
   uint16_t port = 6380;
   std::string daemon_socket;
   size_t budget_mib = 64;
+  int reconnect_backoff_ms = 50;  // initial redial delay after daemon loss
   int metrics_port = -1;  // -1 = disabled; 0 = kernel-assigned
   size_t io_threads = 0;  // 0 = hardware concurrency
   size_t stripes = 16;
@@ -61,6 +63,8 @@ int main(int argc, char** argv) {
       daemon_socket = next();
     } else if (arg == "--budget-mib") {
       budget_mib = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--reconnect-backoff") {
+      reconnect_backoff_ms = static_cast<int>(std::strtol(next(), nullptr, 10));
     } else if (arg == "--metrics-port") {
       metrics_port = static_cast<int>(std::strtol(next(), nullptr, 10));
     } else if (arg == "--io-threads") {
@@ -70,8 +74,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: kv_server [--port N] [--daemon-socket PATH]"
-                   " [--budget-mib N] [--metrics-port N] [--io-threads N]"
-                   " [--stripes N]\n");
+                   " [--budget-mib N] [--reconnect-backoff MS]"
+                   " [--metrics-port N] [--io-threads N] [--stripes N]\n");
       return 2;
     }
   }
@@ -80,17 +84,18 @@ int main(int argc, char** argv) {
   telemetry::SetArmed(true);
   telemetry::MetricsRegistry* registry = &telemetry::MetricsRegistry::Global();
 
-  // Optionally join a softmemd-managed machine.
+  // Optionally join a softmemd-managed machine. Connect() keeps the dial
+  // factory, so a softmemd restart is survived: the client degrades (denying
+  // budget growth locally, never blocking serving), redials with exponential
+  // backoff, and replays its identity and budget through kReattach.
   std::unique_ptr<DaemonClient> client;
   if (!daemon_socket.empty()) {
-    auto channel = ConnectUnixSocket(daemon_socket);
-    if (!channel.ok()) {
-      std::fprintf(stderr, "kv_server: cannot reach daemon: %s\n",
-                   channel.status().ToString().c_str());
-      return 1;
-    }
-    auto registered =
-        DaemonClient::Register(std::move(channel).value(), "kv_server");
+    DaemonClientOptions copts;
+    copts.reconnect_backoff_initial_ms = reconnect_backoff_ms;
+    copts.reconnect_backoff_max_ms = reconnect_backoff_ms * 40;
+    const std::string path = daemon_socket;
+    auto registered = DaemonClient::Connect(
+        [path] { return ConnectUnixSocket(path); }, "kv_server", copts);
     if (!registered.ok()) {
       std::fprintf(stderr, "kv_server: registration failed: %s\n",
                    registered.status().ToString().c_str());

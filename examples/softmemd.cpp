@@ -3,7 +3,7 @@
 // Usage:
 //   softmemd [--socket PATH] [--capacity-mib N] [--targets N]
 //            [--over-reclaim F] [--initial-grant-mib N]
-//            [--metrics-port N] [--metrics-dump PATH]
+//            [--lease-ttl MS] [--metrics-port N] [--metrics-dump PATH]
 //            [--metrics-dump-interval S] [--verbose]
 //
 // Processes connect over the Unix socket with ipc::DaemonClient (see the
@@ -73,6 +73,10 @@ int main(int argc, char** argv) {
       options.initial_grant_pages = std::strtoull(next(), nullptr, 10) * kMiB / kPageSize;
     } else if (arg == "--low-watermark-mib") {
       options.low_watermark_pages = std::strtoull(next(), nullptr, 10) * kMiB / kPageSize;
+    } else if (arg == "--lease-ttl") {
+      options.lease_ttl_ns =
+          static_cast<Nanos>(std::strtoull(next(), nullptr, 10)) *
+          kNanosPerMilli;
     } else if (arg == "--process-cap-mib") {
       options.default_process_cap_pages = std::strtoull(next(), nullptr, 10) * kMiB / kPageSize;
     } else if (arg == "--metrics-port") {
@@ -92,9 +96,9 @@ int main(int argc, char** argv) {
                    "usage: softmemd [--socket PATH] [--capacity-mib N]\n"
                    "                [--targets N] [--over-reclaim F]\n"
                    "                [--initial-grant-mib N] [--low-watermark-mib N]\n"
-                   "                [--process-cap-mib N] [--metrics-port N]\n"
-                   "                [--metrics-dump PATH] [--metrics-dump-interval S]\n"
-                   "                [--verbose]\n");
+                   "                [--process-cap-mib N] [--lease-ttl MS]\n"
+                   "                [--metrics-port N] [--metrics-dump PATH]\n"
+                   "                [--metrics-dump-interval S] [--verbose]\n");
       return 2;
     }
   }
@@ -115,10 +119,11 @@ int main(int argc, char** argv) {
   }
   server.ServeListener(listener->get());
   std::printf("softmemd: listening on %s, capacity %s, max %zu targets,"
-              " over-reclaim %.2f\n",
+              " over-reclaim %.2f, lease ttl %lld ms\n",
               socket_path.c_str(),
               FormatBytes(options.capacity_pages * kPageSize).c_str(),
-              options.max_reclaim_targets, options.over_reclaim_factor);
+              options.max_reclaim_targets, options.over_reclaim_factor,
+              static_cast<long long>(options.lease_ttl_ns / kNanosPerMilli));
 
   // Stats endpoint: /metrics (Prometheus text) and /journal (JSON lines).
   std::unique_ptr<telemetry::MetricsHttpServer> metrics_server;
@@ -155,6 +160,7 @@ int main(int argc, char** argv) {
   while (g_stop == 0) {
     ::usleep(200 * 1000);
     daemon.ProactiveReclaimTick();  // no-op unless --low-watermark-mib set
+    daemon.ExpireLeasesTick();      // no-op unless --lease-ttl set
     if (!metrics_dump_path.empty() && ++ticks % dump_every == 0) {
       if (std::FILE* f = std::fopen(metrics_dump_path.c_str(), "w")) {
         const std::string text = registry->RenderPrometheus();

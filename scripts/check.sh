@@ -4,8 +4,11 @@
 #   plain  build + full ctest in the default configuration
 #   asan   rebuild under AddressSanitizer+UBSan, full ctest
 #   tsan   rebuild under ThreadSanitizer, concurrency + thread-cache +
-#          telemetry + fault-soak suites (the multi-threaded ones — TSan's
-#          point)
+#          telemetry + fault-soak + crash-recovery + lease suites (the
+#          multi-threaded ones — TSan's point)
+#   crash  plain build, then the multi-process crash-recovery suite looped
+#          20x with a rotating SOFTMEM_FAULT_SEED (a failing iteration
+#          prints the seed; replay with SOFTMEM_FAULT_SEED=<n>)
 #   all    (default) run plain, then asan, then tsan
 #
 # Each mode uses its own build directory so they can be cached separately.
@@ -16,13 +19,13 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 usage() {
-  sed -n '2,12p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
 }
 
 MODE=all
 if [[ $# -gt 0 ]]; then
   case "$1" in
-    plain|asan|tsan|all) MODE="$1"; shift ;;
+    plain|asan|tsan|crash|all) MODE="$1"; shift ;;
     -h|--help) usage; exit 0 ;;
     -*) ;;  # no mode given; everything is extra ctest args
     *)
@@ -63,16 +66,40 @@ run_tsan() {
   cmake -B build-tsan -S . -DSOFTMEM_SANITIZE=thread \
         ${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"} >/dev/null
   cmake --build build-tsan -j "${JOBS}"
-  echo "==> tsan ctest (concurrency, thread-cache, telemetry, fault-soak)"
-  TSAN_OPTIONS="halt_on_error=1" \
+  echo "==> tsan ctest (concurrency, crash recovery, leases, fault-soak)"
+  # die_after_fork=0: the crash suite forks real client processes from the
+  # gtest parent; TSan's default is to abort any multi-threaded fork, but the
+  # harness only forks while the parent is single-threaded (see
+  # tests/process_harness.h) and the children _exit without running TSan-
+  # instrumented teardown.
+  TSAN_OPTIONS="halt_on_error=1:die_after_fork=0" \
     ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-          -R "Concurrency|ThreadCache|FaultStressSoak|Telemetry" "$@"
+          -R "Concurrency|ThreadCache|FaultStressSoak|Telemetry|CrashRecovery|SmdLease|DegradedMode" "$@"
+}
+
+run_crash() {
+  echo "==> crash-recovery loop (20 iterations, rotating fault seed)"
+  cmake -B build -S . ${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"} >/dev/null
+  cmake --build build -j "${JOBS}" --target crash_recovery_test
+  local base_seed iter
+  base_seed="${SOFTMEM_FAULT_SEED:-20260806}"
+  for iter in $(seq 1 20); do
+    local seed=$((base_seed + iter))
+    echo "==> crash iteration ${iter}/20 (SOFTMEM_FAULT_SEED=${seed})"
+    SOFTMEM_FAULT_SEED="${seed}" \
+      ctest --test-dir build --output-on-failure -R "CrashRecovery" "$@" || {
+        echo "crash iteration ${iter} FAILED; replay with" \
+             "SOFTMEM_FAULT_SEED=${seed} ctest --test-dir build -R CrashRecovery" >&2
+        return 1
+      }
+  done
 }
 
 case "${MODE}" in
   plain) run_plain "$@" ;;
   asan)  run_asan "$@" ;;
   tsan)  run_tsan "$@" ;;
+  crash) run_crash "$@" ;;
   all)   run_plain "$@"; run_asan "$@"; run_tsan "$@" ;;
 esac
 

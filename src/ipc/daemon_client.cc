@@ -1,5 +1,6 @@
 #include "src/ipc/daemon_client.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "src/common/logging.h"
@@ -37,19 +38,43 @@ telemetry::Counter* DemandsServed() {
   return c;
 }
 
+telemetry::Counter* Reconnects() {
+  static telemetry::Counter* c =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "softmem_ipc_reconnects_total",
+          "Successful daemon redial + kReattach recoveries.");
+  return c;
+}
+
+telemetry::Counter* DegradedDenials() {
+  static telemetry::Counter* c =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "softmem_ipc_degraded_denials_total",
+          "Budget requests denied locally because the daemon was "
+          "unreachable.");
+  return c;
+}
+
+telemetry::Counter* DegradedNs() {
+  static telemetry::Counter* c =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "softmem_ipc_degraded_ns_total",
+          "Cumulative wall time spent in degraded mode (counted when the "
+          "client recovers).");
+  return c;
+}
+
 }  // namespace
 
-Result<std::unique_ptr<DaemonClient>> DaemonClient::Register(
-    std::unique_ptr<MessageChannel> channel, const std::string& name,
-    DaemonClientOptions options) {
-  auto client = std::unique_ptr<DaemonClient>(
-      new DaemonClient(std::move(channel), options));
+Result<std::unique_ptr<DaemonClient>> DaemonClient::FinishHandshake(
+    std::unique_ptr<DaemonClient> client, const std::string& name) {
+  client->name_ = name;
   Message reg;
   reg.type = MsgType::kRegister;
   reg.seq = client->next_seq_++;
   reg.text = name;
   SOFTMEM_RETURN_IF_ERROR(client->channel_->Send(reg));
-  auto ack = client->channel_->Recv(options.rpc_timeout_ms);
+  auto ack = client->channel_->Recv(client->options_.rpc_timeout_ms);
   if (!ack.ok()) {
     return ack.status();
   }
@@ -59,18 +84,46 @@ Result<std::unique_ptr<DaemonClient>> DaemonClient::Register(
   if (ack->type != MsgType::kRegisterAck) {
     return InternalError("unexpected handshake reply");
   }
-  client->pid_ = ack->pid;
+  client->pid_.store(ack->pid);
   client->initial_budget_pages_ = ack->pages;
+  client->ledger_budget_.store(ack->pages);
+  client->last_send_ns_ = MonotonicClock::Get()->Now();
   return client;
+}
+
+Result<std::unique_ptr<DaemonClient>> DaemonClient::Register(
+    std::unique_ptr<MessageChannel> channel, const std::string& name,
+    DaemonClientOptions options) {
+  auto client = std::unique_ptr<DaemonClient>(
+      new DaemonClient(std::move(channel), options));
+  return FinishHandshake(std::move(client), name);
+}
+
+Result<std::unique_ptr<DaemonClient>> DaemonClient::Connect(
+    ChannelFactory factory, const std::string& name,
+    DaemonClientOptions options) {
+  if (!factory) {
+    return InvalidArgumentError("null channel factory");
+  }
+  auto channel = factory();
+  if (!channel.ok()) {
+    return channel.status();
+  }
+  auto client = std::unique_ptr<DaemonClient>(
+      new DaemonClient(std::move(channel).value(), options));
+  client->factory_ = std::move(factory);
+  return FinishHandshake(std::move(client), name);
 }
 
 DaemonClient::~DaemonClient() {
   stopping_.store(true);
   {
     std::lock_guard<std::recursive_mutex> lock(io_mu_);
-    Message bye;
-    bye.type = MsgType::kGoodbye;
-    channel_->Send(bye);
+    if (!degraded_.load()) {
+      Message bye;
+      bye.type = MsgType::kGoodbye;
+      channel_->Send(bye);
+    }
     channel_->Close();
   }
   if (poller_.joinable()) {
@@ -86,10 +139,24 @@ void DaemonClient::StartPoller() {
   }
 }
 
+void DaemonClient::EnterDegradedLocked(const char* why) {
+  if (degraded_.exchange(true)) {
+    return;
+  }
+  degraded_since_ns_.store(MonotonicClock::Get()->Now());
+  channel_->Close();
+  SOFTMEM_LOG(Warning) << "daemon client: entering degraded mode (" << why
+                       << "); budget requests will be denied locally";
+}
+
 void DaemonClient::HandleDemand(const Message& demand) {
   size_t given = 0;
   if (sma_ != nullptr) {
     given = sma_->HandleReclaimDemand(demand.pages);
+  }
+  size_t ledger = ledger_budget_.load();
+  while (!ledger_budget_.compare_exchange_weak(
+      ledger, ledger - std::min(given, ledger))) {
   }
   demands_served_.fetch_add(1);
   DemandsServed()->Inc();
@@ -100,16 +167,139 @@ void DaemonClient::HandleDemand(const Message& demand) {
   channel_->Send(result);
 }
 
+Status DaemonClient::ReattachOnChannelLocked(size_t* overshoot_pages) {
+  *overshoot_pages = 0;
+  const size_t claimed = ledger_budget_.load();
+  Message rea;
+  rea.type = MsgType::kReattach;
+  rea.seq = next_seq_++;
+  rea.pid = pid_.load();
+  rea.pages = claimed;
+  rea.bytes = last_traditional_bytes_.load();
+  rea.text = name_;
+  SOFTMEM_RETURN_IF_ERROR(channel_->Send(rea));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.rpc_timeout_ms);
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - std::chrono::steady_clock::now())
+                          .count();
+    if (left <= 0) {
+      return UnavailableError("reattach timeout");
+    }
+    auto m = channel_->Recv(static_cast<int>(left));
+    if (!m.ok()) {
+      return m.status().code() == StatusCode::kNotFound
+                 ? UnavailableError("reattach timeout")
+                 : m.status();
+    }
+    if (m->type == MsgType::kReclaimDemand) {
+      HandleDemand(*m);
+      continue;
+    }
+    if (m->type == MsgType::kError) {
+      return Status(m->status_code(), m->text);
+    }
+    if (m->type != MsgType::kRegisterAck || m->seq != rea.seq) {
+      continue;  // stale traffic from the previous incarnation
+    }
+    pid_.store(m->pid);
+    const size_t accepted = m->pages;
+    // The ledger follows the daemon's decision; if it clamped our claim the
+    // caller walks the SMA down by the difference (outside locks as needed).
+    ledger_budget_.store(accepted);
+    if (accepted < claimed) {
+      *overshoot_pages = claimed - accepted;
+    }
+    // Fresh usage so a rebuilt daemon table converges immediately.
+    Message usage;
+    usage.type = MsgType::kUsageReport;
+    usage.pages = last_soft_pages_.load();
+    usage.bytes = last_traditional_bytes_.load();
+    channel_->Send(usage);
+    last_send_ns_ = MonotonicClock::Get()->Now();
+    return Status::Ok();
+  }
+}
+
+void DaemonClient::ShrinkAfterReattach(size_t overshoot_pages) {
+  if (overshoot_pages == 0) {
+    return;
+  }
+  size_t got = 0;
+  if (sma_ != nullptr) {
+    got = sma_->HandleReclaimDemand(overshoot_pages);
+  }
+  if (got < overshoot_pages) {
+    SOFTMEM_LOG(Warning) << "daemon client: daemon clamped reattach claim by "
+                         << overshoot_pages << " pages but the allocator "
+                         << "could only give back " << got;
+  }
+}
+
+Status DaemonClient::TryReconnectNow() {
+  if (!degraded_.load()) {
+    return Status::Ok();
+  }
+  if (!factory_) {
+    return FailedPreconditionError(
+        "no channel factory: this client cannot reconnect");
+  }
+  auto fresh = factory_();
+  if (!fresh.ok()) {
+    return fresh.status();
+  }
+  size_t overshoot = 0;
+  {
+    std::lock_guard<std::recursive_mutex> lock(io_mu_);
+    if (!degraded_.load()) {
+      return Status::Ok();  // another thread already recovered
+    }
+    channel_ = std::move(fresh).value();
+    Status s = ReattachOnChannelLocked(&overshoot);
+    if (!s.ok()) {
+      channel_->Close();
+      return s;
+    }
+    degraded_.store(false);
+    reconnects_.fetch_add(1);
+    Reconnects()->Inc();
+    const Nanos since = degraded_since_ns_.exchange(0);
+    if (since != 0) {
+      const Nanos now = MonotonicClock::Get()->Now();
+      if (now > since) {
+        DegradedNs()->Inc(static_cast<uint64_t>(now - since));
+      }
+    }
+    SOFTMEM_LOG(Info) << "daemon client: reattached as pid " << pid_.load()
+                      << " with " << ledger_budget_.load()
+                      << " budget pages accepted";
+  }
+  ShrinkAfterReattach(overshoot);
+  return Status::Ok();
+}
+
 Result<size_t> DaemonClient::RequestBudget(size_t pages) {
+  if (degraded_.load(std::memory_order_relaxed)) {
+    // Never block on a dead daemon: deny locally, let the poller redial.
+    DegradedDenials()->Inc();
+    return DeniedError("soft memory daemon unreachable (degraded mode)");
+  }
   std::lock_guard<std::recursive_mutex> lock(io_mu_);
   telemetry::ScopedLatencyTimer rtt(RpcRttHist());
   Message req;
   req.type = MsgType::kRequestBudget;
   req.seq = next_seq_++;
   req.pages = pages;
-  SOFTMEM_RETURN_IF_ERROR(channel_->Send(req));
+  if (Status s = channel_->Send(req); !s.ok()) {
+    EnterDegradedLocked("send failed");
+    DegradedDenials()->Inc();
+    return DeniedError("soft memory daemon unreachable (degraded mode)");
+  }
+  last_send_ns_ = MonotonicClock::Get()->Now();
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(options_.rpc_timeout_ms);
+  bool reattached_once = false;
   for (bool first = true;; first = false) {
     if (!first) {
       RpcRetries()->Inc();
@@ -125,16 +315,39 @@ Result<size_t> DaemonClient::RequestBudget(size_t pages) {
       if (m.status().code() == StatusCode::kNotFound) {
         return UnavailableError("daemon rpc timeout");
       }
-      return m.status();
+      // Transport failure mid-RPC: the daemon is gone. Degrade and deny
+      // rather than bubbling a confusing channel error into the SMA.
+      EnterDegradedLocked("recv failed mid-rpc");
+      DegradedDenials()->Inc();
+      return DeniedError("soft memory daemon unreachable (degraded mode)");
     }
     switch (m->type) {
       case MsgType::kBudgetReply:
         if (m->seq != req.seq) {
           continue;  // stale reply (should not happen); keep waiting
         }
+        if (m->status_code() == StatusCode::kNotFound && !reattached_once) {
+          // The daemon no longer knows us: our lease expired while the
+          // transport stayed up (e.g. heartbeats disabled and the client
+          // idled past the TTL). Reattach on the live channel and retry.
+          reattached_once = true;
+          size_t overshoot = 0;
+          if (ReattachOnChannelLocked(&overshoot).ok()) {
+            ShrinkAfterReattach(overshoot);
+            req.seq = next_seq_++;
+            if (channel_->Send(req).ok()) {
+              continue;
+            }
+          }
+          EnterDegradedLocked("reattach after lease expiry failed");
+          DegradedDenials()->Inc();
+          return DeniedError(
+              "soft memory daemon unreachable (degraded mode)");
+        }
         if (m->status_code() != StatusCode::kOk) {
           return Status(m->status_code(), m->text);
         }
+        ledger_budget_.fetch_add(m->pages);
         return static_cast<size_t>(m->pages);
       case MsgType::kReclaimDemand:
         // The daemon is reclaiming from us while we wait — e.g. another
@@ -152,27 +365,59 @@ Result<size_t> DaemonClient::RequestBudget(size_t pages) {
 }
 
 void DaemonClient::ReleaseBudget(size_t pages) {
+  // The ledger shrinks even while degraded so a later kReattach claims only
+  // what we still hold.
+  size_t ledger = ledger_budget_.load();
+  while (!ledger_budget_.compare_exchange_weak(
+      ledger, ledger - std::min(pages, ledger))) {
+  }
+  if (degraded_.load(std::memory_order_relaxed)) {
+    return;
+  }
   std::lock_guard<std::recursive_mutex> lock(io_mu_);
   Message m;
   m.type = MsgType::kReleaseBudget;
   m.pages = pages;
-  channel_->Send(m);
+  if (channel_->Send(m).ok()) {
+    last_send_ns_ = MonotonicClock::Get()->Now();
+  }
 }
 
 void DaemonClient::ReportUsage(size_t soft_pages, size_t traditional_bytes) {
+  last_soft_pages_.store(soft_pages);
+  last_traditional_bytes_.store(traditional_bytes);
+  if (degraded_.load(std::memory_order_relaxed)) {
+    return;  // replayed by the kReattach handshake on recovery
+  }
   std::lock_guard<std::recursive_mutex> lock(io_mu_);
   Message m;
   m.type = MsgType::kUsageReport;
   m.pages = soft_pages;
   m.bytes = traditional_bytes;
-  channel_->Send(m);
+  if (channel_->Send(m).ok()) {
+    last_send_ns_ = MonotonicClock::Get()->Now();
+  }
 }
 
 void DaemonClient::PollerLoop() {
+  int backoff_ms = options_.reconnect_backoff_initial_ms;
   while (!stopping_.load()) {
+    if (degraded_.load()) {
+      if (!factory_) {
+        return;  // nothing to redial: degraded is terminal for this client
+      }
+      if (TryReconnectNow().ok()) {
+        backoff_ms = options_.reconnect_backoff_initial_ms;
+        continue;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, options_.reconnect_backoff_max_ms);
+      continue;
+    }
+    backoff_ms = options_.reconnect_backoff_initial_ms;
     {
       std::unique_lock<std::recursive_mutex> lock(io_mu_, std::try_to_lock);
-      if (lock.owns_lock()) {
+      if (lock.owns_lock() && !degraded_.load()) {
         auto m = channel_->Recv(options_.poll_interval_ms);
         if (m.ok() && m->type == MsgType::kReclaimDemand) {
           HandleDemand(*m);
@@ -181,10 +426,30 @@ void DaemonClient::PollerLoop() {
         if (m.ok()) {
           SOFTMEM_LOG(Warning) << "daemon client poller: unexpected "
                                << MsgTypeName(m->type);
-        } else if (m.status().code() == StatusCode::kUnavailable) {
-          return;  // daemon gone
+        } else if (m.status().code() != StatusCode::kNotFound) {
+          // Hard transport error (EOF/reset): the daemon died. Degrade and
+          // go redial instead of silently abandoning the connection.
+          EnterDegradedLocked("poller saw transport failure");
+          continue;
+        } else if (options_.heartbeat_interval_ms > 0) {
+          // kNotFound = poll timeout, i.e. the channel is idle. Refresh the
+          // budget lease if we have been quiet for a full interval.
+          const Nanos now = MonotonicClock::Get()->Now();
+          const Nanos interval =
+              static_cast<Nanos>(options_.heartbeat_interval_ms) * 1000000;
+          if (now - last_send_ns_ >= interval) {
+            Message hb;
+            hb.type = MsgType::kHeartbeat;
+            hb.pages = last_soft_pages_.load();
+            hb.bytes = last_traditional_bytes_.load();
+            if (channel_->Send(hb).ok()) {
+              last_send_ns_ = now;
+            } else {
+              EnterDegradedLocked("heartbeat send failed");
+              continue;
+            }
+          }
         }
-        // kNotFound = poll timeout: fall through to the sleep below.
       }
     }
     std::this_thread::sleep_for(

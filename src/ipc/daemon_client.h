@@ -7,7 +7,8 @@
 //    if a kReclaimDemand arrives before the reply (the daemon may be
 //    reclaiming from *us* on behalf of someone else), it is serviced inline
 //    against the attached allocator, then the pump keeps waiting.
-//  * When idle, an optional background poller thread services demands.
+//  * When idle, an optional background poller thread services demands,
+//    sends lease-refresh heartbeats, and drives reconnection.
 //
 // Creation is a handshake: Register() sends kRegister and waits for the ack
 // carrying our daemon-assigned process id and initial budget grant. Wire the
@@ -18,16 +19,26 @@
 //   auto sma = SoftMemoryAllocator::Create(options, client->get());
 //   (*client)->AttachAllocator(sma->get());
 //   (*client)->StartPoller();
+//
+// Crash resilience: Connect() takes a *factory* instead of a channel, which
+// lets the client rebuild the transport after the daemon dies. When the
+// channel breaks, the client enters **degraded mode** — budget requests are
+// denied locally without blocking, releases keep adjusting the local ledger —
+// while the poller redials with exponential backoff and replays identity and
+// budget through a kReattach handshake. A restarted daemon thus rebuilds its
+// table from live clients; nobody's memory is torn down.
 
 #ifndef SOFTMEM_SRC_IPC_DAEMON_CLIENT_H_
 #define SOFTMEM_SRC_IPC_DAEMON_CLIENT_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
+#include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/ipc/channel.h"
 #include "src/sma/smd_channel.h"
@@ -36,18 +47,38 @@ namespace softmem {
 
 class SoftMemoryAllocator;
 
+// Dials a fresh transport to the daemon (e.g. ConnectUnixSocket(path)).
+using ChannelFactory =
+    std::function<Result<std::unique_ptr<MessageChannel>>()>;
+
 struct DaemonClientOptions {
   // How long an RPC waits for its reply before giving up.
   int rpc_timeout_ms = 10000;
   // Poller granularity: how often the idle poller checks for demands.
   int poll_interval_ms = 20;
+  // Idle lease refresh: the poller sends a kHeartbeat (carrying the last
+  // usage report) when nothing else has been sent for this long, so an idle
+  // client survives SmdOptions::lease_ttl. 0 disables heartbeats.
+  int heartbeat_interval_ms = 1000;
+  // Degraded-mode redial cadence: exponential backoff between reconnect
+  // attempts, starting at `initial` and capped at `max`.
+  int reconnect_backoff_initial_ms = 50;
+  int reconnect_backoff_max_ms = 2000;
 };
 
 class DaemonClient : public SmdChannel {
  public:
-  // Connects (protocol-wise) to the daemon over `channel`.
+  // Connects (protocol-wise) to the daemon over `channel`. No factory: if
+  // the transport later breaks, the client degrades permanently.
   static Result<std::unique_ptr<DaemonClient>> Register(
       std::unique_ptr<MessageChannel> channel, const std::string& name,
+      DaemonClientOptions options = {});
+
+  // Like Register, but the client keeps `factory` and uses it to redial and
+  // kReattach after the daemon restarts. The initial connection comes from
+  // the same factory.
+  static Result<std::unique_ptr<DaemonClient>> Connect(
+      ChannelFactory factory, const std::string& name,
       DaemonClientOptions options = {});
 
   ~DaemonClient() override;
@@ -59,40 +90,81 @@ class DaemonClient : public SmdChannel {
   // before any demand can be honoured (demands before attachment yield 0).
   void AttachAllocator(SoftMemoryAllocator* sma);
 
-  // Starts the idle-demand poller thread.
+  // Starts the idle-demand / heartbeat / reconnect poller thread.
   void StartPoller();
 
   // Daemon-assigned identity and the budget granted at registration.
-  uint64_t process_id() const { return pid_; }
+  uint64_t process_id() const { return pid_.load(std::memory_order_relaxed); }
   size_t initial_budget_pages() const { return initial_budget_pages_; }
 
   // SmdChannel implementation (called by the SMA).
   Result<size_t> RequestBudget(size_t pages) override;
   void ReleaseBudget(size_t pages) override;
   void ReportUsage(size_t soft_pages, size_t traditional_bytes) override;
+  bool connected() const override {
+    return !degraded_.load(std::memory_order_relaxed);
+  }
 
-  // Demands serviced so far (observability for tests).
+  // One immediate reconnect + kReattach attempt (the poller's redial path,
+  // public so tests drive recovery deterministically instead of sleeping).
+  // Ok when the client is connected again (or never was degraded).
+  Status TryReconnectNow();
+
+  // Observability (tests and telemetry).
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
   size_t demands_served() const { return demands_served_.load(); }
+  size_t reconnects() const { return reconnects_.load(); }
+  // The client-side budget ledger: initial grant + grants - releases -
+  // reclaim results. This is the figure a kReattach claims after a daemon
+  // restart.
+  size_t ledger_budget_pages() const { return ledger_budget_.load(); }
 
  private:
   DaemonClient(std::unique_ptr<MessageChannel> channel,
                DaemonClientOptions options)
       : channel_(std::move(channel)), options_(options) {}
 
+  // Shared Register/Connect handshake tail.
+  static Result<std::unique_ptr<DaemonClient>> FinishHandshake(
+      std::unique_ptr<DaemonClient> client, const std::string& name);
+
   void HandleDemand(const Message& demand);
   void PollerLoop();
 
+  // Marks the transport dead and closes it. Caller must hold io_mu_.
+  void EnterDegradedLocked(const char* why);
+
+  // Sends kReattach on the current channel_ and applies the ack: pid_,
+  // ledger, counters. On success *overshoot_pages is how many pages the
+  // daemon refused of our claim — the caller must shrink the SMA by that
+  // many *after dropping io_mu_* (the SMA's reclaim path reports usage back
+  // through us, and lock order is SMA -> client). Caller must hold io_mu_.
+  Status ReattachOnChannelLocked(size_t* overshoot_pages);
+
+  // Applies the post-reattach shrink outside io_mu_.
+  void ShrinkAfterReattach(size_t overshoot_pages);
+
   std::unique_ptr<MessageChannel> channel_;
   const DaemonClientOptions options_;
+  ChannelFactory factory_;  // null for Register()-built clients
+  std::string name_;
 
   // Serializes use of the channel: a thread holding io_mu_ owns both
   // directions until it releases it.
   std::recursive_mutex io_mu_;
   uint64_t next_seq_ = 1;
+  Nanos last_send_ns_ = 0;  // heartbeat pacing; guarded by io_mu_
 
   SoftMemoryAllocator* sma_ = nullptr;
-  uint64_t pid_ = 0;
+  std::atomic<uint64_t> pid_{0};
   size_t initial_budget_pages_ = 0;
+
+  std::atomic<bool> degraded_{false};
+  std::atomic<Nanos> degraded_since_ns_{0};
+  std::atomic<size_t> ledger_budget_{0};
+  std::atomic<size_t> last_soft_pages_{0};
+  std::atomic<size_t> last_traditional_bytes_{0};
+  std::atomic<size_t> reconnects_{0};
 
   std::thread poller_;
   std::atomic<bool> stopping_{false};

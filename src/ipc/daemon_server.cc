@@ -91,17 +91,16 @@ class DaemonServer::Session : public ReclaimSink {
       }
     }
   done:
+    // EOF / ECONNRESET / kGoodbye all end the session the same way: flag the
+    // worker down. Deregistration happens on the worker's exit path — the
+    // worker is the only thread that mutates registered_/pid_, so checking
+    // them here would race a kRegister still queued in the inbox (a client
+    // that registers and dies instantly would leak its budget forever).
     {
       std::lock_guard<std::mutex> lock(mu_);
       stopping_ = true;
     }
     cv_.notify_all();
-    // Session teardown: a vanished client must not strand its budget.
-    if (registered_) {
-      daemon_->DeregisterProcess(pid_);
-      registered_ = false;
-    }
-    finished_.store(true);
   }
 
   void WorkerLoop() {
@@ -110,14 +109,25 @@ class DaemonServer::Session : public ReclaimSink {
       {
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock, [this] { return stopping_ || !inbox_.empty(); });
-        if (inbox_.empty()) {
-          return;  // stopping
+        if (stopping_) {
+          // Do NOT drain the inbox: the peer is gone, so acting on queued
+          // messages can only create state nobody will ever tear down
+          // (registering a dead client strands its budget).
+          break;
         }
         m = std::move(inbox_.front());
         inbox_.pop_front();
       }
       Dispatch(m);
     }
+    // Session teardown: a vanished client must not strand its budget. The
+    // expected_sink guard makes this a no-op if a reattaching successor
+    // already adopted our process id.
+    if (registered_) {
+      daemon_->DeregisterProcess(pid_, /*expected_sink=*/this);
+      registered_ = false;
+    }
+    finished_.store(true);
   }
 
   void Dispatch(const Message& m) {
@@ -177,10 +187,39 @@ class DaemonServer::Session : public ReclaimSink {
         }
         break;
       case MsgType::kUsageReport:
+      case MsgType::kHeartbeat:
+        // A heartbeat is a usage report from an idle client: same payload,
+        // same handling, and either one refreshes the budget lease.
         if (registered_) {
           daemon_->HandleUsageReport(pid_, m.pages, m.bytes);
         }
         break;
+      case MsgType::kReattach: {
+        Message ack;
+        ack.seq = m.seq;
+        if (registered_ && m.pid != pid_) {
+          // This connection already speaks for a process; adopting a second
+          // identity would strand the first budget on disconnect.
+          ack.type = MsgType::kError;
+          ack.status = static_cast<uint32_t>(StatusCode::kFailedPrecondition);
+          ack.text = "already registered on this connection";
+        } else {
+          auto pid = daemon_->ReattachProcess(m.text, m.pid, m.pages, this);
+          if (pid.ok()) {
+            pid_ = *pid;
+            registered_ = true;
+            ack.type = MsgType::kRegisterAck;
+            ack.pid = *pid;
+            ack.pages = daemon_->GetBudget(*pid).value_or(0);
+          } else {
+            ack.type = MsgType::kError;
+            ack.status = static_cast<uint32_t>(pid.status().code());
+            ack.text = pid.status().message();
+          }
+        }
+        channel_->Send(ack);
+        break;
+      }
       case MsgType::kStatsQuery: {
         // Allowed without registration: monitoring tools just connect and
         // ask (softmemctl).

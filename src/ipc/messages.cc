@@ -29,7 +29,7 @@ Result<Message> DecodeMessage(const uint8_t* data, size_t size) {
   }
   SOFTMEM_ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
   if (type < static_cast<uint8_t>(MsgType::kRegister) ||
-      type > static_cast<uint8_t>(MsgType::kStatsReply)) {
+      type > static_cast<uint8_t>(MsgType::kReattach)) {
     return InvalidArgumentError("unknown message type");
   }
   Message m;
@@ -72,6 +72,10 @@ const char* MsgTypeName(MsgType type) {
       return "stats_query";
     case MsgType::kStatsReply:
       return "stats_reply";
+    case MsgType::kHeartbeat:
+      return "heartbeat";
+    case MsgType::kReattach:
+      return "reattach";
   }
   return "?";
 }

@@ -30,6 +30,16 @@ enum class MsgType : uint8_t {
   kStatsQuery = 11,    // c->d: request a daemon statistics snapshot
   kStatsReply = 12,    // d->c: text = formatted stats, pages = free pages,
                        //       bytes = capacity in bytes
+  kHeartbeat = 13,     // c->d: lease refresh piggybacking the usage report —
+                       //       pages = soft pages, bytes = traditional bytes
+                       //       (no reply; any client message refreshes the
+                       //       lease, this one exists for idle clients)
+  kReattach = 14,      // c->d: re-registration after a daemon restart or a
+                       //       lease expiry: pid = prior process id (0 = none),
+                       //       pages = budget the client claims to hold,
+                       //       bytes = traditional bytes, text = process name.
+                       //       Reply is a kRegisterAck whose pages field is the
+                       //       budget the daemon accepted (may be lower).
 };
 
 struct Message {

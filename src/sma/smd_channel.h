@@ -35,6 +35,11 @@ class SmdChannel {
   // fresh numbers. `soft_pages`: committed soft pages. `traditional_bytes`:
   // the process's ordinary heap footprint.
   virtual void ReportUsage(size_t soft_pages, size_t traditional_bytes) = 0;
+
+  // False while the transport to the daemon is down (DaemonClient degraded
+  // mode). The SMA fast-denies budget requests instead of paying an RPC that
+  // cannot succeed. In-process channels are always connected.
+  virtual bool connected() const { return true; }
 };
 
 // Stand-alone mode: whatever budget the SMA was created with is all it gets.

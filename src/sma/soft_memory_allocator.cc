@@ -93,6 +93,7 @@ void SoftMemoryAllocator::InitTelemetry() {
     total_frees_ = &own_counters_.frees;
     budget_requests_ = &own_counters_.budget_requests;
     budget_request_failures_ = &own_counters_.budget_failures;
+    degraded_denials_ = &own_counters_.degraded_denials;
     reclaim_demands_ = &own_counters_.reclaim_demands;
     reclaimed_pages_ = &own_counters_.reclaimed_pages;
     reclaim_callbacks_ = &own_counters_.reclaim_callbacks;
@@ -125,6 +126,11 @@ void SoftMemoryAllocator::InitTelemetry() {
   budget_request_failures_ =
       counter("softmem_sma_budget_request_failures_total",
               "Budget RPCs denied or failed.", &own_counters_.budget_failures);
+  degraded_denials_ =
+      counter("softmem_sma_degraded_denials_total",
+              "Budget requests denied locally while the daemon channel was "
+              "down (no RPC attempted).",
+              &own_counters_.degraded_denials);
   reclaim_demands_ =
       counter("softmem_sma_reclaim_demands_total",
               "Reclamation demands executed.", &own_counters_.reclaim_demands);
@@ -1027,7 +1033,14 @@ Result<PageRun> SoftMemoryAllocator::AcquirePagesLocked(ContextId ctx_id,
     // that path is only reachable single-threaded.)
     Result<size_t> granted = injected.ok() ? Result<size_t>(size_t{0})
                                            : Result<size_t>(injected);
-    if (injected.ok()) {
+    if (injected.ok() && !channel_->connected()) {
+      // Degraded mode: the daemon transport is down. Deny locally instead of
+      // paying an RPC (and its timeout) that cannot succeed — the allocation
+      // still gets the full fallback ladder below (caches, self-reclaim).
+      degraded_denials_->Inc();
+      granted = DeniedError("soft memory daemon unreachable (degraded mode)");
+    }
+    if (granted.ok()) {
       const bool outermost = (mu_depth_ == 1);
       if (outermost) {
         mu_owner_.store(std::thread::id{}, std::memory_order_relaxed);
@@ -1330,6 +1343,7 @@ SmaStats SoftMemoryAllocator::GetStats() const {
   s.total_frees = total_frees_->Value();
   s.budget_requests = budget_requests_->Value();
   s.budget_request_failures = budget_request_failures_->Value();
+  s.degraded_denials = degraded_denials_->Value();
   s.reclaim_demands = reclaim_demands_->Value();
   s.reclaimed_pages = reclaimed_pages_->Value();
   s.reclaim_callbacks = reclaim_callbacks_->Value();

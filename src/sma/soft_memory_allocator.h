@@ -131,6 +131,7 @@ struct SmaStats {
   size_t total_frees = 0;
   size_t budget_requests = 0;        // round-trips to the SMD
   size_t budget_request_failures = 0;
+  size_t degraded_denials = 0;       // denied locally: daemon unreachable
   size_t reclaim_demands = 0;        // HandleReclaimDemand calls
   size_t reclaimed_pages = 0;        // pages relinquished to the daemon
   size_t reclaim_callbacks = 0;      // allocations dropped via callback
@@ -479,15 +480,16 @@ class SoftMemoryAllocator {
   // into own_counters_, keeping instances fully independent.
   struct CounterSet {
     telemetry::Counter allocs, frees, budget_requests, budget_failures,
-        reclaim_demands, reclaimed_pages, reclaim_callbacks, self_reclaims,
-        cache_revocations, cache_hits, cache_misses, pages_committed,
-        pages_decommitted;
+        degraded_denials, reclaim_demands, reclaimed_pages, reclaim_callbacks,
+        self_reclaims, cache_revocations, cache_hits, cache_misses,
+        pages_committed, pages_decommitted;
   };
   CounterSet own_counters_;
   telemetry::Counter* total_allocs_ = nullptr;
   telemetry::Counter* total_frees_ = nullptr;
   telemetry::Counter* budget_requests_ = nullptr;
   telemetry::Counter* budget_request_failures_ = nullptr;
+  telemetry::Counter* degraded_denials_ = nullptr;
   telemetry::Counter* reclaim_demands_ = nullptr;
   telemetry::Counter* reclaimed_pages_ = nullptr;
   telemetry::Counter* reclaim_callbacks_ = nullptr;

@@ -13,6 +13,7 @@ SoftMemoryDaemon::SoftMemoryDaemon(
     : options_(options),
       policy_(policy != nullptr ? std::move(policy)
                                 : std::make_unique<PaperWeightPolicy>()),
+      clock_(options.clock != nullptr ? options.clock : MonotonicClock::Get()),
       reclaim_journal_(options.reclaim_journal_capacity) {
   InitTelemetry();
 }
@@ -32,6 +33,8 @@ void SoftMemoryDaemon::InitTelemetry() {
     reclamations_ = &own_counters_.reclamations;
     reclaimed_pages_ = &own_counters_.reclaimed_pages;
     proactive_reclaims_ = &own_counters_.proactive;
+    lease_expirations_ = &own_counters_.lease_expirations;
+    reattaches_ = &own_counters_.reattaches;
     return;
   }
   const telemetry::Labels labels = {{"instance", options_.metrics_instance}};
@@ -60,6 +63,14 @@ void SoftMemoryDaemon::InitTelemetry() {
       counter("softmem_smd_proactive_reclaims_total",
               "Watermark-triggered reclamation passes.",
               &own_counters_.proactive);
+  lease_expirations_ =
+      counter("softmem_smd_lease_expirations_total",
+              "Processes reaped because their budget lease aged past the TTL.",
+              &own_counters_.lease_expirations);
+  reattaches_ =
+      counter("softmem_smd_reattaches_total",
+              "kReattach recoveries accepted after a restart or expiry.",
+              &own_counters_.reattaches);
   pass_duration_hist_ = reg->GetHistogram(
       "softmem_smd_reclaim_pass_duration_ns",
       "Latency of one machine-wide reclamation pass.",
@@ -68,6 +79,10 @@ void SoftMemoryDaemon::InitTelemetry() {
       "softmem_smd_reclaim_pass_pages",
       "Pages recovered per reclamation pass.",
       telemetry::Histogram::PageCountBounds(), labels);
+  lease_age_at_expiry_hist_ = reg->GetHistogram(
+      "softmem_smd_lease_age_at_expiry_ns",
+      "How stale a lease had grown when ExpireLeasesTick reaped it.",
+      telemetry::Histogram::LatencyBoundsNs(), labels);
   collector_id_ = reg->AddCollector(
       [this](std::vector<telemetry::Sample>* out) { CollectTelemetry(out); });
 }
@@ -120,6 +135,9 @@ void SoftMemoryDaemon::CollectTelemetry(
     proc_sample("softmem_smd_process_weight",
                 "Current reclamation weight (higher reclaims first).",
                 MetricKind::kGauge, p.weight);
+    proc_sample("softmem_smd_process_lease_age_ns",
+                "Time since this process last refreshed its budget lease.",
+                MetricKind::kGauge, static_cast<double>(p.lease_age_ns));
     proc_sample("softmem_smd_process_times_targeted_total",
                 "How often this process was selected as a reclamation target.",
                 MetricKind::kCounter, static_cast<double>(p.times_targeted));
@@ -137,7 +155,7 @@ void SoftMemoryDaemon::CollectTelemetry(
 
 Result<ProcessId> SoftMemoryDaemon::RegisterProcess(std::string name,
                                                     ReclaimSink* sink) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  DaemonLock lock(this);
   const ProcessId id = next_id_++;
   Process p;
   p.name = std::move(name);
@@ -146,6 +164,7 @@ Result<ProcessId> SoftMemoryDaemon::RegisterProcess(std::string name,
   const size_t grant =
       std::min(options_.initial_grant_pages, FreePagesLocked());
   p.budget_pages = grant;
+  p.last_seen = NowLocked();
   assigned_pages_ += grant;
   processes_.emplace(id, std::move(p));
   SOFTMEM_LOG(Info) << "smd: registered process " << id << " ('"
@@ -154,16 +173,96 @@ Result<ProcessId> SoftMemoryDaemon::RegisterProcess(std::string name,
   return id;
 }
 
-Status SoftMemoryDaemon::DeregisterProcess(ProcessId id) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+Status SoftMemoryDaemon::DeregisterProcess(ProcessId id,
+                                           ReclaimSink* expected_sink) {
+  DaemonLock lock(this);
   auto it = processes_.find(id);
   if (it == processes_.end()) {
     return NotFoundError("unknown process");
+  }
+  if (expected_sink != nullptr && it->second.sink != expected_sink) {
+    // The id was adopted by a reattaching successor after this caller's
+    // session went stale: removing it now would destroy the successor's
+    // budget. Treat the stale deregistration as already satisfied.
+    return Status::Ok();
   }
   assigned_pages_ -= it->second.budget_pages;
   processes_.erase(it);
   SOFTMEM_LOG(Info) << "smd: deregistered process " << id;
   return Status::Ok();
+}
+
+Result<ProcessId> SoftMemoryDaemon::ReattachProcess(std::string name,
+                                                    ProcessId prior_id,
+                                                    size_t claimed_budget_pages,
+                                                    ReclaimSink* sink) {
+  DaemonLock lock(this);
+  auto it = prior_id != 0 ? processes_.find(prior_id) : processes_.end();
+  if (it != processes_.end()) {
+    // Reattach racing expiry (entry still alive) or a duplicate kReattach:
+    // the ledger is authoritative. Adopt the entry — the stale session's
+    // eventual deregistration is deflected by the expected_sink guard.
+    Process& p = it->second;
+    p.name = std::move(name);
+    p.sink = sink;
+    p.last_seen = NowLocked();
+    reattaches_->Inc();
+    SOFTMEM_LOG(Info) << "smd: process " << prior_id
+                      << " reattached to live entry (budget "
+                      << p.budget_pages << " pages kept, claim of "
+                      << claimed_budget_pages << " ignored)";
+    return prior_id;
+  }
+  // The table lost this process (daemon restart, or its lease expired).
+  // Rebuild the entry from the client's claim, clamped to what the pool can
+  // actually cover — the caller reads the accepted budget back and shrinks.
+  const ProcessId id = prior_id != 0 ? prior_id : next_id_++;
+  // Never mint this id for someone else later (a restarted daemon's
+  // next_id_ restarts at 1; surviving clients carry higher prior ids).
+  next_id_ = std::max(next_id_, id + 1);
+  Process p;
+  p.name = std::move(name);
+  p.sink = sink;
+  p.cap_pages = options_.default_process_cap_pages;
+  const size_t accepted = std::min(claimed_budget_pages, FreePagesLocked());
+  p.budget_pages = accepted;
+  p.last_seen = NowLocked();
+  assigned_pages_ += accepted;
+  processes_.emplace(id, std::move(p));
+  reattaches_->Inc();
+  SOFTMEM_LOG(Info) << "smd: process " << id << " ('" << processes_[id].name
+                    << "') reattached, accepted " << accepted << " of "
+                    << claimed_budget_pages << " claimed pages";
+  return id;
+}
+
+size_t SoftMemoryDaemon::ExpireLeasesTick() {
+  DaemonLock lock(this);
+  if (options_.lease_ttl_ns <= 0) {
+    return 0;
+  }
+  const Nanos now = NowLocked();
+  size_t reaped = 0;
+  for (auto it = processes_.begin(); it != processes_.end();) {
+    Process& p = it->second;
+    const Nanos age = now - p.last_seen;
+    if (p.demand_in_flight || age <= options_.lease_ttl_ns) {
+      ++it;
+      continue;
+    }
+    assigned_pages_ -= p.budget_pages;
+    lease_expirations_->Inc();
+    if (lease_age_at_expiry_hist_ != nullptr && age > 0) {
+      lease_age_at_expiry_hist_->Observe(static_cast<uint64_t>(age));
+    }
+    SOFTMEM_LOG(Warning) << "smd: lease expired for process " << it->first
+                         << " ('" << p.name << "') after "
+                         << age / 1000000 << " ms; reclaimed "
+                         << p.budget_pages << " budget pages";
+    it = processes_.erase(it);
+    ++reaped;
+  }
+  return reaped;
 }
 
 double SoftMemoryDaemon::WeightLocked(const Process& p) const {
@@ -176,11 +275,12 @@ double SoftMemoryDaemon::WeightLocked(const Process& p) const {
 
 Result<size_t> SoftMemoryDaemon::HandleBudgetRequest(ProcessId id,
                                                      size_t pages) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  DaemonLock lock(this);
   auto it = processes_.find(id);
   if (it == processes_.end()) {
     return NotFoundError("unknown process");
   }
+  it->second.last_seen = NowLocked();
   if (pages == 0) {
     return InvalidArgumentError("zero-page request");
   }
@@ -204,6 +304,12 @@ Result<size_t> SoftMemoryDaemon::HandleBudgetRequest(ProcessId id,
     // Memory pressure: run a reclamation pass before deciding.
     const size_t need = pages - FreePagesLocked();
     ReclaimLocked(need, id);
+    // A sink may have re-entered the daemon and mutated the table (an
+    // in-process expiry tick, even this requester's own removal): re-find.
+    it = processes_.find(id);
+    if (it == processes_.end()) {
+      return NotFoundError("process vanished during reclamation");
+    }
   }
   if (FreePagesLocked() < pages) {
     // §3.3: if the page quota cannot be reached, the triggering request is
@@ -223,11 +329,12 @@ Result<size_t> SoftMemoryDaemon::HandleBudgetRequest(ProcessId id,
 }
 
 Status SoftMemoryDaemon::HandleBudgetRelease(ProcessId id, size_t pages) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  DaemonLock lock(this);
   auto it = processes_.find(id);
   if (it == processes_.end()) {
     return NotFoundError("unknown process");
   }
+  it->second.last_seen = NowLocked();
   const size_t give = std::min(pages, it->second.budget_pages);
   it->second.budget_pages -= give;
   assigned_pages_ -= give;
@@ -236,11 +343,12 @@ Status SoftMemoryDaemon::HandleBudgetRelease(ProcessId id, size_t pages) {
 
 Status SoftMemoryDaemon::HandleUsageReport(ProcessId id, size_t soft_pages,
                                            size_t traditional_bytes) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  DaemonLock lock(this);
   auto it = processes_.find(id);
   if (it == processes_.end()) {
     return NotFoundError("unknown process");
   }
+  it->second.last_seen = NowLocked();
   it->second.used_soft_pages = soft_pages;
   it->second.traditional_pages = PagesForBytes(traditional_bytes);
   return Status::Ok();
@@ -248,9 +356,8 @@ Status SoftMemoryDaemon::HandleUsageReport(ProcessId id, size_t soft_pages,
 
 size_t SoftMemoryDaemon::ReclaimLocked(size_t need, ProcessId requester,
                                        bool proactive) {
-  const Clock* clock = MonotonicClock::Get();
   telemetry::ReclaimPassTrace trace;
-  trace.start = clock->Now();
+  trace.start = NowLocked();
   trace.need_pages = need;
   trace.proactive = proactive;
   // Over-reclaim to amortize the cost of a pass over future requests (§4).
@@ -303,15 +410,34 @@ size_t SoftMemoryDaemon::ReclaimLocked(size_t need, ProcessId requester,
     if (recovered >= quota) {
       break;
     }
-    Process& p = processes_.at(pid);
-    const size_t demand = std::min(quota - recovered, p.budget_pages);
+    auto target = processes_.find(pid);
+    if (target == processes_.end()) {
+      // Erased by a re-entrant call (e.g. an in-process sink running the
+      // expiry tick) since the candidate list was built.
+      continue;
+    }
+    const size_t demand =
+        std::min(quota - recovered, target->second.budget_pages);
     if (demand == 0) {
       continue;
     }
     size_t got = 0;
-    if (p.sink != nullptr) {
-      got = p.sink->DemandReclaim(demand);
+    ReclaimSink* sink = target->second.sink;
+    if (sink != nullptr) {
+      // The sink is demonstrably alive while servicing this demand: spare it
+      // from a concurrent (re-entrant) expiry pass, and count a successful
+      // response as a lease refresh.
+      target->second.demand_in_flight = true;
+      got = sink->DemandReclaim(demand);
+      // DemandReclaim may re-enter the daemon and invalidate `target`.
+      target = processes_.find(pid);
+      if (target == processes_.end()) {
+        continue;
+      }
+      target->second.demand_in_flight = false;
+      target->second.last_seen = NowLocked();
     }
+    Process& p = target->second;
     got = std::min(got, p.budget_pages);  // a sink cannot give up more than
                                           // the ledger says it holds
     trace.targets.push_back(
@@ -332,7 +458,7 @@ size_t SoftMemoryDaemon::ReclaimLocked(size_t need, ProcessId requester,
     reclaimed_pages_->Inc(recovered);
   }
   trace.recovered_pages = recovered;
-  trace.total_ns = clock->Now() - trace.start;
+  trace.total_ns = NowLocked() - trace.start;
   reclaim_journal_.Append(trace);
   if (pass_duration_hist_ != nullptr) {
     pass_duration_hist_->Observe(static_cast<uint64_t>(trace.total_ns));
@@ -342,7 +468,7 @@ size_t SoftMemoryDaemon::ReclaimLocked(size_t need, ProcessId requester,
 }
 
 Status SoftMemoryDaemon::SetProcessCap(ProcessId id, size_t cap_pages) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  DaemonLock lock(this);
   auto it = processes_.find(id);
   if (it == processes_.end()) {
     return NotFoundError("unknown process");
@@ -352,7 +478,7 @@ Status SoftMemoryDaemon::SetProcessCap(ProcessId id, size_t cap_pages) {
 }
 
 size_t SoftMemoryDaemon::ProactiveReclaimTick() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  DaemonLock lock(this);
   if (options_.low_watermark_pages == 0 ||
       FreePagesLocked() >= options_.low_watermark_pages) {
     return 0;
@@ -368,7 +494,7 @@ size_t SoftMemoryDaemon::ProactiveReclaimTick() {
 }
 
 SmdStats SoftMemoryDaemon::GetStats() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  DaemonLock lock(this);
   SmdStats s;
   s.capacity_pages = options_.capacity_pages;
   s.assigned_pages = assigned_pages_;
@@ -379,6 +505,9 @@ SmdStats SoftMemoryDaemon::GetStats() const {
   s.reclamations = reclamations_->Value();
   s.reclaimed_pages = reclaimed_pages_->Value();
   s.proactive_reclaims = proactive_reclaims_->Value();
+  s.lease_expirations = lease_expirations_->Value();
+  s.reattaches = reattaches_->Value();
+  const Nanos now = NowLocked();
   for (const auto& [pid, p] : processes_) {
     SmdProcessStats ps;
     ps.id = pid;
@@ -391,13 +520,14 @@ SmdStats SoftMemoryDaemon::GetStats() const {
     ps.pages_reclaimed = p.pages_reclaimed;
     ps.requests_granted = p.requests_granted;
     ps.requests_denied = p.requests_denied;
+    ps.lease_age_ns = now > p.last_seen ? now - p.last_seen : 0;
     s.processes.push_back(std::move(ps));
   }
   return s;
 }
 
 Result<size_t> SoftMemoryDaemon::GetBudget(ProcessId id) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  DaemonLock lock(this);
   auto it = processes_.find(id);
   if (it == processes_.end()) {
     return NotFoundError("unknown process");
@@ -406,7 +536,7 @@ Result<size_t> SoftMemoryDaemon::GetBudget(ProcessId id) const {
 }
 
 size_t SoftMemoryDaemon::free_pages() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  DaemonLock lock(this);
   return FreePagesLocked();
 }
 

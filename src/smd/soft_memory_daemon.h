@@ -21,13 +21,16 @@
 #ifndef SOFTMEM_SRC_SMD_SOFT_MEMORY_DAEMON_H_
 #define SOFTMEM_SRC_SMD_SOFT_MEMORY_DAEMON_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/smd/weight_policy.h"
@@ -75,6 +78,20 @@ struct SmdOptions {
   // obvious extension; the amortization bench quantifies the benefit.)
   size_t low_watermark_pages = 0;
 
+  // Budget lease TTL. A registered process must refresh its lease within
+  // this window — any message it sends refreshes it; kHeartbeat exists so
+  // idle clients can — or the next ExpireLeasesTick() deregisters it and
+  // returns its budget to the free pool. A crashed client (or one wedged
+  // past usefulness) can therefore never strand budget for longer than one
+  // TTL plus one tick. 0 disables leases (budgets live until deregistration
+  // or transport EOF, the pre-lease behavior).
+  Nanos lease_ttl_ns = 0;
+
+  // Time source for lease bookkeeping and reclamation-pass traces. Null =
+  // the process-wide monotonic clock; tests inject a SimClock so expiry is
+  // a pure function of explicit Advance() calls, never of wall time.
+  const Clock* clock = nullptr;
+
   // Registry for this daemon's metric series (nullptr = private counters;
   // GetStats still works). See SmaOptions::metrics for the sharing caveat.
   telemetry::MetricsRegistry* metrics = nullptr;
@@ -96,6 +113,7 @@ struct SmdProcessStats {
   size_t pages_reclaimed = 0;     // total pages taken from this process
   size_t requests_granted = 0;
   size_t requests_denied = 0;
+  Nanos lease_age_ns = 0;  // time since the last lease refresh
 };
 
 struct SmdStats {
@@ -108,6 +126,8 @@ struct SmdStats {
   size_t reclamations = 0;        // passes that disturbed at least one process
   size_t reclaimed_pages = 0;
   size_t proactive_reclaims = 0;  // watermark-triggered passes
+  size_t lease_expirations = 0;   // processes reaped by ExpireLeasesTick
+  size_t reattaches = 0;          // kReattach recoveries accepted
   std::vector<SmdProcessStats> processes;
 };
 
@@ -131,7 +151,31 @@ class SoftMemoryDaemon {
   // Removes the process and returns its budget to the free pool. Used both
   // for orderly exits and when a transport detects a dead peer — the paper's
   // point is precisely that the *memory* outlives the requests.
-  Status DeregisterProcess(ProcessId id);
+  //
+  // `expected_sink` guards against stale sessions: when non-null, the entry
+  // is only removed if its current sink matches. A session whose identity
+  // was adopted by a reattaching successor (see ReattachProcess) then
+  // deregisters as a no-op instead of destroying the successor's budget.
+  Status DeregisterProcess(ProcessId id, ReclaimSink* expected_sink = nullptr);
+
+  // Crash recovery: a client re-presents its identity after the daemon
+  // restarted (table lost) or its lease expired (entry reaped). If
+  // `prior_id` still has a table entry, the daemon ledger is authoritative:
+  // the entry is adopted — sink replaced, lease refreshed, existing budget
+  // kept, the claim ignored. Otherwise a fresh entry is created under
+  // `prior_id` (or a new id when prior_id is 0 or already unusable) with the
+  // claimed budget restored, clamped to free capacity; the caller must read
+  // the accepted budget back via GetBudget and shrink to it if clamped.
+  Result<ProcessId> ReattachProcess(std::string name, ProcessId prior_id,
+                                    size_t claimed_budget_pages,
+                                    ReclaimSink* sink);
+
+  // Reaps every process whose lease aged past options.lease_ttl_ns,
+  // returning its budget to the free pool. Processes with a reclamation
+  // demand in flight are spared (they are demonstrably being serviced).
+  // Returns the number of processes reaped. No-op when leases are disabled.
+  // Call periodically (the softmemd main loop does).
+  size_t ExpireLeasesTick();
 
   // A process asks for `pages` more budget. Returns pages granted (the full
   // request) or kDenied if reclamation could not free enough (§3.3: partial
@@ -178,11 +222,52 @@ class SoftMemoryDaemon {
     size_t pages_reclaimed = 0;
     size_t requests_granted = 0;
     size_t requests_denied = 0;
+    Nanos last_seen = 0;            // lease refresh timestamp
+    bool demand_in_flight = false;  // mid-DemandReclaim: spare from expiry
+  };
+
+  // Scoped lock with same-thread re-entry: an in-process ReclaimSink runs
+  // under mu_ and may legitimately call back into the daemon (an SMA's
+  // reclamation reports fresh usage synchronously; lease tests expire from
+  // inside a demand). An owner check routes such re-entrant acquisitions to
+  // a depth counter instead of deadlocking — the one place the old
+  // recursive_mutex semantics survive, mirroring the SMA's CentralLock.
+  class DaemonLock {
+   public:
+    explicit DaemonLock(const SoftMemoryDaemon* d) : d_(d) {
+      if (d_->mu_owner_.load(std::memory_order_relaxed) ==
+          std::this_thread::get_id()) {
+        outermost_ = false;
+        ++d_->mu_depth_;
+      } else {
+        d_->mu_.lock();
+        d_->mu_owner_.store(std::this_thread::get_id(),
+                            std::memory_order_relaxed);
+        d_->mu_depth_ = 1;
+        outermost_ = true;
+      }
+    }
+    ~DaemonLock() {
+      if (outermost_) {
+        d_->mu_owner_.store(std::thread::id{}, std::memory_order_relaxed);
+        d_->mu_.unlock();
+      } else {
+        --d_->mu_depth_;
+      }
+    }
+    DaemonLock(const DaemonLock&) = delete;
+    DaemonLock& operator=(const DaemonLock&) = delete;
+
+   private:
+    const SoftMemoryDaemon* d_;
+    bool outermost_;
   };
 
   size_t FreePagesLocked() const {
     return options_.capacity_pages - assigned_pages_;
   }
+
+  Nanos NowLocked() const { return clock_->Now(); }
 
   double WeightLocked(const Process& p) const;
 
@@ -199,8 +284,13 @@ class SoftMemoryDaemon {
 
   const SmdOptions options_;
   std::unique_ptr<ReclamationWeightPolicy> policy_;
+  const Clock* clock_;  // options_.clock or the process monotonic clock
 
-  mutable std::recursive_mutex mu_;
+  // Plain mutex; mu_owner_/mu_depth_ implement the same-thread re-entry
+  // path (see DaemonLock). mu_depth_ is only touched by the owning thread.
+  mutable std::mutex mu_;
+  mutable std::atomic<std::thread::id> mu_owner_{};
+  mutable int mu_depth_ = 0;
   std::map<ProcessId, Process> processes_;
   ProcessId next_id_ = 1;
   size_t assigned_pages_ = 0;
@@ -210,7 +300,7 @@ class SoftMemoryDaemon {
   // either way.
   struct CounterSet {
     telemetry::Counter requests, granted, denied, reclamations,
-        reclaimed_pages, proactive;
+        reclaimed_pages, proactive, lease_expirations, reattaches;
   };
   CounterSet own_counters_;
   telemetry::Counter* total_requests_ = nullptr;
@@ -219,9 +309,12 @@ class SoftMemoryDaemon {
   telemetry::Counter* reclamations_ = nullptr;
   telemetry::Counter* reclaimed_pages_ = nullptr;
   telemetry::Counter* proactive_reclaims_ = nullptr;
+  telemetry::Counter* lease_expirations_ = nullptr;
+  telemetry::Counter* reattaches_ = nullptr;
 
   telemetry::Histogram* pass_duration_hist_ = nullptr;
   telemetry::Histogram* pass_pages_hist_ = nullptr;
+  telemetry::Histogram* lease_age_at_expiry_hist_ = nullptr;
 
   telemetry::SmdReclaimJournal reclaim_journal_;
   uint64_t collector_id_ = 0;

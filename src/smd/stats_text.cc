@@ -16,7 +16,9 @@ std::string FormatSmdStats(const SmdStats& s) {
      << " granted, " << s.denied_requests << " denied)\n"
      << "  reclamations: " << s.reclamations << " passes ("
      << s.proactive_reclaims << " proactive), "
-     << FormatBytes(s.reclaimed_pages * kPageSize) << " moved\n";
+     << FormatBytes(s.reclaimed_pages * kPageSize) << " moved\n"
+     << "  liveness: " << s.lease_expirations << " leases expired, "
+     << s.reattaches << " reattaches\n";
   for (const auto& p : s.processes) {
     os << "  [" << p.id << "] " << std::left << std::setw(16) << p.name
        << " budget " << std::setw(10)

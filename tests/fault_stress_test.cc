@@ -28,6 +28,8 @@
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/ipc/channel.h"
+#include "src/ipc/daemon_client.h"
+#include "src/ipc/daemon_server.h"
 #include "src/sds/sds.h"
 #include "src/sma/soft_memory_allocator.h"
 #include "src/smd/soft_memory_daemon.h"
@@ -770,6 +772,169 @@ TEST(SiteTest, IpcRecvTimeoutInjectedDespitePendingData) {
   auto got = b->Recv(1000);  // message was never consumed
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(got->seq, 7u);
+  fail::Registry().DisarmAll();
+}
+
+// ---- Degraded mode under a seeded fault schedule --------------------------
+
+// Polls an observable predicate (another thread advances the state); the
+// deadline only bounds a broken run — this is not a sleep-for-ordering.
+bool PollUntil(const std::function<bool()>& pred, int timeout_ms = 10000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return pred();
+    }
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+// A real DaemonClient against a real DaemonServer over in-process channel
+// pairs, with the transport killed at seeded points (ipc.send.fail) and the
+// redial gate opened and closed by the schedule. Each round must show the
+// full degraded-mode contract: requests denied *locally* (no rpc-timeout
+// blocking), the SMA fast-denying without touching the wire, local frees
+// still honoured, then reconnect + kReattach converging both ledgers.
+TEST(DegradedMode, SeededKillReconnectScheduleConverges) {
+  fail::Registry().DisarmAll();
+  const uint64_t seed = fail::SeedFromEnv(kBaseSeed + 0xDE6);
+  SCOPED_TRACE("degraded schedule seed " + std::to_string(seed) +
+               " — replay with SOFTMEM_FAULT_SEED=" + std::to_string(seed));
+  fail::Registry().Seed(seed);
+  Rng rng(seed ^ 0xDE66ADEDULL);
+
+  SmdOptions so;
+  so.capacity_pages = 512;
+  so.initial_grant_pages = 32;
+  so.over_reclaim_factor = 0.0;
+  SoftMemoryDaemon daemon(so);
+  DaemonServer server(&daemon);
+
+  // The factory is the "is softmemd back up yet" gate.
+  std::atomic<bool> dialable{true};
+  ChannelFactory factory =
+      [&]() -> Result<std::unique_ptr<MessageChannel>> {
+    if (!dialable.load()) {
+      return UnavailableError("daemon down (schedule)");
+    }
+    auto [client_end, server_end] = CreateLocalChannelPair();
+    server.AddClient(std::move(server_end));
+    return std::move(client_end);
+  };
+
+  DaemonClientOptions copts;
+  copts.rpc_timeout_ms = 5000;
+  copts.heartbeat_interval_ms = 0;  // no poller: the schedule drives time
+  auto made = DaemonClient::Connect(factory, "degraded-stress", copts);
+  ASSERT_TRUE(made.ok()) << made.status();
+  DaemonClient* client = made->get();
+
+  SmaOptions o;
+  o.region_pages = 4096;
+  o.initial_budget_pages = client->initial_budget_pages();
+  o.budget_chunk_pages = 8;
+  o.heap_retain_empty_pages = 1;
+  o.use_mmap = false;
+  auto sma_r = SoftMemoryAllocator::Create(o, client);
+  ASSERT_TRUE(sma_r.ok());
+  SoftMemoryAllocator* sma = sma_r->get();
+  (*made)->AttachAllocator(sma);
+
+  ft::ShadowHeap shadow;
+  std::vector<void*> live;
+  const auto churn = [&](size_t ops) {
+    for (size_t i = 0; i < ops; ++i) {
+      if (rng.NextBool(0.6) || live.empty()) {
+        const size_t size = 1 + rng.NextBounded(2048);
+        void* p = sma->SoftMalloc(size);
+        if (p != nullptr) {
+          const uint64_t pat = rng.NextU64() | 1;
+          ft::FillPattern(p, size, pat);
+          ASSERT_TRUE(shadow.OnAlloc(p, size, 0, pat).ok());
+          live.push_back(p);
+        }
+      } else {
+        const size_t idx = rng.NextBounded(live.size());
+        void* p = live[idx];
+        live.erase(live.begin() + static_cast<ptrdiff_t>(idx));
+        sma->SoftFree(p);
+        ASSERT_TRUE(shadow.OnFree(p).ok());
+      }
+    }
+  };
+
+  const int rounds = 3 + static_cast<int>(rng.NextBounded(3));
+  for (int round = 0; round < rounds; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    churn(20 + rng.NextBounded(40));
+    ASSERT_TRUE(ft::CheckSmaInvariants(sma, shadow).ok());
+
+    // Kill the transport at a seeded point: the next wire op fails.
+    {
+      fail::FailSpec nic_down;
+      nic_down.code = StatusCode::kUnavailable;
+      nic_down.max_fires = 1;
+      fail::ScopedFailpoint fp("ipc.send.fail", nic_down);
+      auto r = client->RequestBudget(1 + rng.NextBounded(4));
+      ASSERT_FALSE(r.ok());
+    }
+    ASSERT_TRUE(client->degraded());
+
+    // Degraded contract: denial is local and immediate, far under the 5s
+    // rpc timeout; the SMA fast-denies growth without touching the wire;
+    // frees keep working.
+    dialable.store(false);
+    const size_t denials_before = sma->GetStats().degraded_denials;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto denied = client->RequestBudget(8);
+    EXPECT_FALSE(denied.ok());
+    EXPECT_EQ(denied.status().code(), StatusCode::kDenied);
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count(),
+              1000);
+    EXPECT_EQ(sma->SoftMalloc(64 * kPageSize), nullptr);
+    EXPECT_GT(sma->GetStats().degraded_denials, denials_before);
+    churn(10 + rng.NextBounded(20));  // pool-local traffic still flows
+    ASSERT_TRUE(ft::CheckSmaInvariants(sma, shadow).ok());
+
+    // Redial while the daemon is still down: must fail, stay degraded.
+    EXPECT_FALSE(client->TryReconnectNow().ok());
+    EXPECT_TRUE(client->degraded());
+
+    // Daemon back: reconnect replays identity + budget via kReattach.
+    dialable.store(true);
+    ASSERT_TRUE(client->TryReconnectNow().ok());
+    EXPECT_FALSE(client->degraded());
+    EXPECT_EQ(client->reconnects(), static_cast<size_t>(round + 1));
+
+    // Both ledgers converge: the daemon's record of our budget equals the
+    // client's, and a fresh grant/release round-trip works.
+    auto budget = daemon.GetBudget(client->process_id());
+    ASSERT_TRUE(budget.ok()) << budget.status();
+    EXPECT_EQ(*budget, client->ledger_budget_pages());
+    auto grant = client->RequestBudget(4);
+    ASSERT_TRUE(grant.ok()) << grant.status();
+    client->ReleaseBudget(4);
+    ASSERT_TRUE(PollUntil([&] {
+      auto b = daemon.GetBudget(client->process_id());
+      return b.ok() && *b == client->ledger_budget_pages();
+    }));
+    ASSERT_TRUE(ft::CheckSmaInvariants(sma, shadow).ok());
+  }
+
+  // Drain and verify the usual exact balances survived all the flapping.
+  while (!live.empty()) {
+    void* p = live.back();
+    live.pop_back();
+    sma->SoftFree(p);
+    ASSERT_TRUE(shadow.OnFree(p).ok());
+  }
+  ASSERT_TRUE(ft::CheckSmaInvariants(sma, shadow).ok());
+  EXPECT_EQ(sma->GetStats().live_allocations, 0u);
+  server.Stop();
   fail::Registry().DisarmAll();
 }
 

@@ -158,6 +158,71 @@ TEST_F(RobustnessTest, ManyChurningConnections) {
   EXPECT_EQ(daemon_->free_pages(), 256u);
 }
 
+// ---- Abrupt-close budget-leak regressions ----------------------------------
+// A client that vanishes without kGoodbye must always be deregistered and
+// its budget returned. The nasty case is kRegister racing EOF: the reader
+// used to queue the kRegister, see EOF, and stop — then the worker drained
+// the queue and registered a *dead* client that nothing would ever
+// deregister, permanently stranding the initial grant.
+
+TEST_F(RobustnessTest, AbruptCloseAfterGrantReturnsBudget) {
+  {
+    auto channel = Connect();
+    Message reg;
+    reg.type = MsgType::kRegister;
+    reg.seq = 1;
+    reg.text = "doomed";
+    ASSERT_TRUE(channel->Send(reg).ok());
+    auto ack = channel->Recv(2000);
+    ASSERT_TRUE(ack.ok());
+    ASSERT_EQ(ack->type, MsgType::kRegisterAck);
+    Message want;
+    want.type = MsgType::kRequestBudget;
+    want.seq = 2;
+    want.pages = 64;
+    ASSERT_TRUE(channel->Send(want).ok());
+    auto grant = channel->Recv(2000);
+    ASSERT_TRUE(grant.ok());
+    ASSERT_EQ(grant->status_code(), StatusCode::kOk);
+    ASSERT_EQ(daemon_->free_pages(), 256u - 32u - 64u);
+    // Channel destructor closes the socket: no kGoodbye, just EOF.
+  }
+  for (int i = 0; i < 500 && daemon_->free_pages() != 256u; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(daemon_->free_pages(), 256u);
+  EXPECT_TRUE(daemon_->GetStats().processes.empty());
+}
+
+TEST_F(RobustnessTest, RegisterRacingEofNeverStrandsTheInitialGrant) {
+  // Fire kRegister and slam the connection shut before the ack can even be
+  // read, many times. Depending on scheduling the session worker either
+  // never registers (it observed the reader stopping first) or registers
+  // and then deregisters on its own exit path — both must leave the ledger
+  // empty. Before the exit-path fix this stranded 32 pages per round and
+  // the pool drained to nothing within eight rounds.
+  for (int round = 0; round < 40; ++round) {
+    auto channel = Connect();
+    Message reg;
+    reg.type = MsgType::kRegister;
+    reg.seq = 1;
+    reg.text = "flash";
+    ASSERT_TRUE(channel->Send(reg).ok());
+    channel.reset();  // immediate EOF, ack unread
+  }
+  for (int i = 0; i < 500; ++i) {
+    const SmdStats s = daemon_->GetStats();
+    if (s.processes.empty() && s.free_pages == 256u) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const SmdStats s = daemon_->GetStats();
+  EXPECT_TRUE(s.processes.empty())
+      << s.processes.size() << " dead clients left registered";
+  EXPECT_EQ(s.free_pages, 256u) << "initial grants stranded by the EOF race";
+}
+
 // ---- Signal interruption (EINTR) regression --------------------------------
 // poll()/recv()/send() return EINTR when a signal lands without SA_RESTART;
 // the transport must retry instead of surfacing a spurious kUnavailable.

@@ -1,0 +1,223 @@
+#include "tests/process_harness.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sched.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+namespace softmem {
+namespace testing {
+
+namespace {
+
+// Full read of `n` bytes with a poll() deadline; false on timeout/EOF.
+bool ReadFully(int fd, void* buf, size_t n, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - std::chrono::steady_clock::now())
+                          .count();
+    if (left <= 0) {
+      return false;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, static_cast<int>(left));
+    if (pr < 0 && errno == EINTR) {
+      continue;
+    }
+    if (pr <= 0) {
+      return false;
+    }
+    const ssize_t r = ::read(fd, p + done, n - done);
+    if (r < 0 && errno == EINTR) {
+      continue;
+    }
+    if (r <= 0) {
+      return false;  // EOF: peer died
+    }
+    done += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+bool WriteFully(int fd, const void* buf, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, p + done, n - done);
+    if (w < 0 && errno == EINTR) {
+      continue;
+    }
+    if (w <= 0) {
+      return false;
+    }
+    done += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+char ChildIo::WaitCommand() {
+  char c = '\0';
+  for (;;) {
+    const ssize_t r = ::read(cmd_rd_, &c, 1);
+    if (r < 0 && errno == EINTR) {
+      continue;
+    }
+    return r == 1 ? c : '\0';
+  }
+}
+
+void ChildIo::SendStatus(char c) {
+  if (!WriteFully(status_wr_, &c, 1)) {
+    ::_Exit(14);  // parent gone; nothing left to report to
+  }
+}
+
+void ChildIo::SendU64(uint64_t v) {
+  uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+  if (!WriteFully(status_wr_, buf, sizeof(buf))) {
+    ::_Exit(14);
+  }
+}
+
+ChildProcess ChildProcess::Spawn(const std::function<int(ChildIo&)>& body) {
+  int cmd[2] = {-1, -1};     // parent writes -> child reads
+  int status[2] = {-1, -1};  // child writes -> parent reads
+  if (::pipe(cmd) != 0 || ::pipe(status) != 0) {
+    std::perror("pipe");
+    std::abort();
+  }
+  // A child whose parent vanished must see EOF, not a stuck write.
+  ::signal(SIGPIPE, SIG_IGN);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::abort();
+  }
+  if (pid == 0) {
+    // Child: keep only our ends.
+    ::close(cmd[1]);
+    ::close(status[0]);
+    ChildIo io(cmd[0], status[1]);
+    const int rc = body(io);
+    ::_Exit(rc);
+  }
+  ::close(cmd[0]);
+  ::close(status[1]);
+  ChildProcess cp;
+  cp.pid_ = pid;
+  cp.cmd_wr_ = cmd[1];
+  cp.status_rd_ = status[0];
+  return cp;
+}
+
+ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
+  if (this != &other) {
+    this->~ChildProcess();
+    pid_ = other.pid_;
+    cmd_wr_ = other.cmd_wr_;
+    status_rd_ = other.status_rd_;
+    reaped_ = other.reaped_;
+    wait_status_ = other.wait_status_;
+    other.pid_ = -1;
+    other.cmd_wr_ = other.status_rd_ = -1;
+    other.reaped_ = true;
+  }
+  return *this;
+}
+
+ChildProcess::~ChildProcess() {
+  if (pid_ > 0 && !reaped_) {
+    ::kill(pid_, SIGKILL);
+    Wait();
+  }
+  if (cmd_wr_ >= 0) {
+    ::close(cmd_wr_);
+  }
+  if (status_rd_ >= 0) {
+    ::close(status_rd_);
+  }
+}
+
+bool ChildProcess::SendCommand(char c) {
+  return WriteFully(cmd_wr_, &c, 1);
+}
+
+char ChildProcess::WaitStatus(int timeout_ms) {
+  char c = '\0';
+  return ReadFully(status_rd_, &c, 1, timeout_ms) ? c : '\0';
+}
+
+uint64_t ChildProcess::WaitU64(int timeout_ms) {
+  uint8_t buf[8];
+  if (!ReadFully(status_rd_, buf, sizeof(buf), timeout_ms)) {
+    return UINT64_MAX;
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+  }
+  return v;
+}
+
+void ChildProcess::Kill(int signo) {
+  if (pid_ > 0 && !reaped_) {
+    ::kill(pid_, signo);
+  }
+}
+
+int ChildProcess::Wait() {
+  if (reaped_ || pid_ <= 0) {
+    return wait_status_;
+  }
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid_, &status, 0);
+    if (r < 0 && errno == EINTR) {
+      continue;
+    }
+    break;
+  }
+  reaped_ = true;
+  wait_status_ = status;
+  return status;
+}
+
+bool ChildProcess::ExitedCleanly() {
+  const int status = Wait();
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+bool WaitUntil(const std::function<bool()>& pred, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return pred();
+    }
+    ::sched_yield();
+  }
+  return true;
+}
+
+std::string TestSocketPath(const std::string& tag) {
+  return "/tmp/softmem_" + tag + "_" + std::to_string(::getpid()) + ".sock";
+}
+
+}  // namespace testing
+}  // namespace softmem

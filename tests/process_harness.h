@@ -1,0 +1,126 @@
+// Multi-process crash-test harness.
+//
+// Forks *real* child processes (each with its own SoftMemoryAllocator and
+// DaemonClient over a real Unix socket) and drives them from the test via a
+// pair of pipes — one command byte stream parent->child, one status stream
+// child->parent. Children can then be SIGKILLed at a protocol point the
+// parent chose, which is the only honest way to test crash recovery: an
+// in-process "simulated crash" cannot reproduce the kernel closing the
+// socket mid-message or the loss of every in-flight thread.
+//
+// Synchronization discipline (the acceptance bar for the crash suite): there
+// are NO sleeps standing in for ordering. Every wait is either
+//   * a blocking pipe read (an event the peer explicitly produced),
+//   * WaitUntil() on an observable predicate (daemon ledger state reached),
+//   * or a deterministic SimClock advance on the daemon side.
+// Timeouts exist only as failure deadlines so a broken test run dies loudly
+// instead of hanging CI.
+//
+// Fork safety: Spawn() must be called while the calling process has no
+// threads of its own (gtest's main thread only). Tests therefore fork every
+// child *first* and start in-parent daemon/server threads afterwards;
+// children park on WaitCommand() until the parent is ready. Under TSan run
+// with TSAN_OPTIONS=die_after_fork=0 (scripts/check.sh does).
+
+#ifndef SOFTMEM_TESTS_PROCESS_HARNESS_H_
+#define SOFTMEM_TESTS_PROCESS_HARNESS_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+namespace softmem {
+namespace testing {
+
+// Child-side pipe endpoints, handed to the child body by Spawn().
+class ChildIo {
+ public:
+  ChildIo(int cmd_rd, int status_wr) : cmd_rd_(cmd_rd), status_wr_(status_wr) {}
+
+  // Blocks until the parent sends a command byte. Returns '\0' when the
+  // parent died or closed the pipe — children treat that as "exit now".
+  char WaitCommand();
+
+  // Child->parent notifications. Aborts the child on a broken pipe.
+  void SendStatus(char c);
+  void SendU64(uint64_t v);
+
+ private:
+  int cmd_rd_;
+  int status_wr_;
+};
+
+// Parent-side handle to one forked child.
+class ChildProcess {
+ public:
+  // Forks; `body` runs in the child with its pipe endpoints and NEVER
+  // returns into the test runner — the harness _exit()s with body's return
+  // value (so gtest teardown, LSan, and coverage of the parent are not
+  // duplicated in the child). Call only while the parent is single-threaded.
+  static ChildProcess Spawn(const std::function<int(ChildIo&)>& body);
+
+  ChildProcess() = default;
+  ~ChildProcess();  // SIGKILLs + reaps a child the test forgot about
+
+  ChildProcess(ChildProcess&& other) noexcept { *this = std::move(other); }
+  ChildProcess& operator=(ChildProcess&& other) noexcept;
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+
+  pid_t pid() const { return pid_; }
+
+  // Sends one command byte; false if the child is gone.
+  bool SendCommand(char c);
+
+  // Blocks (poll) for the next status byte; '\0' on timeout or child death.
+  char WaitStatus(int timeout_ms = 30000);
+
+  // Reads an 8-byte little-endian value the child sent with SendU64;
+  // UINT64_MAX on timeout or child death.
+  uint64_t WaitU64(int timeout_ms = 30000);
+
+  // The crash under test.
+  void Kill(int signo);
+
+  // waitpid(); returns the raw wait status (or the cached one if already
+  // reaped). ExitedCleanly is the common assertion wrapper.
+  int Wait();
+  bool ExitedCleanly();
+
+ private:
+  pid_t pid_ = -1;
+  int cmd_wr_ = -1;
+  int status_rd_ = -1;
+  bool reaped_ = false;
+  int wait_status_ = 0;
+};
+
+// Polls `pred` (sched_yield between probes) until it holds or `timeout_ms`
+// elapses. The predicate observes state another process/thread advances, so
+// this is event synchronization with a failure deadline — not a sleep.
+bool WaitUntil(const std::function<bool()>& pred, int timeout_ms = 30000);
+
+// Unique /tmp socket path for this test run.
+std::string TestSocketPath(const std::string& tag);
+
+}  // namespace testing
+}  // namespace softmem
+
+// Child-side assertion: gtest ASSERTs cannot cross the fork, so children
+// report fatal state by exiting nonzero (the parent's Wait()/ExitedCleanly
+// sees it) after naming the failed condition on stderr.
+#define SOFTMEM_CHILD_CHECK(cond)                                       \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "child check failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #cond);                          \
+      std::fflush(stderr);                                              \
+      ::_Exit(13);                                                      \
+    }                                                                   \
+  } while (0)
+
+#endif  // SOFTMEM_TESTS_PROCESS_HARNESS_H_

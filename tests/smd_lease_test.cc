@@ -1,0 +1,285 @@
+// Lease-expiry edge cases for the SMD control plane, driven entirely by an
+// injected SimClock (expiry is a pure function of Advance()/Set(), never of
+// wall time) and the deterministic failpoint registry. The multi-process
+// proof lives in crash_recovery_test; these pin down the corners that are
+// awkward to hit through real sockets: re-entrant expiry during an in-flight
+// reclamation, reattach racing expiry, duplicate reattaches, stale-session
+// deregistration, and clock skew.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/smd/soft_memory_daemon.h"
+#include "src/testing/failpoint.h"
+
+namespace softmem {
+namespace {
+
+constexpr Nanos kTtl = 100 * kNanosPerMilli;
+
+SmdOptions LeaseOptions(const Clock* clock) {
+  SmdOptions o;
+  o.capacity_pages = 256;
+  o.initial_grant_pages = 0;
+  o.over_reclaim_factor = 0.0;
+  o.lease_ttl_ns = kTtl;
+  o.clock = clock;
+  return o;
+}
+
+class StubSink : public ReclaimSink {
+ public:
+  explicit StubSink(size_t give = 0) : give_(give) {}
+  size_t DemandReclaim(size_t pages) override {
+    ++demands_;
+    return give_ < pages ? give_ : pages;
+  }
+  size_t demands() const { return demands_; }
+
+ private:
+  size_t give_;
+  size_t demands_ = 0;
+};
+
+TEST(SmdLease, SilentProcessExpiresAfterTtlAndBudgetReturns) {
+  SimClock clock;
+  SoftMemoryDaemon d(LeaseOptions(&clock));
+  StubSink sink;
+  auto id = d.RegisterProcess("quiet", &sink);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(d.HandleBudgetRequest(*id, 64).ok());
+  EXPECT_EQ(d.free_pages(), 256u - 64u);
+
+  // One nanosecond short of the strict `age > ttl` bound: still alive.
+  clock.Advance(kTtl);
+  EXPECT_EQ(d.ExpireLeasesTick(), 0u);
+
+  clock.Advance(1);
+  EXPECT_EQ(d.ExpireLeasesTick(), 1u);
+  EXPECT_EQ(d.free_pages(), 256u);
+  EXPECT_TRUE(d.GetStats().processes.empty());
+  EXPECT_EQ(d.GetStats().lease_expirations, 1u);
+  EXPECT_EQ(d.ExpireLeasesTick(), 0u);  // idempotent
+}
+
+TEST(SmdLease, AnyMessageRefreshesTheLease) {
+  SimClock clock;
+  SoftMemoryDaemon d(LeaseOptions(&clock));
+  auto id = d.RegisterProcess("chatty", nullptr);
+  ASSERT_TRUE(id.ok());
+
+  // Keep talking at 80ms intervals — each handler refreshes last_seen, so
+  // total elapsed time far beyond the TTL never expires us.
+  for (int i = 0; i < 5; ++i) {
+    clock.Advance(80 * kNanosPerMilli);
+    ASSERT_TRUE(d.HandleUsageReport(*id, 10, 1 << 20).ok());
+    EXPECT_EQ(d.ExpireLeasesTick(), 0u);
+  }
+  EXPECT_EQ(d.GetStats().processes.size(), 1u);
+}
+
+TEST(SmdLease, DeniedRequestStillRefreshesLease) {
+  // A request that the daemon *denies* (forced via the failpoint registry)
+  // is still proof of life — the lease refresh must happen on entry, not
+  // only on the grant path.
+  SimClock clock;
+  SoftMemoryDaemon d(LeaseOptions(&clock));
+  auto id = d.RegisterProcess("denied", nullptr);
+  ASSERT_TRUE(id.ok());
+
+  fail::FailSpec spec;
+  spec.code = StatusCode::kDenied;
+  fail::ScopedFailpoint fp("smd.grant.deny", spec);
+  clock.Advance(80 * kNanosPerMilli);
+  EXPECT_FALSE(d.HandleBudgetRequest(*id, 16).ok());
+  clock.Advance(80 * kNanosPerMilli);  // 160ms since register, 80 since deny
+  EXPECT_EQ(d.ExpireLeasesTick(), 0u);
+  EXPECT_EQ(d.GetStats().processes.size(), 1u);
+}
+
+TEST(SmdLease, InFlightReclaimDemandSparesTheTarget) {
+  // The nasty interleaving: a holder's heartbeat is delayed past the TTL
+  // *while* the daemon is mid-DemandReclaim against it (slow reclamation).
+  // An expiry tick running concurrently (here: re-entrantly from inside the
+  // sink, which the DaemonLock's owner check permits) must spare the target
+  // — it is demonstrably alive, and reaping it would corrupt the pass's
+  // bookkeeping.
+  SimClock clock;
+  SoftMemoryDaemon d(LeaseOptions(&clock));
+
+  struct ExpiringSink : ReclaimSink {
+    SoftMemoryDaemon* d = nullptr;
+    SimClock* clock = nullptr;
+    size_t reaped_during_demand = 0;
+    size_t DemandReclaim(size_t pages) override {
+      clock->Advance(kTtl + kNanosPerMilli);  // the delayed heartbeat
+      reaped_during_demand = d->ExpireLeasesTick();
+      return pages;
+    }
+  };
+  ExpiringSink holder_sink;
+  holder_sink.d = &d;
+  holder_sink.clock = &clock;
+
+  auto holder = d.RegisterProcess("holder", &holder_sink);
+  ASSERT_TRUE(holder.ok());
+  ASSERT_TRUE(d.HandleBudgetRequest(*holder, 200).ok());
+  ASSERT_TRUE(d.HandleUsageReport(*holder, 200, 0).ok());
+
+  auto asker = d.RegisterProcess("asker", nullptr);
+  ASSERT_TRUE(asker.ok());
+
+  // 200 of 256 assigned: this request forces reclamation from the holder.
+  // The re-entrant tick fires after the clock jumped past every TTL. The
+  // holder is mid-demand (spared); the *asker* aged out — its lease was
+  // refreshed on entry to HandleBudgetRequest, before the jump — so it is
+  // reaped out from under its own in-flight request, which must then come
+  // back NotFound rather than granting budget to a ghost.
+  auto got = d.HandleBudgetRequest(*asker, 100);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound) << got.status();
+
+  EXPECT_EQ(holder_sink.reaped_during_demand, 1u);
+  const SmdStats stats = d.GetStats();
+  ASSERT_EQ(stats.processes.size(), 1u);
+  EXPECT_EQ(stats.processes[0].name, "holder");
+  // The reclaimed pages went to the free pool; the vanished asker's grant
+  // was never applied, so nothing leaked: holder 156 + free 100 = 256.
+  auto holder_budget = d.GetBudget(*holder);
+  ASSERT_TRUE(holder_budget.ok());
+  EXPECT_EQ(*holder_budget, 156u);
+  EXPECT_EQ(d.free_pages(), 100u);
+  // The demand also counts as contact: the holder's lease was refreshed
+  // when the pass completed, so it survives the next tick too.
+  EXPECT_EQ(d.ExpireLeasesTick(), 0u);
+}
+
+TEST(SmdLease, ReattachBeforeExpiryAdoptsLiveEntry) {
+  // Reattach racing expiry, reattach-first ordering: the entry still exists,
+  // so the daemon ledger is authoritative — budget kept, claim ignored,
+  // lease refreshed, sink replaced.
+  SimClock clock;
+  SoftMemoryDaemon d(LeaseOptions(&clock));
+  StubSink old_sink, new_sink;
+  auto id = d.RegisterProcess("racer", &old_sink);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(d.HandleBudgetRequest(*id, 64).ok());
+
+  clock.Advance(kTtl - kNanosPerMilli);  // aged but not expired
+  auto re = d.ReattachProcess("racer", *id, /*claimed_budget_pages=*/999,
+                              &new_sink);
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(*re, *id);
+  auto budget = d.GetBudget(*id);
+  ASSERT_TRUE(budget.ok());
+  EXPECT_EQ(*budget, 64u) << "adoption must keep the ledger, not the claim";
+  EXPECT_EQ(d.GetStats().reattaches, 1u);
+
+  // The reattach refreshed the lease: another near-TTL advance is survived.
+  clock.Advance(kTtl - kNanosPerMilli);
+  EXPECT_EQ(d.ExpireLeasesTick(), 0u);
+
+  // The *old* session's teardown must not destroy the adopted entry.
+  EXPECT_TRUE(d.DeregisterProcess(*id, &old_sink).ok());
+  EXPECT_EQ(d.GetStats().processes.size(), 1u) << "stale dereg must be a no-op";
+  EXPECT_TRUE(d.DeregisterProcess(*id, &new_sink).ok());
+  EXPECT_TRUE(d.GetStats().processes.empty());
+}
+
+TEST(SmdLease, ReattachAfterExpiryRestoresClaimClampedToCapacity) {
+  // Expiry-first ordering of the same race: the entry was reaped, so the
+  // client's ledger is the only record — restore it, clamped to free pages.
+  SimClock clock;
+  SmdOptions o = LeaseOptions(&clock);
+  SoftMemoryDaemon d(o);
+  StubSink sink;
+  auto id = d.RegisterProcess("phoenix", &sink);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(d.HandleBudgetRequest(*id, 64).ok());
+  clock.Advance(kTtl + kNanosPerMilli);
+  ASSERT_EQ(d.ExpireLeasesTick(), 1u);
+
+  // Someone else takes most of the pool before the phoenix returns.
+  auto other = d.RegisterProcess("other", nullptr);
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(d.HandleBudgetRequest(*other, 200).ok());
+
+  auto re = d.ReattachProcess("phoenix", *id, /*claimed_budget_pages=*/64,
+                              &sink);
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(*re, *id) << "prior id is free again, so it is reused";
+  auto budget = d.GetBudget(*re);
+  ASSERT_TRUE(budget.ok());
+  EXPECT_EQ(*budget, 56u) << "claim clamped to the 256-200 free pages";
+  EXPECT_EQ(d.free_pages(), 0u);
+  EXPECT_EQ(d.GetStats().reattaches, 1u);
+}
+
+TEST(SmdLease, DuplicateReattachLatestSinkWins) {
+  SimClock clock;
+  SoftMemoryDaemon d(LeaseOptions(&clock));
+  StubSink s1(64), s2(64), s3(64);
+  auto id = d.RegisterProcess("dup", &s1);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(d.HandleBudgetRequest(*id, 32).ok());
+
+  // A flapping client reattaches twice (e.g. two reconnect attempts both
+  // got through). Each adoption keeps the budget; the last sink wins.
+  ASSERT_TRUE(d.ReattachProcess("dup", *id, 32, &s2).ok());
+  ASSERT_TRUE(d.ReattachProcess("dup", *id, 32, &s3).ok());
+  EXPECT_EQ(d.GetStats().reattaches, 2u);
+  auto budget = d.GetBudget(*id);
+  ASSERT_TRUE(budget.ok());
+  EXPECT_EQ(*budget, 32u);
+  EXPECT_EQ(d.GetStats().processes.size(), 1u);
+
+  // Demands now route to s3 — the sessions holding s1/s2 are dead weight.
+  auto asker = d.RegisterProcess("asker", nullptr);
+  ASSERT_TRUE(asker.ok());
+  ASSERT_TRUE(d.HandleUsageReport(*id, 32, 0).ok());
+  ASSERT_TRUE(d.HandleBudgetRequest(*asker, 250).ok());
+  EXPECT_EQ(s3.demands(), 1u);
+  EXPECT_EQ(s1.demands(), 0u);
+  EXPECT_EQ(s2.demands(), 0u);
+}
+
+TEST(SmdLease, ClockSkewForwardJumpReapsOnlyAfterTtl) {
+  // An NTP-style forward jump must not reap fresher-than-TTL processes "by
+  // accident" of ordering: ages are computed from the same clock reads, so
+  // a jump ages everyone uniformly — and a *backward* jump must neither
+  // underflow nor reap.
+  SimClock clock(/*start=*/1'000'000'000);
+  SoftMemoryDaemon d(LeaseOptions(&clock));
+  auto id = d.RegisterProcess("skewed", nullptr);
+  ASSERT_TRUE(id.ok());
+
+  clock.Set(1'000'000'000 - 500 * kNanosPerMilli);  // backward jump
+  const SmdStats stats = d.GetStats();
+  ASSERT_EQ(stats.processes.size(), 1u);
+  EXPECT_EQ(stats.processes[0].lease_age_ns, 0) << "no underflow on skew";
+  EXPECT_EQ(d.ExpireLeasesTick(), 0u);
+
+  // Refresh under the skewed clock, then jump forward past the TTL again:
+  // now it genuinely expired.
+  ASSERT_TRUE(d.HandleUsageReport(*id, 0, 0).ok());
+  clock.Set(2'000'000'000);
+  EXPECT_EQ(d.ExpireLeasesTick(), 1u);
+}
+
+TEST(SmdLease, TtlZeroDisablesExpiry) {
+  SimClock clock;
+  SmdOptions o = LeaseOptions(&clock);
+  o.lease_ttl_ns = 0;
+  SoftMemoryDaemon d(o);
+  auto id = d.RegisterProcess("immortal", nullptr);
+  ASSERT_TRUE(id.ok());
+  clock.AdvanceSeconds(3600 * 24 * 365);
+  EXPECT_EQ(d.ExpireLeasesTick(), 0u);
+  EXPECT_EQ(d.GetStats().processes.size(), 1u);
+}
+
+}  // namespace
+}  // namespace softmem
