@@ -45,6 +45,17 @@ inline void PrintRatioRow(const std::string& label, double seconds,
 // Every bench JSON carries the metric counters that were live during the
 // run, so regressions in (say) magazine hit rate or reclaim volume are
 // visible next to the timing numbers they explain.
+//
+// It also carries a top-level "softmem_build_type" stamp: CMAKE_BUILD_TYPE
+// as seen when the bench binary was compiled (injected by bench/CMakeLists).
+// google-benchmark's own context.library_build_type describes how
+// *libbenchmark* was built, not this code, so scripts/bench_gate.py keys
+// its refuse-unoptimized-results check on this stamp (an empty value means
+// the tree had no CMAKE_BUILD_TYPE — i.e. no optimization flags at all).
+
+#ifndef SOFTMEM_BENCH_BUILD_TYPE
+#define SOFTMEM_BENCH_BUILD_TYPE ""
+#endif
 
 // Extracts the --benchmark_out=PATH value; "" if absent. Must run before
 // benchmark::Initialize (which strips recognized flags from argv).
@@ -82,7 +93,10 @@ inline void MergeTelemetryIntoBenchJson(const std::string& path) {
   }
   const std::string snapshot =
       telemetry::MetricsRegistry::Global().RenderJson();
-  content.insert(close, ",\n  \"telemetry\": " + snapshot + "\n");
+  std::string extra = ",\n  \"softmem_build_type\": \"";
+  extra += SOFTMEM_BENCH_BUILD_TYPE;
+  extra += "\",\n  \"telemetry\": " + snapshot + "\n";
+  content.insert(close, extra);
   if (std::FILE* f = std::fopen(path.c_str(), "wb")) {
     std::fwrite(content.data(), 1, content.size(), f);
     std::fclose(f);

@@ -5,14 +5,22 @@
 // SoftMemoryAllocator, in three configurations:
 //
 //  * DistinctCtx         — one cacheable (kNone) context per thread; the
-//                          magazine fast path applies. This is the headline
-//                          scaling number.
+//                          magazine fast path + lock-free transfer stacks
+//                          apply. This is the headline scaling number.
+//  * DistinctCtxNoXfer   — identical workload with transfer_cache = false:
+//                          magazines stay on but every refill/flush takes
+//                          the central mutex (the sharded-freelist vs.
+//                          central-refill ablation).
 //  * DistinctCtxBigLock  — identical workload with thread_cache = false,
 //                          i.e. the seed's one-big-lock allocator; the
 //                          contention baseline the PR is measured against.
 //  * SharedCtx           — all threads churn one shared cacheable context:
 //                          magazines still apply per thread, but refills and
-//                          page transitions collide on the same heap.
+//                          page transitions collide on the same heap (and,
+//                          with transfer stacks, on the same shard row).
+//
+// Thread counts run up to 64 so the central-lock collapse (and the sharded
+// stacks' immunity to it) is visible well past the core count.
 //
 // Aggregate throughput is items_per_second (UseRealTime + per-thread
 // SetItemsProcessed, summed by the framework). scripts/bench.sh writes the
@@ -34,20 +42,27 @@
 namespace softmem {
 namespace {
 
-constexpr int kMaxBenchThreads = 8;
+constexpr int kMaxBenchThreads = 64;
 constexpr size_t kLiveSetPerThread = 512;
 
 std::unique_ptr<SoftMemoryAllocator> g_sma;
 ContextId g_ctx[kMaxBenchThreads];
 ContextId g_shared_ctx;
 
-void SetupImpl(bool thread_cache) {
+void SetupImpl(bool thread_cache, bool transfer_cache = true) {
   SmaOptions o;
   o.metrics = &telemetry::MetricsRegistry::Global();
-  o.metrics_instance = thread_cache ? "mt_cached" : "mt_biglock";
+  if (!thread_cache) {
+    o.metrics_instance = "mt_biglock";
+  } else if (!transfer_cache) {
+    o.metrics_instance = "mt_noxfer";
+  } else {
+    o.metrics_instance = "mt_cached";
+  }
   o.region_pages = 256 * 1024;
   o.initial_budget_pages = 256 * 1024;
   o.thread_cache = thread_cache;
+  o.transfer_cache = transfer_cache;
   auto r = SoftMemoryAllocator::Create(o);
   if (!r.ok()) {
     std::abort();
@@ -74,6 +89,7 @@ void SetupImpl(bool thread_cache) {
 }
 
 void CachedSetup(const benchmark::State&) { SetupImpl(true); }
+void NoXferSetup(const benchmark::State&) { SetupImpl(true, /*transfer_cache=*/false); }
 void BigLockSetup(const benchmark::State&) { SetupImpl(false); }
 void Teardown(const benchmark::State&) { g_sma.reset(); }
 
@@ -114,7 +130,23 @@ BENCHMARK(BM_MtDistinctCtx)
     ->Threads(2)
     ->Threads(4)
     ->Threads(8)
+    ->Threads(16)
+    ->Threads(32)
+    ->Threads(64)
     ->Setup(CachedSetup)
+    ->Teardown(Teardown)
+    ->UseRealTime();
+
+void BM_MtDistinctCtxNoXfer(benchmark::State& state) {
+  ChurnBody(state, g_ctx[state.thread_index() % kMaxBenchThreads]);
+}
+BENCHMARK(BM_MtDistinctCtxNoXfer)
+    ->Threads(1)
+    ->Threads(8)
+    ->Threads(16)
+    ->Threads(32)
+    ->Threads(64)
+    ->Setup(NoXferSetup)
     ->Teardown(Teardown)
     ->UseRealTime();
 
@@ -126,6 +158,9 @@ BENCHMARK(BM_MtDistinctCtxBigLock)
     ->Threads(2)
     ->Threads(4)
     ->Threads(8)
+    ->Threads(16)
+    ->Threads(32)
+    ->Threads(64)
     ->Setup(BigLockSetup)
     ->Teardown(Teardown)
     ->UseRealTime();
@@ -137,6 +172,7 @@ BENCHMARK(BM_MtSharedCtx)
     ->Threads(1)
     ->Threads(4)
     ->Threads(8)
+    ->Threads(32)
     ->Setup(CachedSetup)
     ->Teardown(Teardown)
     ->UseRealTime();

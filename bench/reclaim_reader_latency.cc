@@ -1,0 +1,185 @@
+// RECLAIM-READER-LATENCY — reader pin latency while reclamation runs.
+//
+// The epoch-based pin protocol's whole point (DESIGN.md §11): a thread that
+// pins a context to read soft memory must not pay for reclamation happening
+// elsewhere. Each iteration pins a reader context, touches one of its live
+// allocations and unpins, with per-iteration latency recorded manually:
+//
+//  * NoReclaim    — quiescent allocator; the protocol's floor (two release
+//                   stores + one fence per pin/unpin pair).
+//  * UnderReclaim — a feeder thread keeps refilling a low-priority
+//                   kOldestFirst victim context while a reclaimer thread
+//                   loops HandleReclaimDemand against it, so revocation
+//                   waves (epoch bumps, magazine drains, gate traffic on
+//                   the *victim*) run continuously.
+//
+// The bar: UnderReclaim p99 within ~2x of NoReclaim p99 (flat reader tail).
+// Under the old mutex protocol every pin serialized against the reclaim
+// pass and the tail tracked reclaim duration instead. p50_ns/p99_ns are
+// exported as counters next to items_per_second (the gate metric);
+// scripts/bench.sh writes BENCH_reclaim_reader_latency.json.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/clock.h"
+#include "src/sma/smd_channel.h"
+#include "src/sma/soft_memory_allocator.h"
+#include "src/telemetry/metrics.h"
+
+namespace softmem {
+namespace {
+
+constexpr size_t kReaderAllocs = 256;
+constexpr size_t kReaderAllocBytes = 1024;
+
+// Grants every request: reclaimed budget flows back on the next refill, so
+// the feeder/reclaimer pair reaches a steady churn instead of draining the
+// fixed stand-alone budget to zero.
+class ElasticChannel : public SmdChannel {
+ public:
+  Result<size_t> RequestBudget(size_t pages) override { return pages; }
+  void ReleaseBudget(size_t) override {}
+  void ReportUsage(size_t, size_t) override {}
+};
+
+ElasticChannel g_channel;
+std::unique_ptr<SoftMemoryAllocator> g_sma;
+ContextId g_reader_ctx;
+ContextId g_victim_ctx;
+std::vector<void*> g_reader_data;
+
+std::atomic<bool> g_stop{false};
+std::vector<std::thread> g_background;
+
+void SetupAllocator() {
+  SmaOptions o;
+  o.metrics = &telemetry::MetricsRegistry::Global();
+  o.metrics_instance = "reader_latency";
+  o.region_pages = 64 * 1024;
+  o.initial_budget_pages = 16 * 1024;
+  o.budget_chunk_pages = 64;
+  auto r = SoftMemoryAllocator::Create(o, &g_channel);
+  if (!r.ok()) {
+    std::abort();
+  }
+  g_sma = std::move(r).value();
+
+  ContextOptions reader;
+  reader.name = "reader";
+  reader.priority = 9;  // reclaimed last: the victim feeds reclaim instead
+  reader.mode = ReclaimMode::kNone;
+  auto rc = g_sma->CreateContext(reader);
+  ContextOptions victim;
+  victim.name = "victim";
+  victim.priority = 0;
+  victim.mode = ReclaimMode::kOldestFirst;
+  victim.callback = [](void*, size_t) {};  // dropped data is recomputable
+  auto vc = g_sma->CreateContext(victim);
+  if (!rc.ok() || !vc.ok()) {
+    std::abort();
+  }
+  g_reader_ctx = *rc;
+  g_victim_ctx = *vc;
+
+  g_reader_data.clear();
+  for (size_t i = 0; i < kReaderAllocs; ++i) {
+    void* p = g_sma->SoftMalloc(g_reader_ctx, kReaderAllocBytes);
+    if (p == nullptr) {
+      std::abort();
+    }
+    g_reader_data.push_back(p);
+  }
+}
+
+void QuiescentSetup(const benchmark::State&) { SetupAllocator(); }
+
+void ReclaimSetup(const benchmark::State&) {
+  SetupAllocator();
+  g_stop.store(false, std::memory_order_release);
+  // Feeder: keeps the victim context holding a few thousand droppable
+  // allocations. It never frees — reclamation is the only consumer, so the
+  // pair settles into continuous drop-don't-swap churn.
+  g_background.emplace_back([] {
+    size_t since_check = 0;
+    while (!g_stop.load(std::memory_order_acquire)) {
+      void* p = g_sma->SoftMalloc(g_victim_ctx, kReaderAllocBytes);
+      if (p == nullptr || ++since_check >= 256) {
+        since_check = 0;
+        auto stats = g_sma->GetContextStats(g_victim_ctx);
+        if (p == nullptr || (stats.ok() && stats->live_allocations > 4096)) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+    }
+  });
+  // Reclaimer: a continuous stream of daemon demands. Each pass bumps the
+  // cache epoch, drains magazines and transfer stacks, closes the victim's
+  // gate and decommits — everything a reader must *not* feel.
+  g_background.emplace_back([] {
+    while (!g_stop.load(std::memory_order_acquire)) {
+      g_sma->HandleReclaimDemand(8);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+}
+
+void Teardown(const benchmark::State&) {
+  g_stop.store(true, std::memory_order_release);
+  for (auto& t : g_background) {
+    t.join();
+  }
+  g_background.clear();
+  g_reader_data.clear();
+  g_sma.reset();
+}
+
+void ReaderBody(benchmark::State& state) {
+  SoftMemoryAllocator* sma = g_sma.get();
+  const Clock* clock = MonotonicClock::Get();
+  std::vector<int64_t> lat_ns;
+  lat_ns.reserve(1 << 20);
+  size_t i = 0;
+  uint64_t checksum = 0;
+  for (auto _ : state) {
+    const Nanos t0 = clock->Now();
+    if (!sma->PinContext(g_reader_ctx).ok()) {
+      state.SkipWithError("pin failed");
+      break;
+    }
+    // The read the pin protects: one live allocation, first cache line.
+    checksum += *static_cast<const uint64_t*>(g_reader_data[i++ % kReaderAllocs]);
+    sma->UnpinContext(g_reader_ctx);
+    lat_ns.push_back(static_cast<int64_t>(clock->Now() - t0));
+  }
+  benchmark::DoNotOptimize(checksum);
+  if (!lat_ns.empty()) {
+    std::sort(lat_ns.begin(), lat_ns.end());
+    const auto pct = [&](double p) {
+      const size_t idx = static_cast<size_t>(p * static_cast<double>(lat_ns.size() - 1));
+      return static_cast<double>(lat_ns[idx]);
+    };
+    state.counters["p50_ns"] = benchmark::Counter(pct(0.50));
+    state.counters["p99_ns"] = benchmark::Counter(pct(0.99));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ReaderPinNoReclaim(benchmark::State& state) { ReaderBody(state); }
+BENCHMARK(BM_ReaderPinNoReclaim)->Setup(QuiescentSetup)->Teardown(Teardown)->UseRealTime();
+
+void BM_ReaderPinUnderReclaim(benchmark::State& state) { ReaderBody(state); }
+BENCHMARK(BM_ReaderPinUnderReclaim)->Setup(ReclaimSetup)->Teardown(Teardown)->UseRealTime();
+
+}  // namespace
+}  // namespace softmem
+
+SOFTMEM_BENCHMARK_MAIN();

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
 # Runs the allocator and serving-path microbenchmarks and writes their JSON
 # next to the repo root (BENCH_micro_allocator.json, BENCH_mt_throughput.json,
-# BENCH_kv_throughput.json) so successive PRs can track the perf curve. Each
-# JSON also carries a "telemetry" key with the metric-registry snapshot from
-# the run (see bench/bench_util.h).
+# BENCH_kv_throughput.json, BENCH_reclaim_reader_latency.json) so successive
+# PRs can track the perf curve. Each JSON also carries a "telemetry" key with
+# the metric-registry snapshot from the run (see bench/bench_util.h).
+#
+# Benchmarks build in their own tree (build-bench/) with the build type
+# forced to RelWithDebInfo: the default build/ tree carries no CMAKE_BUILD_TYPE
+# and therefore no optimization flags, and Debug numbers are useless for the
+# regression gate (bench_gate.py refuses JSON stamped library_build_type ==
+# "debug" for the same reason).
 #
 # Usage: scripts/bench.sh [--smoke] [benchmark args...]
 #
@@ -22,17 +28,30 @@ for arg in "$@"; do
   esac
 done
 
-cmake -B build -S . >/dev/null
-cmake --build build -j "${JOBS}" --target micro_allocator mt_throughput kv_throughput
+CMAKE_EXTRA=()
+if command -v ccache >/dev/null 2>&1; then
+  CMAKE_EXTRA+=(-DCMAKE_C_COMPILER_LAUNCHER=ccache
+                -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
 
-./build/bench/micro_allocator \
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      ${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"} >/dev/null
+cmake --build build-bench -j "${JOBS}" \
+      --target micro_allocator mt_throughput kv_throughput \
+               reclaim_reader_latency
+
+./build-bench/bench/micro_allocator \
   --benchmark_out=BENCH_micro_allocator.json \
   --benchmark_out_format=json ${EXTRA[@]+"${EXTRA[@]}"}
-./build/bench/mt_throughput \
+./build-bench/bench/mt_throughput \
   --benchmark_out=BENCH_mt_throughput.json \
   --benchmark_out_format=json ${EXTRA[@]+"${EXTRA[@]}"}
-./build/bench/kv_throughput \
+./build-bench/bench/kv_throughput \
   --benchmark_out=BENCH_kv_throughput.json \
   --benchmark_out_format=json ${EXTRA[@]+"${EXTRA[@]}"}
+./build-bench/bench/reclaim_reader_latency \
+  --benchmark_out=BENCH_reclaim_reader_latency.json \
+  --benchmark_out_format=json ${EXTRA[@]+"${EXTRA[@]}"}
 
-echo "wrote BENCH_micro_allocator.json, BENCH_mt_throughput.json and BENCH_kv_throughput.json"
+echo "wrote BENCH_micro_allocator.json, BENCH_mt_throughput.json," \
+     "BENCH_kv_throughput.json and BENCH_reclaim_reader_latency.json"

@@ -33,6 +33,26 @@ def extract_throughput(bench_json):
     return out
 
 
+def built_unoptimized(bench_json):
+    """True when the JSON comes from an unoptimized bench build.
+
+    Unoptimized timings are meaningless to gate (or bake into a baseline) —
+    scripts/bench.sh builds benchmarks RelWithDebInfo for exactly this
+    reason. Preferred evidence is the top-level "softmem_build_type" stamp
+    (CMAKE_BUILD_TYPE at bench compile time, injected by bench_util.h):
+    "debug" or "" (a tree configured with no build type gets no optimization
+    flags) is refused. JSON predating the stamp falls back to
+    context.library_build_type — that field describes how *libbenchmark*
+    itself was built, which tracked our old Debug-built flow well enough to
+    refuse stale checked-in results.
+    """
+    stamp = bench_json.get("softmem_build_type")
+    if stamp is not None:
+        return str(stamp).lower() in ("", "debug")
+    build_type = bench_json.get("context", {}).get("library_build_type", "")
+    return str(build_type).lower() == "debug"
+
+
 def gate(baseline, current, threshold):
     """Returns (ok, report_lines). baseline/current: name -> items/s."""
     common = sorted(set(baseline) & set(current))
@@ -71,6 +91,20 @@ def self_test():
     ok, _ = gate(baseline, disjoint, 0.20)
     assert not ok, "disjoint benchmark sets must fail the gate"
 
+    assert built_unoptimized({"softmem_build_type": "Debug"}), \
+        "a Debug bench build must be refused"
+    assert built_unoptimized({"softmem_build_type": ""}), \
+        "a bench build with no CMAKE_BUILD_TYPE must be refused"
+    assert not built_unoptimized({"softmem_build_type": "RelWithDebInfo",
+                                  "context": {"library_build_type": "debug"}}), \
+        "our stamp must win over libbenchmark's own build type"
+    assert built_unoptimized({"context": {"library_build_type": "DEBUG"}}), \
+        "unstamped JSON must fall back to library_build_type (case-insensitive)"
+    assert not built_unoptimized({"context": {"library_build_type": "release"}}), \
+        "an unstamped Release-library result must be accepted"
+    assert not built_unoptimized({}), \
+        "JSON without build-type metadata (e.g. a baseline) must be accepted"
+
     print("bench_gate self-test passed (25% injected regression caught):")
     print("\n".join(lines))
     return 0
@@ -94,7 +128,14 @@ def main():
     if not args.current:
         p.error("--current is required unless --self-test")
     with open(args.current) as f:
-        current = extract_throughput(json.load(f))
+        current_json = json.load(f)
+    if built_unoptimized(current_json):
+        print(f"bench_gate: {args.current} comes from an unoptimized bench "
+              f"build — rerun scripts/bench.sh (it builds build-bench/ as "
+              f"RelWithDebInfo) before gating or updating a baseline",
+              file=sys.stderr)
+        return 2
+    current = extract_throughput(current_json)
     if not current:
         print(f"bench_gate: no items_per_second in {args.current}",
               file=sys.stderr)

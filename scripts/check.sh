@@ -4,8 +4,9 @@
 #   plain  build + full ctest in the default configuration
 #   asan   rebuild under AddressSanitizer+UBSan, full ctest
 #   tsan   rebuild under ThreadSanitizer, concurrency + thread-cache +
-#          telemetry + fault-soak + crash-recovery + lease suites (the
-#          multi-threaded ones — TSan's point)
+#          epoch-reclaim + transfer-cache + telemetry + fault-soak +
+#          crash-recovery + lease suites (the multi-threaded ones — TSan's
+#          point)
 #   crash  plain build, then the multi-process crash-recovery suite looped
 #          20x with a rotating SOFTMEM_FAULT_SEED (a failing iteration
 #          prints the seed; replay with SOFTMEM_FAULT_SEED=<n>)
@@ -74,7 +75,7 @@ run_tsan() {
   # instrumented teardown.
   TSAN_OPTIONS="halt_on_error=1:die_after_fork=0" \
     ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-          -R "Concurrency|ThreadCache|FaultStressSoak|Telemetry|CrashRecovery|SmdLease|DegradedMode" "$@"
+          -R "Concurrency|ThreadCache|EpochReclaim|TransferCache|FaultStressSoak|Telemetry|CrashRecovery|SmdLease|DegradedMode" "$@"
 }
 
 run_crash() {

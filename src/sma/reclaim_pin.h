@@ -35,6 +35,17 @@ class ReclaimPin {
     other.engaged_ = false;
   }
 
+  ReclaimPin& operator=(ReclaimPin&& other) noexcept {
+    if (this != &other) {
+      release();  // an engaged pin must not leak when overwritten
+      sma_ = other.sma_;
+      ctx_ = other.ctx_;
+      engaged_ = other.engaged_;
+      other.engaged_ = false;
+    }
+    return *this;
+  }
+
   // True if the pin actually took hold (the context exists and is alive).
   bool engaged() const { return engaged_; }
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/sma/transfer_cache.h"
 #include "src/testing/failpoint.h"
 
 namespace softmem {
@@ -17,6 +18,15 @@ std::atomic<uint64_t> g_instance_generation{1};
 
 // page_descr_ encoding: valid-slab bit | size_class << 16 | context id.
 constexpr uint32_t kDescrSlabBit = 1u << 24;
+
+// Spreads threads across transfer-stack shards so concurrent flushes of the
+// same (context, class) mostly CAS on different heads.
+size_t TransferShardHint() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % TransferCache::kShards;
+  return shard;
+}
 
 }  // namespace
 
@@ -68,6 +78,8 @@ SoftMemoryAllocator::SoftMemoryAllocator(const SmaOptions& options,
       reclaim_journal_(options.reclaim_journal_capacity) {
   page_descr_.reset(new std::atomic<uint32_t>[pool_.total_pages()]());
   ctx_flags_.reset(new std::atomic<uint8_t>[kMaxContexts]());
+  ctx_gate_.reset(new std::atomic<uint32_t>[kMaxContexts]());
+  xfer_.reset(new std::atomic<TransferCache*>[kMaxContexts]());
   InitTelemetry();
   tcache_internal::OnAllocatorCreated(this, instance_generation_);
 }
@@ -80,6 +92,9 @@ SoftMemoryAllocator::~SoftMemoryAllocator() {
   // Threads still holding caches for this instance detect its death (or an
   // address reuse, via the generation) and drop them without flushing.
   tcache_internal::OnAllocatorDestroyed(this);
+  for (size_t id = 0; id < kMaxContexts; ++id) {
+    delete xfer_[id].load(std::memory_order_relaxed);
+  }
 }
 
 // ---- Telemetry --------------------------------------------------------------
@@ -101,6 +116,9 @@ void SoftMemoryAllocator::InitTelemetry() {
     cache_revocations_ = &own_counters_.cache_revocations;
     cache_hits_ = &own_counters_.cache_hits;
     cache_misses_ = &own_counters_.cache_misses;
+    transfer_hits_ = &own_counters_.transfer_hits;
+    transfer_flushes_ = &own_counters_.transfer_flushes;
+    pin_grace_timeouts_ = &own_counters_.pin_grace_timeouts;
     pages_committed_ = &own_counters_.pages_committed;
     pages_decommitted_ = &own_counters_.pages_decommitted;
     return;
@@ -157,6 +175,19 @@ void SoftMemoryAllocator::InitTelemetry() {
       counter("softmem_sma_cache_misses_total",
               "Magazine misses (central refill taken).",
               &own_counters_.cache_misses);
+  transfer_hits_ =
+      counter("softmem_sma_transfer_hits_total",
+              "Magazine refills served by the lock-free transfer stacks.",
+              &own_counters_.transfer_hits);
+  transfer_flushes_ =
+      counter("softmem_sma_transfer_flushes_total",
+              "Magazine overflow chains parked on the transfer stacks.",
+              &own_counters_.transfer_flushes);
+  pin_grace_timeouts_ =
+      counter("softmem_sma_pin_grace_timeouts_total",
+              "Victim contexts skipped because a reader outlived the pin "
+              "grace period.",
+              &own_counters_.pin_grace_timeouts);
   pages_committed_ =
       counter("softmem_sma_pages_committed_total",
               "Fresh page commits against the budget.",
@@ -278,6 +309,10 @@ Result<ContextId> SoftMemoryAllocator::CreateContext(
   // kOldestFirst allocations must enter the central age registry, so only
   // the other modes may be served from per-thread magazines.
   const bool cacheable = options.mode != ReclaimMode::kOldestFirst;
+  if (cacheable && options_.thread_cache && options_.transfer_cache) {
+    xfer_[id].store(new TransferCache(static_cast<char*>(pool_.PageAddress(0))),
+                    std::memory_order_release);
+  }
   ctx_flags_[id].store(
       static_cast<uint8_t>(kCtxAlive | (cacheable ? kCtxCacheable : 0)),
       std::memory_order_release);
@@ -292,9 +327,21 @@ Status SoftMemoryAllocator::DestroyContext(ContextId id) {
   if (id >= contexts_.size() || !contexts_[id]->alive) {
     return NotFoundError("no such context");
   }
-  // Stop fast-path traffic for the context, then pull its magazines back so
-  // every slot is accounted centrally before the heap is torn down.
+  // Stop fast-path traffic for the context, then drain its epoch readers:
+  // with the gate closed no new pin can publish (pinners retry and see the
+  // dead flags), and current readers get one grace period to finish.
+  // Destruction proceeds after that regardless — destroying a context other
+  // threads still read remains an application error, but the window is now
+  // bounded and readers retire their pins without crashing.
   ctx_flags_[id].store(0, std::memory_order_release);
+  ctx_gate_[id].fetch_add(1, std::memory_order_acq_rel);
+  reclaim_epoch_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (!OwnThreadPinsContext(id)) {
+    WaitForPinGraceLocked(id);
+  }
+  // Pull the context's magazines and transfer stacks back so every slot is
+  // accounted centrally before the heap is torn down.
   PurgeContextFromCachesLocked(id);
 
   Context* c = contexts_[id].get();
@@ -345,6 +392,8 @@ Status SoftMemoryAllocator::DestroyContext(ContextId id) {
   c->order.clear();
   c->live_seq.clear();
   c->custom_reclaim = nullptr;
+  c->pin_count = 0;
+  ctx_gate_[id].fetch_add(1, std::memory_order_release);  // reopen
   return Status::Ok();
 }
 
@@ -355,11 +404,18 @@ Status SoftMemoryAllocator::SetCustomReclaim(ContextId id, CustomReclaimFn fn) {
   }
   contexts_[id]->custom_reclaim = std::move(fn);
   contexts_[id]->options.mode = ReclaimMode::kCustom;
+  // The context just became cacheable (kOldestFirst -> kCustom): give it
+  // transfer stacks before fast-path traffic starts.
+  if (options_.thread_cache && options_.transfer_cache &&
+      xfer_[id].load(std::memory_order_relaxed) == nullptr) {
+    xfer_[id].store(new TransferCache(static_cast<char*>(pool_.PageAddress(0))),
+                    std::memory_order_release);
+  }
   ctx_flags_[id].store(kCtxAlive | kCtxCacheable, std::memory_order_release);
   return Status::Ok();
 }
 
-Status SoftMemoryAllocator::PinContext(ContextId id) {
+Status SoftMemoryAllocator::PinContextCentral(ContextId id) {
   CentralLock lock(this);
   if (id >= contexts_.size() || !contexts_[id]->alive) {
     return NotFoundError("no such context");
@@ -368,7 +424,7 @@ Status SoftMemoryAllocator::PinContext(ContextId id) {
   return Status::Ok();
 }
 
-Status SoftMemoryAllocator::UnpinContext(ContextId id) {
+Status SoftMemoryAllocator::UnpinContextCentral(ContextId id) {
   CentralLock lock(this);
   if (id >= contexts_.size() || !contexts_[id]->alive) {
     return NotFoundError("no such context");
@@ -378,6 +434,145 @@ Status SoftMemoryAllocator::UnpinContext(ContextId id) {
   }
   --contexts_[id]->pin_count;
   return Status::Ok();
+}
+
+Status SoftMemoryAllocator::PinContext(ContextId id) {
+  // Re-entrant pins (reclaim callbacks run under mu_) keep the central
+  // counter: the reclaiming thread could never wait out its own entry.
+  if (HoldsCentralLock()) {
+    return PinContextCentral(id);
+  }
+  ThreadCache* tc = GetThreadCache(this);
+  ThreadCache::PinEntry* free_entry = nullptr;
+  for (auto& e : tc->pins_) {
+    if (e.epoch.load(std::memory_order_relaxed) != 0) {
+      if (e.ctx.load(std::memory_order_relaxed) == id) {
+        ++e.depth;  // nested pin: reuse the published entry
+        return Status::Ok();
+      }
+    } else if (free_entry == nullptr) {
+      free_entry = &e;
+    }
+  }
+  if (free_entry == nullptr) {
+    // More than kPinEntries distinct contexts pinned by one thread: fall
+    // back to the central counter (correct, merely slower).
+    return PinContextCentral(id);
+  }
+  for (;;) {
+    if ((ctx_flags_[id].load(std::memory_order_acquire) & kCtxAlive) == 0) {
+      return NotFoundError("no such context");
+    }
+    // Publish, then check the gate (Dekker via the seq_cst fences here and
+    // in BeginVictimContextLocked): either the reclaimer's scan sees this
+    // entry and waits, or this thread sees the gate closed and retracts
+    // before any soft memory is touched under the pin.
+    free_entry->ctx.store(id, std::memory_order_relaxed);
+    free_entry->depth = 1;
+    free_entry->epoch.store(reclaim_epoch_.load(std::memory_order_relaxed),
+                            std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if ((ctx_gate_[id].load(std::memory_order_relaxed) & 1) == 0) {
+      return Status::Ok();
+    }
+    // Unlink in progress: retract, wait for the gate to reopen, retry (the
+    // flags recheck turns a destruction into kNotFound).
+    free_entry->epoch.store(0, std::memory_order_release);
+    while ((ctx_gate_[id].load(std::memory_order_acquire) & 1) != 0) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+Status SoftMemoryAllocator::UnpinContext(ContextId id) {
+  if (HoldsCentralLock()) {
+    return UnpinContextCentral(id);
+  }
+  ThreadCache* tc = GetThreadCache(this);
+  for (auto& e : tc->pins_) {
+    if (e.epoch.load(std::memory_order_relaxed) != 0 &&
+        e.ctx.load(std::memory_order_relaxed) == id) {
+      if (--e.depth == 0) {
+        e.epoch.store(0, std::memory_order_release);
+      }
+      return Status::Ok();
+    }
+  }
+  // No published entry on this thread: an overflow pin or an error. The
+  // central path preserves the kNotFound / kFailedPrecondition contract.
+  return UnpinContextCentral(id);
+}
+
+bool SoftMemoryAllocator::OwnThreadPinsContext(ContextId id) {
+  ThreadCache* tc = GetThreadCache(this);
+  for (auto& e : tc->pins_) {
+    if (e.epoch.load(std::memory_order_relaxed) != 0 &&
+        e.ctx.load(std::memory_order_relaxed) == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SoftMemoryAllocator::WaitForPinGraceLocked(ContextId id) {
+  const Clock* clock = MonotonicClock::Get();
+  const Nanos deadline =
+      clock->Now() + static_cast<Nanos>(options_.pin_grace_timeout_us) * 1000;
+  const std::thread::id self = std::this_thread::get_id();
+  for (;;) {
+    bool busy = false;
+    {
+      std::lock_guard<std::mutex> reg(caches_mu_);
+      for (ThreadCache* tc : caches_) {
+        if (tc->owner_tid_ == self) {
+          continue;  // the caller handles its own pins
+        }
+        for (auto& e : tc->pins_) {
+          // The predicate is presence-based on purpose: an entry stamped
+          // with the *new* epoch may belong to a reader that legitimately
+          // saw the gate still open, so filtering by epoch would be unsound.
+          // Acquire on epoch orders the ctx read behind the publish.
+          if (e.epoch.load(std::memory_order_acquire) != 0 &&
+              e.ctx.load(std::memory_order_relaxed) == id) {
+            busy = true;
+            break;
+          }
+        }
+        if (busy) {
+          break;
+        }
+      }
+    }
+    if (!busy) {
+      return true;
+    }
+    if (clock->Now() >= deadline) {
+      return false;
+    }
+    std::this_thread::yield();
+  }
+}
+
+bool SoftMemoryAllocator::BeginVictimContextLocked(ContextId id) {
+  if (contexts_[id]->pin_count > 0) {
+    return false;  // centrally pinned (re-entrant or overflow): skip
+  }
+  if (OwnThreadPinsContext(id)) {
+    return false;  // waiting on our own pin would deadlock: skip
+  }
+  ctx_gate_[id].fetch_add(1, std::memory_order_acq_rel);  // close (odd)
+  reclaim_epoch_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (!WaitForPinGraceLocked(id)) {
+    pin_grace_timeouts_->Inc();
+    ctx_gate_[id].fetch_add(1, std::memory_order_release);  // reopen
+    return false;  // a reader outlived the grace period: skip (§7)
+  }
+  return true;  // gate stays closed across the unlink window
+}
+
+void SoftMemoryAllocator::EndVictimContext(ContextId id) {
+  ctx_gate_[id].fetch_add(1, std::memory_order_release);  // reopen (even)
 }
 
 Status SoftMemoryAllocator::SetPriority(ContextId id, size_t priority) {
@@ -505,8 +700,32 @@ void* SoftMemoryAllocator::CacheAlloc(ContextId ctx_id, int cls) {
   }
 
   cache_misses_->Inc();
-  // Miss (or a reclamation wave passed): refill a half magazine under the
-  // central lock. The thread-cache lock is NOT held across the central
+  // Miss: try the context's lock-free transfer stacks before the central
+  // heap — a popped chain refills the magazine without ever taking mu_.
+  if (options_.transfer_cache) {
+    TransferCache* x = xfer_[ctx_id].load(std::memory_order_acquire);
+    if (x != nullptr) {
+      void* batch[ThreadCache::kMaxSlotsPerBin];
+      const size_t want = ThreadCache::BinCapacity(cls) / 2 + 1;
+      const size_t hint = TransferShardHint();
+      size_t got = 0;
+      for (size_t i = 0; i < TransferCache::kShards && got == 0; ++i) {
+        got = x->Pop(cls, hint + i, batch, want);
+      }
+      if (got > 0) {
+        transfer_hits_->Inc();
+        if (got > 1) {
+          std::lock_guard<std::mutex> l(tc->mu_);
+          auto& slots =
+              tc->bins_[ctx_id].by_class[static_cast<size_t>(cls)].slots;
+          slots.insert(slots.end(), batch, batch + got - 1);
+        }
+        return batch[got - 1];
+      }
+    }
+  }
+  // Stacks dry (or a reclamation wave passed): refill a half magazine under
+  // the central lock. The thread-cache lock is NOT held across the central
   // batch allocation — AcquirePagesLocked may revoke every cache, including
   // this one — and the deposit happens under the central lock so context
   // destruction cannot interleave.
@@ -784,9 +1003,19 @@ bool SoftMemoryAllocator::TryCacheFree(void* ptr) {
     return true;
   }
   if (n_overflow > 0) {
-    CentralLock lock(this);
-    for (size_t i = 0; i < n_overflow; ++i) {
-      FreeLocked(overflow[i], /*count_op=*/false);
+    // Cold half of a full magazine: park it on the context's lock-free
+    // transfer stack; only a full (or absent) stack pays the central path.
+    TransferCache* x = options_.transfer_cache
+                           ? xfer_[ctx].load(std::memory_order_acquire)
+                           : nullptr;
+    if (x != nullptr &&
+        x->Push(cls, TransferShardHint(), overflow, n_overflow)) {
+      transfer_flushes_->Inc();
+    } else {
+      CentralLock lock(this);
+      for (size_t i = 0; i < n_overflow; ++i) {
+        FreeLocked(overflow[i], /*count_op=*/false);
+      }
     }
   }
   total_frees_->Inc();
@@ -945,6 +1174,28 @@ void SoftMemoryAllocator::RevokeThreadCachesLocked(bool bump_epoch) {
       tc->seen_epoch_ = epoch;
     }
   }
+  // Slots parked on the lock-free transfer stacks are checked out exactly
+  // like magazine slots: drain them too so they count as free pages.
+  DrainTransferStacksLocked(kMaxContexts);
+}
+
+void SoftMemoryAllocator::DrainTransferStacksLocked(size_t ctx) {
+  if (!options_.transfer_cache || xfer_ == nullptr) {
+    return;
+  }
+  auto drain = [&](size_t id) {
+    TransferCache* x = xfer_[id].load(std::memory_order_acquire);
+    if (x != nullptr) {
+      x->DrainAll([&](void* p) { FreeLocked(p, /*count_op=*/false); });
+    }
+  };
+  if (ctx < kMaxContexts) {
+    drain(ctx);
+    return;
+  }
+  for (size_t id = 0; id < contexts_.size(); ++id) {
+    drain(id);
+  }
 }
 
 void SoftMemoryAllocator::PurgeContextFromCachesLocked(ContextId ctx) {
@@ -965,6 +1216,7 @@ void SoftMemoryAllocator::PurgeContextFromCachesLocked(ContextId ctx) {
     }
     tc->bins_.erase(it);
   }
+  DrainTransferStacksLocked(ctx);
 }
 
 void SoftMemoryAllocator::RegisterThreadCache(ThreadCache* cache) {
@@ -1090,11 +1342,12 @@ Result<PageRun> SoftMemoryAllocator::AcquirePagesLocked(ContextId ctx_id,
         if (pool_.pooled_pages() >= count) {
           break;
         }
-        if (contexts_[id]->pin_count > 0) {
+        if (!BeginVictimContextLocked(id)) {
           continue;
         }
         ReclaimFromContextLocked(contexts_[id].get(),
                                  count - pool_.pooled_pages());
+        EndVictimContext(id);
       }
       if (auto pooled = pool_.AcquirePooled(count); pooled.ok()) {
         return pooled;
@@ -1248,8 +1501,10 @@ size_t SoftMemoryAllocator::HandleReclaimDemand(size_t pages) {
       if (SOFTMEM_FAULT_FIRED("sma.reclaim.mid_sds")) {
         break;
       }
-      if (contexts_[id]->pin_count > 0) {
-        continue;  // a thread is actively accessing this context (§7)
+      // Threads actively reading this context (§7): wait out the epoch
+      // grace period; skip when one outlives it or the pin is central.
+      if (!BeginVictimContextLocked(id)) {
+        continue;
       }
       ++trace.contexts_visited;
       ReclaimFromContextLocked(contexts_[id].get(), pages - produced);
@@ -1258,6 +1513,7 @@ size_t SoftMemoryAllocator::HandleReclaimDemand(size_t pages) {
       produced += d;
       pages_decommitted_->Inc(d);
       trace.sds_pages += d;
+      EndVictimContext(id);
     }
   }
   trace.sds_ns = clock->Now() - phase_end;
@@ -1351,6 +1607,9 @@ SmaStats SoftMemoryAllocator::GetStats() const {
   s.cache_revocations = cache_revocations_->Value();
   s.cache_hits = cache_hits_->Value();
   s.cache_misses = cache_misses_->Value();
+  s.transfer_hits = transfer_hits_->Value();
+  s.transfer_flushes = transfer_flushes_->Value();
+  s.pin_grace_timeouts = pin_grace_timeouts_->Value();
   s.pages_committed = pages_committed_->Value();
   s.pages_decommitted = pages_decommitted_->Value();
   return s;

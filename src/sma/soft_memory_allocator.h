@@ -24,9 +24,11 @@
 //  * Fast path. Small allocations in contexts whose reclaim mode is kNone
 //    or kCustom are served from per-thread magazine caches (ThreadCache):
 //    SoftMalloc pops and SoftFree pushes local per-(context, size-class)
-//    free-slot magazines, refilled/flushed from the central heap in batches
-//    so the central lock is amortized over dozens of ops. Cumulative
-//    counters are atomics; the fast path never touches the central mutex.
+//    free-slot magazines. Magazine refills and overflow flushes go through
+//    per-context sharded lock-free stacks (TransferCache) first, so in the
+//    steady state neither the per-op path nor the batch path touches the
+//    central mutex; the central heap is only consulted when the stacks run
+//    dry. Cumulative counters are atomics.
 //  * Central path. All remaining state — page metadata, heaps, the pool,
 //    budget — is guarded by one plain std::mutex (`mu_`) with explicit
 //    *Locked internals. kOldestFirst contexts always take it: their
@@ -73,6 +75,8 @@
 
 namespace softmem {
 
+class TransferCache;
+
 struct SmaOptions {
   // Virtual region size. Committed memory is bounded by the budget, not by
   // this; it only caps the address space (and the side-metadata table).
@@ -103,6 +107,20 @@ struct SmaOptions {
   // through the central lock (the seed big-lock behavior; benchmarks use
   // this as the contention baseline).
   bool thread_cache = true;
+
+  // Route magazine refills and overflow flushes through per-context sharded
+  // lock-free free-slot stacks (see transfer_cache.h) so the steady-state
+  // hot path never takes the central mutex. Disable (with thread_cache on)
+  // for the sharded-freelist vs. central-refill ablation; no effect when
+  // thread_cache is off.
+  bool transfer_cache = true;
+
+  // How long a reclamation pass waits for epoch-pinned readers of a victim
+  // context to finish before skipping it (the pre-epoch protocol skipped
+  // pinned contexts immediately and forever; a bounded grace period means
+  // short reads are waited out and stuck readers still cannot stall
+  // reclamation). Also bounds the reader drain in DestroyContext.
+  size_t pin_grace_timeout_us = 2000;
 
   // Registry this allocator's metrics register into (nullptr = keep the
   // counters private to the instance; GetStats still works). When several
@@ -139,6 +157,9 @@ struct SmaStats {
   size_t cache_revocations = 0;      // magazine drains forced by reclaim
   size_t cache_hits = 0;             // magazine pops served locally
   size_t cache_misses = 0;           // magazine refills from the central heap
+  size_t transfer_hits = 0;          // refills served by the lock-free stacks
+  size_t transfer_flushes = 0;       // overflow chains parked lock-free
+  size_t pin_grace_timeouts = 0;     // victim contexts skipped: reader stuck
   size_t pages_committed = 0;        // cumulative fresh commits
   size_t pages_decommitted = 0;      // cumulative decommits (reclaim + trim)
 };
@@ -182,11 +203,22 @@ class SoftMemoryAllocator {
   ContextId default_context() const { return kDefaultContext; }
 
   // ---- Access pinning (§7 "Concurrency") ----------------------------------
-  // While a context's pin count is nonzero, reclamation skips its live
+  // While a context is pinned, reclamation will not revoke its live
   // allocations (budget slack and pooled pages are still fair game). This is
   // the coarse-grained analogue of AIFM's dereference scopes: a thread that
   // is actively reading soft memory pins the owning context so the data
-  // cannot vanish mid-access. Use the RAII ReclaimPin wrapper. Magazine
+  // cannot vanish mid-access. Use the RAII ReclaimPin wrapper.
+  //
+  // Pins are epoch-based and lock-free: PinContext publishes a per-thread
+  // epoch entry (two release stores and one fence — no lock, no CAS) and
+  // UnpinContext retires it, so readers never serialize against the
+  // reclaimer or each other. HandleReclaimDemand advances the global epoch,
+  // closes the victim's gate and waits out a bounded grace period for
+  // published readers; a reader that holds a pin past the grace timeout
+  // causes the context to be skipped (the old mutex protocol's semantics),
+  // it never blocks reclamation of other contexts. Re-entrant pins taken
+  // from reclaim callbacks, and pins past the per-thread entry budget, fall
+  // back to a central pin count with the original semantics. Magazine
   // caches never interfere with pins: they hold only free slots, and a
   // reclaim-time drain returns slots without touching live allocations.
   Status PinContext(ContextId id);
@@ -304,7 +336,9 @@ class SoftMemoryAllocator {
     std::deque<std::pair<void*, uint64_t>> order;
     std::unordered_map<void*, uint64_t> live_seq;
     uint64_t next_seq = 0;
-    size_t pin_count = 0;  // reclamation skips this context while > 0
+    // Central fallback pin count (re-entrant pins from reclaim callbacks
+    // and per-thread entry overflow); the common path uses epoch entries.
+    size_t pin_count = 0;
     size_t reclaimed_allocations = 0;
     size_t reclaimed_bytes = 0;
   };
@@ -390,6 +424,33 @@ class SoftMemoryAllocator {
   // Removes and centrally frees all magazines of `ctx` (context teardown).
   void PurgeContextFromCachesLocked(ContextId ctx);
 
+  // Drains the lock-free transfer stacks of `ctx` (all of them when
+  // ctx == kMaxContexts) back into the central free lists.
+  void DrainTransferStacksLocked(size_t ctx);
+
+  // ---- Epoch-pin internals (see DESIGN.md §11) ----------------------------
+
+  // Central-lock fallback pin/unpin (reclaim-callback re-entry, entry
+  // overflow, and the error paths whose status codes are API).
+  Status PinContextCentral(ContextId id);
+  Status UnpinContextCentral(ContextId id);
+
+  // True when the calling thread itself holds an epoch pin on `id`.
+  bool OwnThreadPinsContext(ContextId id);
+
+  // Waits until no *other* thread publishes an epoch pin for `id`, or the
+  // grace timeout elapses. The caller must have closed the gate and issued
+  // the seq_cst fence. Returns true when the context quiesced.
+  bool WaitForPinGraceLocked(ContextId id);
+
+  // Prepares `id` for revocation: refuses (false) when centrally pinned or
+  // pinned by the calling thread, otherwise closes the gate, advances the
+  // reclaim epoch and waits out the grace period. On timeout the gate is
+  // reopened and false is returned (the context is skipped). On true the
+  // gate stays closed — no new reader can pin — until EndVictimContext.
+  bool BeginVictimContextLocked(ContextId id);
+  void EndVictimContext(ContextId id);
+
   // Carves up to `want` slots of `cls` for `ctx`; returns the count.
   size_t AllocSmallBatchLocked(ContextId ctx, int cls, size_t want,
                                void** out);
@@ -455,6 +516,21 @@ class SoftMemoryAllocator {
   // Advanced by reclaim revocations; magazines self-flush on mismatch.
   std::atomic<uint64_t> cache_epoch_{0};
 
+  // Per-context lock-free transfer stacks (created with the context under
+  // mu_, published with release; context ids are never reused, so entries
+  // live until the allocator dies). Null for non-cacheable contexts or when
+  // options_.transfer_cache is off.
+  std::unique_ptr<std::atomic<TransferCache*>[]> xfer_;
+
+  // Per-context reader gate: odd while a revocation (or destruction) has
+  // the context's unlink window open. Readers that observe a closed gate
+  // unpublish and wait; see PinContext.
+  std::unique_ptr<std::atomic<uint32_t>[]> ctx_gate_;
+
+  // Global reclaim epoch, advanced per victim context; epoch entries stamp
+  // it at publish time (the grace predicate itself is presence-based).
+  std::atomic<uint64_t> reclaim_epoch_{1};
+
   // Nonzero while any SoftPtr is registered: tracked frees must invalidate
   // holders under the central lock, so they bypass the magazines.
   std::atomic<size_t> tracked_count_{0};
@@ -482,7 +558,8 @@ class SoftMemoryAllocator {
     telemetry::Counter allocs, frees, budget_requests, budget_failures,
         degraded_denials, reclaim_demands, reclaimed_pages, reclaim_callbacks,
         self_reclaims, cache_revocations, cache_hits, cache_misses,
-        pages_committed, pages_decommitted;
+        transfer_hits, transfer_flushes, pin_grace_timeouts, pages_committed,
+        pages_decommitted;
   };
   CounterSet own_counters_;
   telemetry::Counter* total_allocs_ = nullptr;
@@ -497,6 +574,9 @@ class SoftMemoryAllocator {
   telemetry::Counter* cache_revocations_ = nullptr;
   telemetry::Counter* cache_hits_ = nullptr;
   telemetry::Counter* cache_misses_ = nullptr;
+  telemetry::Counter* transfer_hits_ = nullptr;
+  telemetry::Counter* transfer_flushes_ = nullptr;
+  telemetry::Counter* pin_grace_timeouts_ = nullptr;
   telemetry::Counter* pages_committed_ = nullptr;
   telemetry::Counter* pages_decommitted_ = nullptr;
 

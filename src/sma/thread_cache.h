@@ -40,9 +40,11 @@
 #define SOFTMEM_SRC_SMA_THREAD_CACHE_H_
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -84,6 +86,21 @@ class ThreadCache {
     std::array<Bin, kNumSizeClasses> by_class;
   };
 
+  // One published epoch slot of the pin-free reader protocol (DESIGN.md
+  // §11). The owning thread claims an entry in PinContext by storing the
+  // context id and then the global reclaim epoch (release; nonzero means
+  // active) and retires it in UnpinContext (epoch back to 0). The
+  // reclamation grace wait scans entries of every registered cache with
+  // acquire loads — presence of any active entry for the victim context on
+  // another thread keeps reclamation waiting. `depth` counts nested pins
+  // and is touched only by the owning thread.
+  struct PinEntry {
+    std::atomic<uint64_t> epoch{0};  // 0 = inactive
+    std::atomic<uint32_t> ctx{0};
+    uint32_t depth = 0;
+  };
+  static constexpr size_t kPinEntries = 8;
+
   explicit ThreadCache(uint64_t owner_generation)
       : owner_generation_(owner_generation) {}
 
@@ -91,6 +108,15 @@ class ThreadCache {
   // against SoftMemoryAllocator::instance_generation() to detect a new
   // allocator reusing a destroyed one's address.
   const uint64_t owner_generation_;
+
+  // The thread this cache (and its pin entries) belongs to. The reclaimer
+  // compares it against its own id so a pin held by the reclaiming thread
+  // itself is skipped instead of waited on (self-deadlock otherwise).
+  const std::thread::id owner_tid_ = std::this_thread::get_id();
+
+  // Epoch slots for pin-free readers; no lock, written by the owner thread,
+  // scanned remotely by reclamation grace waits.
+  std::array<PinEntry, kPinEntries> pins_;
 
   // Guards everything below. Uncontended for the owning thread; taken
   // remotely only by magazine revocation (reclaim / destroy / stats / exit).

@@ -1,0 +1,195 @@
+// Sharded lock-free free-slot stacks — the central-lock bypass between
+// per-thread magazines and the central heap (DESIGN.md §11).
+//
+// One TransferCache exists per cacheable context. Each (size-class, shard)
+// pair holds a Treiber stack of *checked-out* free slots: from the central
+// allocator's view the slots are still allocated (their pages cannot go
+// empty and be released), exactly like slots parked in a thread magazine.
+// Magazine overflow flushes push chains here instead of taking the central
+// mutex, and magazine refills pop here first, so the steady-state hot path
+// never touches `mu_`.
+//
+// Representation. A stack head is one 64-bit word:
+//
+//     [ offset_of_top_slot + 1 : 48 ][ aba tag : 16 ]      0 == empty
+//
+// Slot offsets are bytes from the region base; every size class is a
+// multiple of 16 bytes, so the +1 discriminator never collides with a real
+// offset. Each stacked slot stores the (offset+1) of its successor in its
+// first 8 bytes (the minimum slot is 16 bytes) — the same trick the central
+// free lists use with 2-byte slot indices.
+//
+// Why this shape is safe where a classic Treiber pop is not:
+//
+//  * Pop takes the ENTIRE chain with one `exchange(0, acquire)`. No pop
+//    ever dereferences a node it does not exclusively own — crucial here
+//    because reclamation decommits pages with mprotect(PROT_NONE), so the
+//    classic "read top->next, then CAS" pop could fault on a node another
+//    thread popped and whose page was then reclaimed.
+//  * Taking the whole chain also removes the ABA pop hazard outright; the
+//    16-bit tag additionally versions the head so a push's CAS cannot
+//    mistake a recycled head word for an unchanged one.
+//  * Push publishes with a release CAS after writing the link; a pop's
+//    acquire exchange reads the last CAS of the head's release sequence
+//    (every successful push is an RMW on the same atomic), so all link
+//    writes along the chain are visible to the exclusive owner walking it.
+//
+// Stacks are bounded (kShardSlotLimit per shard) so the remainder walk in
+// Pop and the memory parked outside central accounting stay small; over-
+// limit flushes fall back to the central path. Revocation waves, context
+// destruction and stats snapshots drain every shard via DrainAll under the
+// central lock.
+
+#ifndef SOFTMEM_SRC_SMA_TRANSFER_CACHE_H_
+#define SOFTMEM_SRC_SMA_TRANSFER_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "src/sma/size_classes.h"
+#include "src/testing/failpoint.h"
+
+namespace softmem {
+
+class TransferCache {
+ public:
+  static constexpr size_t kShards = 8;
+  // Per-(class, shard) bound on parked slots. Pushes beyond it are refused
+  // (the caller frees centrally), bounding both the Pop remainder walk and
+  // the slots a revocation wave must drain.
+  static constexpr size_t kShardSlotLimit = 128;
+
+  explicit TransferCache(char* region_base) : base_(region_base) {}
+
+  TransferCache(const TransferCache&) = delete;
+  TransferCache& operator=(const TransferCache&) = delete;
+
+  // Links `slots[0..n)` into a chain and pushes it onto `shard`'s stack.
+  // Returns false (pushing nothing) when the shard is at capacity.
+  bool Push(int cls, size_t shard, void* const* slots, size_t n) {
+    Slot& s = slot_for(cls, shard);
+    if (n == 0 ||
+        s.count.load(std::memory_order_relaxed) + n > kShardSlotLimit) {
+      return false;
+    }
+    for (size_t i = 0; i + 1 < n; ++i) {
+      SetLink(slots[i], OffsetPlusOne(slots[i + 1]));
+    }
+    PushChain(s, slots[0], slots[n - 1]);
+    s.count.fetch_add(n, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Pops up to `max_take` slots from `shard` into `out`; returns the count.
+  // The stack is taken whole (one atomic exchange); any excess is re-pushed.
+  size_t Pop(int cls, size_t shard, void** out, size_t max_take) {
+    Slot& s = slot_for(cls, shard);
+    const uint64_t word = s.head.exchange(0, std::memory_order_acquire);
+    uint64_t off1 = word >> kTagBits;
+    if (off1 == 0) {
+      return 0;
+    }
+    size_t taken = 0;
+    while (off1 != 0 && taken < max_take) {
+      void* p = base_ + (off1 - 1);
+      out[taken++] = p;
+      off1 = GetLink(p);
+    }
+    s.count.fetch_sub(taken, std::memory_order_relaxed);
+    if (off1 != 0) {
+      // Walk the remainder (bounded by kShardSlotLimit plus racing pushes)
+      // to find its tail, then splice it back.
+      void* first = base_ + (off1 - 1);
+      void* last = first;
+      for (uint64_t next = GetLink(last); next != 0; next = GetLink(last)) {
+        last = base_ + (next - 1);
+      }
+      PushChain(s, first, last);
+    }
+    return taken;
+  }
+
+  // Pops every parked slot of every (class, shard) and hands each pointer
+  // to `fn`. Called under the central lock by revocation waves, context
+  // teardown and stats snapshots; concurrent pushes that race past the
+  // drain are tolerated shortfall, exactly like a magazine refilled during
+  // a revocation wave.
+  template <typename Fn>
+  void DrainAll(Fn&& fn) {
+    for (size_t cls = 0; cls < kNumSizeClasses; ++cls) {
+      for (size_t shard = 0; shard < kShards; ++shard) {
+        Slot& s = slots_[cls][shard];
+        const uint64_t word = s.head.exchange(0, std::memory_order_acquire);
+        uint64_t off1 = word >> kTagBits;
+        size_t n = 0;
+        while (off1 != 0) {
+          void* p = base_ + (off1 - 1);
+          off1 = GetLink(p);
+          ++n;
+          fn(p);
+        }
+        s.count.fetch_sub(n, std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  static constexpr unsigned kTagBits = 16;
+  static constexpr uint64_t kTagMask = (1u << kTagBits) - 1;
+
+  struct Slot {
+    std::atomic<uint64_t> head{0};
+    std::atomic<uint32_t> count{0};  // approximate; bounds pushes
+  };
+
+  Slot& slot_for(int cls, size_t shard) {
+    return slots_[static_cast<size_t>(cls)][shard % kShards];
+  }
+
+  uint64_t OffsetPlusOne(const void* p) const {
+    return static_cast<uint64_t>(static_cast<const char*>(p) - base_) + 1;
+  }
+
+  // The link lives in the slot's first 8 bytes (slots are >= 16 bytes and
+  // exclusively owned while being linked), as offset+1 of the successor.
+  static void SetLink(void* slot, uint64_t next_off1) {
+    std::memcpy(slot, &next_off1, sizeof(next_off1));
+  }
+  static uint64_t GetLink(const void* slot) {
+    uint64_t next_off1;
+    std::memcpy(&next_off1, slot, sizeof(next_off1));
+    return next_off1;
+  }
+
+  // Splices the pre-linked chain first..last on top of `s`. The release CAS
+  // publishes the link writes; the bumped tag versions the head against ABA
+  // on concurrent pushes.
+  void PushChain(Slot& s, void* first, void* last) {
+    uint64_t h = s.head.load(std::memory_order_relaxed);
+    for (;;) {
+      SetLink(last, h >> kTagBits);
+      const uint64_t fresh =
+          (OffsetPlusOne(first) << kTagBits) | ((h + 1) & kTagMask);
+      if (s.head.compare_exchange_weak(h, fresh, std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+      // Failpoint on the CAS retry path: an armed delay widens the window
+      // between reading the head and retrying, the schedule ABA stress
+      // tests use to force contention (tests/fault_stress_test.cc).
+      if (SOFTMEM_FAULT_FIRED("sma.xfer.push")) {
+        continue;
+      }
+    }
+  }
+
+  char* const base_;
+  Slot slots_[kNumSizeClasses][kShards];
+};
+
+}  // namespace softmem
+
+#endif  // SOFTMEM_SRC_SMA_TRANSFER_CACHE_H_

@@ -34,6 +34,8 @@
 //   sma.decommit          page decommit fails
 //   sma.budget.request    SMA->SMD budget RPC fails before reaching the daemon
 //   sma.reclaim.mid_sds   reclamation pass aborts between two SDS contexts
+//   sma.xfer.push         delay injected on a transfer-stack CAS retry
+//                         (widens the push race window for ABA stress)
 //   smd.grant.deny        daemon denies a budget request outright
 //   ipc.send.drop         transport silently loses one message
 //   ipc.send.fail         transport Send returns the armed error

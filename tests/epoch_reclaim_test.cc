@@ -1,0 +1,530 @@
+// Epoch-based pin-free readers and the lock-free transfer stacks
+// (DESIGN.md §11): grace periods, gate close/reopen, central fallbacks,
+// reader-outlives-context edges, and transfer-stack accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/sma/soft_memory_allocator.h"
+#include "src/sma/transfer_cache.h"
+
+namespace softmem {
+namespace {
+
+std::unique_ptr<SoftMemoryAllocator> MakeSma(size_t grace_us = 2000,
+                                             bool transfer_cache = true,
+                                             size_t pages = 1024) {
+  SmaOptions o;
+  o.region_pages = pages;
+  o.initial_budget_pages = pages;
+  o.heap_retain_empty_pages = 0;
+  o.use_mmap = false;
+  o.transfer_cache = transfer_cache;
+  o.pin_grace_timeout_us = grace_us;
+  auto r = SoftMemoryAllocator::Create(o);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+size_t DemandFromSds(SoftMemoryAllocator* sma, size_t pages) {
+  const SmaStats s = sma->GetStats();
+  const size_t slack = s.budget_pages > s.committed_pages
+                           ? s.budget_pages - s.committed_pages
+                           : 0;
+  return sma->HandleReclaimDemand(slack + s.pooled_pages + pages);
+}
+
+ContextId MakeCtx(SoftMemoryAllocator* sma, const std::string& name,
+                  ReclaimMode mode = ReclaimMode::kOldestFirst) {
+  ContextOptions co;
+  co.name = name;
+  co.mode = mode;
+  auto ctx = sma->CreateContext(co);
+  EXPECT_TRUE(ctx.ok());
+  return *ctx;
+}
+
+void FillCtx(SoftMemoryAllocator* sma, ContextId ctx, int n = 64) {
+  for (int i = 0; i < n; ++i) {
+    ASSERT_NE(sma->SoftMalloc(ctx, 1024), nullptr);
+  }
+}
+
+// A short-lived reader is waited out by the grace period instead of causing
+// the victim context to be skipped (the pre-epoch protocol's behavior).
+TEST(EpochReclaimTest, GraceWaitsOutReader) {
+  auto sma = MakeSma(/*grace_us=*/5'000'000);
+  const ContextId ctx = MakeCtx(sma.get(), "c");
+  FillCtx(sma.get(), ctx);
+
+  std::atomic<bool> pinned{false};
+  std::thread reader([&] {
+    ASSERT_TRUE(sma->PinContext(ctx).ok());
+    pinned.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_TRUE(sma->UnpinContext(ctx).ok());
+  });
+  while (!pinned.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  DemandFromSds(sma.get(), 4);
+  reader.join();
+  EXPECT_GT(sma->GetContextStats(ctx)->reclaimed_allocations, 0u);
+  EXPECT_EQ(sma->GetStats().pin_grace_timeouts, 0u);
+}
+
+// A reader that holds its pin past the grace timeout causes the context to
+// be skipped — reclamation never blocks indefinitely on a stuck reader.
+TEST(EpochReclaimTest, TimeoutSkipsStuckReader) {
+  auto sma = MakeSma(/*grace_us=*/1000);
+  const ContextId ctx = MakeCtx(sma.get(), "c");
+  FillCtx(sma.get(), ctx);
+
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+  std::thread reader([&] {
+    ASSERT_TRUE(sma->PinContext(ctx).ok());
+    pinned.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    ASSERT_TRUE(sma->UnpinContext(ctx).ok());
+  });
+  while (!pinned.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  DemandFromSds(sma.get(), 4);
+  EXPECT_EQ(sma->GetContextStats(ctx)->reclaimed_allocations, 0u);
+  EXPECT_GE(sma->GetStats().pin_grace_timeouts, 1u);
+  release.store(true, std::memory_order_release);
+  reader.join();
+  // Gate reopened after the timeout: the context is reclaimable again.
+  DemandFromSds(sma.get(), 4);
+  EXPECT_GT(sma->GetContextStats(ctx)->reclaimed_allocations, 0u);
+}
+
+// Nested pins publish one entry with a depth count; the context stays
+// protected until the outermost unpin retires the entry.
+TEST(EpochReclaimTest, NestedPinDepthProtectsUntilOutermostUnpin) {
+  auto sma = MakeSma(/*grace_us=*/1000);
+  const ContextId ctx = MakeCtx(sma.get(), "c");
+  FillCtx(sma.get(), ctx);
+
+  std::mutex m;
+  std::condition_variable cv;
+  int step = 0;  // reader advances odd->even, main even->odd
+  auto wait_for = [&](int want) {
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return step >= want; });
+  };
+  auto advance = [&](int to) {
+    std::lock_guard<std::mutex> lk(m);
+    step = to;
+    cv.notify_all();
+  };
+
+  std::thread reader([&] {
+    ASSERT_TRUE(sma->PinContext(ctx).ok());
+    ASSERT_TRUE(sma->PinContext(ctx).ok());
+    advance(1);
+    wait_for(2);
+    ASSERT_TRUE(sma->UnpinContext(ctx).ok());  // depth 2 -> 1: still pinned
+    advance(3);
+    wait_for(4);
+    ASSERT_TRUE(sma->UnpinContext(ctx).ok());  // depth 1 -> 0: retired
+    advance(5);
+  });
+  wait_for(1);
+  DemandFromSds(sma.get(), 2);
+  EXPECT_EQ(sma->GetContextStats(ctx)->reclaimed_allocations, 0u);
+  advance(2);
+  wait_for(3);
+  DemandFromSds(sma.get(), 2);
+  EXPECT_EQ(sma->GetContextStats(ctx)->reclaimed_allocations, 0u);
+  advance(4);
+  wait_for(5);
+  reader.join();
+  DemandFromSds(sma.get(), 2);
+  EXPECT_GT(sma->GetContextStats(ctx)->reclaimed_allocations, 0u);
+}
+
+// Destroying a context a remote reader still pins: destruction proceeds
+// after the grace timeout, the reader's later unpin is accepted gracefully,
+// and re-pinning the dead id reports kNotFound.
+TEST(EpochReclaimTest, ReaderOutlivesDestroyedContext) {
+  auto sma = MakeSma(/*grace_us=*/1000);
+  const ContextId ctx = MakeCtx(sma.get(), "c");
+  FillCtx(sma.get(), ctx, 8);
+
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+  std::thread reader([&] {
+    ASSERT_TRUE(sma->PinContext(ctx).ok());
+    pinned.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    // The context died while we held the pin. Retiring the published entry
+    // must still succeed — the reader cannot know it lost the race.
+    EXPECT_TRUE(sma->UnpinContext(ctx).ok());
+  });
+  while (!pinned.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(sma->DestroyContext(ctx).ok());
+  release.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(sma->PinContext(ctx).code(), StatusCode::kNotFound);
+  EXPECT_EQ(sma->UnpinContext(ctx).code(), StatusCode::kNotFound);
+}
+
+// A thread holding more distinct pinned contexts than it has epoch entries
+// falls back to the central pin count past the entry budget; semantics are
+// identical either way, including unbalanced-unpin error codes.
+TEST(EpochReclaimTest, PinOverflowFallsBackToCentral) {
+  auto sma = MakeSma(/*grace_us=*/500);
+  std::vector<ContextId> ctxs;
+  for (int i = 0; i < 9; ++i) {  // one past kPinEntries = 8
+    ctxs.push_back(MakeCtx(sma.get(), "c" + std::to_string(i)));
+    FillCtx(sma.get(), ctxs.back(), 16);
+  }
+  for (ContextId c : ctxs) {
+    ASSERT_TRUE(sma->PinContext(c).ok());
+  }
+  // Reclaim from another thread: every context is pinned by this one (epoch
+  // entries for the first eight, the central count for the ninth), so no
+  // live allocation may be dropped.
+  std::thread([&] { DemandFromSds(sma.get(), 8); }).join();
+  for (ContextId c : ctxs) {
+    EXPECT_EQ(sma->GetContextStats(c)->reclaimed_allocations, 0u);
+  }
+  for (ContextId c : ctxs) {
+    EXPECT_TRUE(sma->UnpinContext(c).ok());
+  }
+  EXPECT_EQ(sma->UnpinContext(ctxs.front()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sma->UnpinContext(ctxs.back()).code(),
+            StatusCode::kFailedPrecondition);
+  std::thread([&] { DemandFromSds(sma.get(), 8); }).join();
+  size_t reclaimed = 0;
+  for (ContextId c : ctxs) {
+    reclaimed += sma->GetContextStats(c)->reclaimed_allocations;
+  }
+  EXPECT_GT(reclaimed, 0u);
+}
+
+// Two readers hand a pin back and forth with overlap (the next pin taken
+// before the previous is released) while reclamation hammers the context:
+// there is never an unpinned window, so nothing may be dropped.
+TEST(EpochReclaimTest, GuardHandoffDuringReclaim) {
+  auto sma = MakeSma(/*grace_us=*/200);
+  const ContextId ctx = MakeCtx(sma.get(), "c");
+  FillCtx(sma.get(), ctx);
+
+  constexpr int kHandoffs = 32;
+  std::mutex m;
+  std::condition_variable cv;
+  int pins = 0;   // handoff slots pinned so far (monotone)
+  bool stop = false;  // releases the final pin once the reclaimer stopped
+
+  // Slot k unpins only after slot k+1 pinned, so the scopes always overlap
+  // and there is never an unpinned instant; the last slot additionally
+  // holds until `stop`, so every reclaim attempt races a held pin.
+  auto runner = [&](int parity) {
+    for (int k = parity; k < kHandoffs; k += 2) {
+      {
+        std::unique_lock<std::mutex> lk(m);
+        cv.wait(lk, [&] { return pins == k; });
+      }
+      ASSERT_TRUE(sma->PinContext(ctx).ok());
+      {
+        std::lock_guard<std::mutex> lk(m);
+        pins = k + 1;
+      }
+      cv.notify_all();
+      {
+        std::unique_lock<std::mutex> lk(m);
+        cv.wait(lk,
+                [&] { return pins >= k + 2 || (k == kHandoffs - 1 && stop); });
+      }
+      ASSERT_TRUE(sma->UnpinContext(ctx).ok());
+    }
+  };
+  std::atomic<bool> done{false};
+  std::thread a(runner, 0);
+  std::thread b(runner, 1);
+  std::thread reclaimer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      DemandFromSds(sma.get(), 2);
+      // Leave the gate a real open window between demands; back-to-back
+      // demands keep it closed almost continuously and starve the pinning
+      // threads on a single-CPU machine.
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+  {
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return pins == kHandoffs; });
+  }
+  done.store(true, std::memory_order_release);
+  reclaimer.join();
+  // Every demand so far raced a held pin: nothing may have been dropped.
+  EXPECT_EQ(sma->GetContextStats(ctx)->reclaimed_allocations, 0u);
+  {
+    std::lock_guard<std::mutex> lk(m);
+    stop = true;
+  }
+  cv.notify_all();
+  a.join();
+  b.join();
+  DemandFromSds(sma.get(), 2);
+  EXPECT_GT(sma->GetContextStats(ctx)->reclaimed_allocations, 0u);
+}
+
+// ---- Transfer-stack behavior through the public API ------------------------
+
+// Freed slots flushed past the magazine park in the lock-free stacks and a
+// later refill pops them back without touching the central heap.
+TEST(TransferCacheTest, RoundTripServesRefill) {
+  auto sma = MakeSma();
+  const ContextId ctx = MakeCtx(sma.get(), "scratch", ReclaimMode::kNone);
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 200; ++i) {
+    void* p = sma->SoftMalloc(ctx, 64);
+    ASSERT_NE(p, nullptr);
+    ptrs.push_back(p);
+  }
+  for (void* p : ptrs) {
+    sma->SoftFree(p);
+  }
+  ptrs.clear();
+  // No stats snapshot here: snapshots drain the stacks, which would hand
+  // the parked chains back to the central heap before the refill can pop.
+  for (int i = 0; i < 100; ++i) {
+    void* p = sma->SoftMalloc(ctx, 64);
+    ASSERT_NE(p, nullptr);
+    ptrs.push_back(p);
+  }
+  for (void* p : ptrs) {
+    sma->SoftFree(p);
+  }
+  const SmaStats s = sma->GetStats();
+  EXPECT_GE(s.transfer_flushes, 1u);
+  EXPECT_GE(s.transfer_hits, 1u);
+  EXPECT_EQ(s.live_allocations, 0u);
+  EXPECT_EQ(s.allocated_bytes, 0u);
+  EXPECT_EQ(s.total_allocs, 300u);
+  EXPECT_EQ(s.total_frees, 300u);
+}
+
+// Slots parked in transfer stacks keep their pages checked out, but a
+// revocation wave drains them, so reclamation still recovers every page.
+TEST(TransferCacheTest, RevocationDrainsParkedChains) {
+  auto sma = MakeSma();
+  const ContextId ctx = MakeCtx(sma.get(), "scratch", ReclaimMode::kNone);
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 256; ++i) {
+    void* p = sma->SoftMalloc(ctx, 256);
+    ASSERT_NE(p, nullptr);
+    ptrs.push_back(p);
+  }
+  for (void* p : ptrs) {
+    sma->SoftFree(p);
+  }
+  // Nothing is live; everything parked in magazines or transfer stacks must
+  // be drained by the revocation wave and every page given back.
+  DemandFromSds(sma.get(), 64);
+  const SmaStats s = sma->GetStats();
+  EXPECT_EQ(s.live_allocations, 0u);
+  EXPECT_EQ(s.committed_pages, 0u);
+  EXPECT_EQ(s.in_use_pages, 0u);
+}
+
+// Context teardown drains the context's stacks: no leaked slots, pages
+// return to the pool, and accounting stays exact.
+TEST(TransferCacheTest, DestroyContextDrainsParkedChains) {
+  auto sma = MakeSma();
+  const ContextId ctx = MakeCtx(sma.get(), "scratch", ReclaimMode::kNone);
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 256; ++i) {
+    void* p = sma->SoftMalloc(ctx, 128);
+    ASSERT_NE(p, nullptr);
+    ptrs.push_back(p);
+  }
+  for (void* p : ptrs) {
+    sma->SoftFree(p);
+  }
+  ASSERT_TRUE(sma->DestroyContext(ctx).ok());
+  const SmaStats s = sma->GetStats();
+  EXPECT_EQ(s.live_allocations, 0u);
+  EXPECT_EQ(s.in_use_pages, 0u);
+  DemandFromSds(sma.get(), 64);
+  EXPECT_EQ(sma->GetStats().committed_pages, 0u);
+}
+
+// The transfer_cache=false ablation (thread_cache still on) must behave
+// identically through the public API and never touch the stacks.
+TEST(TransferCacheTest, AblationOffKeepsExactStats) {
+  auto sma = MakeSma(/*grace_us=*/2000, /*transfer_cache=*/false);
+  const ContextId ctx = MakeCtx(sma.get(), "scratch", ReclaimMode::kNone);
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 200; ++i) {
+    void* p = sma->SoftMalloc(ctx, 64);
+    ASSERT_NE(p, nullptr);
+    ptrs.push_back(p);
+  }
+  for (void* p : ptrs) {
+    sma->SoftFree(p);
+  }
+  const SmaStats s = sma->GetStats();
+  EXPECT_EQ(s.transfer_hits, 0u);
+  EXPECT_EQ(s.transfer_flushes, 0u);
+  EXPECT_EQ(s.live_allocations, 0u);
+  EXPECT_EQ(s.total_allocs, 200u);
+  EXPECT_EQ(s.total_frees, 200u);
+}
+
+// Multi-thread churn on one shared cacheable context with stats snapshots
+// and revocation waves interleaved (the ThreadSanitizer target for the
+// refill/flush vs. epoch-advance vs. drain races). Accounting must come out
+// exact after the dust settles.
+TEST(TransferCacheTest, ConcurrentChurnWithRevocationWaves) {
+  auto sma = MakeSma();
+  const ContextId ctx = MakeCtx(sma.get(), "shared", ReclaimMode::kNone);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 1500;
+  std::atomic<uint64_t> allocs{0};
+  std::atomic<uint64_t> frees{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<void*> live;
+      uint32_t rng = 0x9e3779b9u * static_cast<uint32_t>(t + 1);
+      for (int i = 0; i < kOps; ++i) {
+        rng = rng * 1664525u + 1013904223u;
+        const size_t size = 16 + (rng % 480);
+        void* p = sma->SoftMalloc(ctx, size);
+        if (p != nullptr) {
+          std::memset(p, 0xAB, 8);
+          live.push_back(p);
+          allocs.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (live.size() > 64 || (p == nullptr && !live.empty())) {
+          for (size_t k = 0; k < live.size() / 2 + 1; ++k) {
+            sma->SoftFree(live.back());
+            live.pop_back();
+            frees.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      for (void* p : live) {
+        sma->SoftFree(p);
+        frees.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread interferer([&] {
+    int waves = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      (void)sma->GetStats();  // drains every magazine and stack
+      if (++waves % 8 == 0) {
+        sma->HandleReclaimDemand(1);  // full revocation wave (epoch bump)
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (auto& w : workers) {
+    w.join();
+  }
+  done.store(true, std::memory_order_release);
+  interferer.join();
+
+  const SmaStats s = sma->GetStats();
+  EXPECT_EQ(allocs.load(), frees.load());
+  EXPECT_EQ(s.total_allocs, allocs.load());
+  EXPECT_EQ(s.total_frees, frees.load());
+  EXPECT_EQ(s.live_allocations, 0u);
+  EXPECT_EQ(s.allocated_bytes, 0u);
+}
+
+// ---- TransferCache unit tests (raw buffer, no allocator) -------------------
+
+struct UnitCache {
+  // 16-byte-aligned arena of 16-byte slots.
+  alignas(16) char arena[4096];
+  TransferCache tc{arena};
+  void* slot(size_t i) { return arena + 16 * i; }
+};
+
+TEST(TransferCacheTest, UnitPushPopIsLifo) {
+  UnitCache u;
+  void* batch[3] = {u.slot(0), u.slot(1), u.slot(2)};
+  ASSERT_TRUE(u.tc.Push(0, 0, batch, 3));
+  void* out[8] = {};
+  ASSERT_EQ(u.tc.Pop(0, 0, out, 8), 3u);
+  EXPECT_EQ(out[0], u.slot(0));  // top of stack = first pushed chain head
+  EXPECT_EQ(out[1], u.slot(1));
+  EXPECT_EQ(out[2], u.slot(2));
+  EXPECT_EQ(u.tc.Pop(0, 0, out, 8), 0u);
+}
+
+TEST(TransferCacheTest, UnitPopResplicesRemainder) {
+  UnitCache u;
+  void* batch[4] = {u.slot(0), u.slot(1), u.slot(2), u.slot(3)};
+  ASSERT_TRUE(u.tc.Push(0, 0, batch, 4));
+  void* out[8] = {};
+  ASSERT_EQ(u.tc.Pop(0, 0, out, 2), 2u);
+  EXPECT_EQ(out[0], u.slot(0));
+  EXPECT_EQ(out[1], u.slot(1));
+  // The untaken tail was spliced back and remains poppable, in order.
+  ASSERT_EQ(u.tc.Pop(0, 0, out, 8), 2u);
+  EXPECT_EQ(out[0], u.slot(2));
+  EXPECT_EQ(out[1], u.slot(3));
+}
+
+TEST(TransferCacheTest, UnitPushRefusesOverLimit) {
+  UnitCache u;
+  std::vector<void*> batch;
+  for (size_t i = 0; i < 128; ++i) {
+    batch.push_back(u.slot(i));
+  }
+  ASSERT_TRUE(u.tc.Push(0, 0, batch.data(), 64));
+  ASSERT_TRUE(u.tc.Push(0, 0, batch.data() + 64, 64));  // exactly at limit
+  void* extra = u.slot(128);
+  EXPECT_FALSE(u.tc.Push(0, 0, &extra, 1));  // over kShardSlotLimit
+  EXPECT_FALSE(u.tc.Push(0, 0, &extra, 0));  // empty batch is a no-op
+  // Other shards and classes are unaffected by shard 0's bound.
+  EXPECT_TRUE(u.tc.Push(0, 1, &extra, 1));
+  EXPECT_TRUE(u.tc.Push(1, 0, &extra, 1));
+}
+
+TEST(TransferCacheTest, UnitDrainAllVisitsEverySlot) {
+  UnitCache u;
+  void* a[2] = {u.slot(0), u.slot(1)};
+  void* b[2] = {u.slot(2), u.slot(3)};
+  void* c = u.slot(4);
+  ASSERT_TRUE(u.tc.Push(0, 0, a, 2));
+  ASSERT_TRUE(u.tc.Push(0, 3, b, 2));
+  ASSERT_TRUE(u.tc.Push(2, 5, &c, 1));
+  std::vector<void*> seen;
+  u.tc.DrainAll([&](void* p) { seen.push_back(p); });
+  EXPECT_EQ(seen.size(), 5u);
+  void* out[4] = {};
+  EXPECT_EQ(u.tc.Pop(0, 0, out, 4), 0u);
+  EXPECT_EQ(u.tc.Pop(0, 3, out, 4), 0u);
+  EXPECT_EQ(u.tc.Pop(2, 5, out, 4), 0u);
+}
+
+}  // namespace
+}  // namespace softmem

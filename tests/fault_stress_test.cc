@@ -1042,5 +1042,106 @@ TEST(FaultStressSoak, MultithreadedFaultSoak) {
   EXPECT_EQ(s.allocated_bytes, 0u);
 }
 
+// ABA-targeting schedule for the lock-free transfer stacks: more threads
+// than shards (so flush hints collide), one hot size class, and the
+// sma.xfer.push failpoint arming a seeded delay on the push CAS retry path
+// — each fired retry widens the window in which another thread can pop,
+// recycle and re-push the same head slot, which is exactly the interleaving
+// the 16-bit head tag exists to survive. Pattern checks on live data catch
+// any double-ownership an ABA bug would cause; exact end-state accounting
+// catches lost or duplicated slots.
+TEST(FaultStressSoak, XferCasRetryAbaSchedule) {
+  fail::Registry().DisarmAll();
+  fail::Registry().Seed(fail::SeedFromEnv(kBaseSeed + 0xABA));
+  SmaOptions o;
+  o.region_pages = 4096;
+  o.initial_budget_pages = 512;
+  o.use_mmap = false;
+  auto sma_r = SoftMemoryAllocator::Create(o);
+  ASSERT_TRUE(sma_r.ok());
+  SoftMemoryAllocator* sma = sma_r->get();
+  ContextOptions co;
+  co.name = "aba";
+  co.mode = ReclaimMode::kNone;  // cacheable: all traffic rides the stacks
+  auto ctx = sma->CreateContext(co);
+  ASSERT_TRUE(ctx.ok());
+
+  fail::FailSpec retry_delay;
+  retry_delay.probability = 0.5;
+  retry_delay.delay_us = 100;
+  fail::Registry().Arm("sma.xfer.push", retry_delay);
+
+  constexpr int kThreads = 12;  // > TransferCache::kShards: hints collide
+  constexpr int kOpsPerThread = 1200;
+  constexpr size_t kSize = 64;  // one size class: every thread hits the
+                                // same row of stacks
+  std::vector<std::thread> threads;
+  std::vector<int> pattern_errors(kThreads, 0);
+  std::atomic<uint64_t> allocs{0};
+  std::atomic<uint64_t> frees{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(kBaseSeed + 0xABA0 + static_cast<uint64_t>(t));
+      std::vector<std::pair<void*, uint64_t>> mine;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (rng.NextBool(0.55) || mine.empty()) {
+          void* p = sma->SoftMalloc(*ctx, kSize);
+          if (p != nullptr) {
+            const uint64_t pat = rng.NextU64() | 1;
+            ft::FillPattern(p, kSize, pat);
+            mine.emplace_back(p, pat);
+            allocs.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          // Burst frees overflow the magazine and push chains; the next
+          // alloc burst pops them back — heavy Push/Pop traffic per shard.
+          const size_t burst = 1 + rng.NextBounded(mine.size());
+          for (size_t k = 0; k < burst; ++k) {
+            if (!ft::CheckPattern(mine.back().first, kSize, mine.back().second)
+                     .ok()) {
+              ++pattern_errors[t];
+            }
+            sma->SoftFree(mine.back().first);
+            mine.pop_back();
+            frees.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      for (auto& [p, pat] : mine) {
+        if (!ft::CheckPattern(p, kSize, pat).ok()) {
+          ++pattern_errors[t];
+        }
+        sma->SoftFree(p);
+        frees.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Concurrent drains: stats snapshots and revocation waves exchange whole
+  // chains out from under racing pushes.
+  for (int i = 0; i < 30; ++i) {
+    (void)sma->GetStats();
+    if (i % 10 == 9) {
+      sma->HandleReclaimDemand(1);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  fail::Registry().DisarmAll();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(pattern_errors[t], 0)
+        << "thread " << t << " saw corruption (double-owned slot?)";
+  }
+  const SmaStats s = sma->GetStats();
+  EXPECT_EQ(allocs.load(), frees.load());
+  EXPECT_EQ(s.total_allocs, allocs.load());
+  EXPECT_EQ(s.total_frees, frees.load());
+  EXPECT_EQ(s.live_allocations, 0u);
+  EXPECT_EQ(s.allocated_bytes, 0u);
+  EXPECT_EQ(s.committed_pages, s.pooled_pages + s.in_use_pages);
+}
+
 }  // namespace
 }  // namespace softmem

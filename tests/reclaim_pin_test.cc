@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/sma/reclaim_pin.h"
@@ -135,6 +136,48 @@ TEST(ReclaimPinTest, MoveTransfersOwnership) {
   EXPECT_TRUE(outer.engaged());
   DemandFromSds(sma.get(), 2);
   EXPECT_EQ(sma->GetContextStats(ctx)->reclaimed_allocations, 0u);
+}
+
+TEST(ReclaimPinTest, MoveAssignTransfersOwnership) {
+  auto sma = MakeSma();
+  const ContextId ctx = MakeCtx(sma.get(), "c", 0);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_NE(sma->SoftMalloc(ctx, 1024), nullptr);
+  }
+  ReclaimPin pin(sma.get(), 999);  // disengaged target
+  EXPECT_FALSE(pin.engaged());
+  pin = ReclaimPin(sma.get(), ctx);
+  EXPECT_TRUE(pin.engaged());
+  DemandFromSds(sma.get(), 2);
+  EXPECT_EQ(sma->GetContextStats(ctx)->reclaimed_allocations, 0u);
+  pin.release();
+  DemandFromSds(sma.get(), 2);
+  EXPECT_GT(sma->GetContextStats(ctx)->reclaimed_allocations, 0u);
+}
+
+TEST(ReclaimPinTest, MoveAssignReleasesOverwrittenPin) {
+  auto sma = MakeSma();
+  const ContextId a = MakeCtx(sma.get(), "a", 0);
+  const ContextId b = MakeCtx(sma.get(), "b", 0);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_NE(sma->SoftMalloc(a, 1024), nullptr);
+    ASSERT_NE(sma->SoftMalloc(b, 1024), nullptr);
+  }
+  ReclaimPin pin(sma.get(), a);
+  ASSERT_TRUE(pin.engaged());
+  // Overwriting an engaged pin must unpin `a` (no leaked pin count) while
+  // keeping `b` protected.
+  pin = ReclaimPin(sma.get(), b);
+  EXPECT_TRUE(pin.engaged());
+  DemandFromSds(sma.get(), 4);
+  EXPECT_GT(sma->GetContextStats(a)->reclaimed_allocations, 0u);
+  EXPECT_EQ(sma->GetContextStats(b)->reclaimed_allocations, 0u);
+  // Self-move must not drop the pin.
+  ReclaimPin& self = pin;
+  pin = std::move(self);
+  EXPECT_TRUE(pin.engaged());
+  DemandFromSds(sma.get(), 2);
+  EXPECT_EQ(sma->GetContextStats(b)->reclaimed_allocations, 0u);
 }
 
 }  // namespace
